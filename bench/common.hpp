@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared scaffolding for the figure-reproduction binaries: common CLI
+/// options (`--reps`, `--seed`, `--scale`, `--csv`, `--quiet`), elapsed-time
+/// reporting, and profile down-sampling for terminal output.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace nubb::bench {
+
+/// Options every figure binary accepts.
+struct CommonOptions {
+  std::uint64_t reps = 0;   ///< 0 = binary-specific default
+  std::uint64_t seed = 0;
+  double scale = 1.0;       ///< multiplies the default repetition counts
+  std::string csv_dir;
+  bool quiet = false;
+};
+
+inline void register_common(CliParser& cli, std::uint64_t default_seed) {
+  cli.add_int("reps", 0, "replications per configuration (0 = figure default x scale)");
+  cli.add_int("seed", static_cast<std::int64_t>(default_seed), "base RNG seed");
+  cli.add_double("scale", 1.0, "multiply default replication counts (paper fidelity ~50-100x)");
+  cli.add_string("csv", "", "directory for CSV output (empty = no CSV)");
+  cli.add_flag("quiet", "suppress the per-series tables, print only the summary line");
+}
+
+inline CommonOptions read_common(const CliParser& cli) {
+  CommonOptions o;
+  o.reps = static_cast<std::uint64_t>(cli.get_int("reps"));
+  o.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  o.scale = cli.get_double("scale");
+  o.csv_dir = cli.get_string("csv");
+  o.quiet = cli.flag("quiet");
+  return o;
+}
+
+/// Effective repetition count: explicit --reps wins; otherwise the figure
+/// default scaled by --scale (at least 2 so std errors exist).
+inline std::uint64_t effective_reps(const CommonOptions& o, std::uint64_t figure_default) {
+  if (o.reps > 0) return o.reps;
+  const auto scaled = static_cast<std::uint64_t>(static_cast<double>(figure_default) * o.scale);
+  return scaled < 2 ? 2 : scaled;
+}
+
+/// Indices at which to print rows of a long profile: every `stride`-th bin
+/// plus the first and last (full resolution always goes to CSV).
+inline std::vector<std::size_t> profile_print_indices(std::size_t n, std::size_t max_rows) {
+  std::vector<std::size_t> idx;
+  if (n == 0) return idx;
+  const std::size_t stride = n <= max_rows ? 1 : (n + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < n; i += stride) idx.push_back(i);
+  if (idx.back() != n - 1) idx.push_back(n - 1);
+  return idx;
+}
+
+/// Standard closing line so every binary's output ends uniformly.
+inline void finish(const std::string& name, const Timer& timer, std::uint64_t reps) {
+  std::cout << "[" << name << "] done: reps/config=" << reps << ", elapsed="
+            << TextTable::num(timer.seconds(), 2) << "s\n"
+            << std::endl;
+}
+
+}  // namespace nubb::bench

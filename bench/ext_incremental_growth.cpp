@@ -1,0 +1,112 @@
+/// Extension: incremental growth vs from-scratch re-placement vs minimal
+/// reallocation (Section 4.3's closing remark). The paper re-throws every
+/// ball whenever a disk batch arrives; a real system either leaves old data
+/// in place (incremental) or migrates a bounded number of objects
+/// (rebalance). Expected: incremental-only drifts above the from-scratch
+/// curve (old bins keep their historical share), and a small migration
+/// budget per step recovers most of the gap.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "ext_incremental_growth: growth without re-placing old balls, with and "
+      "without a bounded rebalance pass, vs the paper's from-scratch baseline.");
+  bench::register_common(cli, /*default_seed=*/0xE164);
+  cli.add_int("max-disks", 402, "largest system size");
+  cli.add_int("step", 40, "disks added between measurements");
+  cli.add_double("gap", 0.25, "rebalance target: max load <= average + gap");
+  cli.add_int("moves", 200, "migration budget per step");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto max_disks = static_cast<std::size_t>(cli.get_int("max-disks"));
+  const auto step = static_cast<std::size_t>(cli.get_int("step"));
+  const double gap = cli.get_double("gap");
+  const auto moves = static_cast<std::uint64_t>(cli.get_int("moves"));
+  const std::uint64_t reps = bench::effective_reps(opts, 50);
+
+  Timer timer;
+  const GrowthModel model = GrowthModel::linear(2.0, 2);
+  const SelectionPolicy policy = SelectionPolicy::proportional_to_capacity();
+
+  // Accumulate the three strategies over replications.
+  VectorMeanCollector scratch_acc;
+  VectorMeanCollector incremental_acc;
+  VectorMeanCollector rebalanced_acc;
+  RunningStats moves_per_step;
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t d = 2; d <= max_disks; d += step) sizes.push_back(d);
+
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    // From scratch: independent games at every size (the paper's method).
+    {
+      std::vector<double> series;
+      for (const std::size_t disks : sizes) {
+        const auto caps = growth_capacities(disks, 2, 20, model);
+        BinArray bins(caps);
+        const BinSampler sampler = BinSampler::from_policy(policy, caps);
+        Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, disks), r));
+        play_game(bins, sampler, GameConfig{}, rng);
+        series.push_back(bins.max_load().value());
+      }
+      scratch_acc.add(series);
+    }
+    // Incremental without reallocation.
+    {
+      Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, 1), r));
+      const auto steps = simulate_incremental_growth(model, max_disks, 2, 20, step, policy,
+                                                     GameConfig{}, -1.0, 0, rng);
+      std::vector<double> series;
+      for (const auto& s : steps) series.push_back(s.incremental_max_load);
+      incremental_acc.add(series);
+    }
+    // Incremental with a bounded rebalance pass per step.
+    {
+      Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, 2), r));
+      const auto steps = simulate_incremental_growth(model, max_disks, 2, 20, step, policy,
+                                                     GameConfig{}, gap, moves, rng);
+      std::vector<double> series;
+      double total_moves = 0.0;
+      for (const auto& s : steps) {
+        series.push_back(s.rebalanced_max_load);
+        total_moves += static_cast<double>(s.moves);
+      }
+      rebalanced_acc.add(series);
+      moves_per_step.add(total_moves / static_cast<double>(steps.size()));
+    }
+  }
+
+  const auto scratch = scratch_acc.mean();
+  const auto incremental = incremental_acc.mean();
+  const auto rebalanced = rebalanced_acc.mean();
+
+  TextTable table("Incremental growth (linear a=2 model, reps=" + std::to_string(reps) +
+                  "): mean max load by strategy");
+  table.set_header({"disks", "from scratch (paper)", "incremental only",
+                    "incremental + <= " + std::to_string(moves) + " moves/step"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    table.add_row({TextTable::num(static_cast<std::uint64_t>(sizes[i])),
+                   TextTable::num(scratch[i]), TextTable::num(incremental[i]),
+                   TextTable::num(rebalanced[i])});
+  }
+  if (!opts.quiet) std::cout << table;
+  std::cout << "mean migrations per step (rebalanced strategy): "
+            << TextTable::num(moves_per_step.mean(), 1) << "\n";
+
+  if (auto csv = maybe_csv(opts.csv_dir, "ext_incremental_growth.csv")) {
+    csv->header({"disks", "from_scratch", "incremental", "rebalanced"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      csv->row_numeric({static_cast<double>(sizes[i]), scratch[i], incremental[i],
+                        rebalanced[i]});
+    }
+  }
+
+  bench::finish("ext_incremental_growth", timer, reps);
+  return 0;
+}

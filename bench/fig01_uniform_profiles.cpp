@@ -1,0 +1,82 @@
+/// Figure 1 of the paper: n = 10,000 uniform bins, d = 2, m = C = c*n, for
+/// capacities c in {1, 2, 3, 4, 8}. Plots (here: tabulates) the mean
+/// normalised load over the sorted bin vector. Expected shape: the c = 1
+/// curve steps down from ~ln ln n / ln 2 + 1; larger c flattens the curve
+/// towards 1 with max ~ 1 + ln ln(n)/c (Observation 2).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+#include "theory/bounds.hpp"
+#include "util/math_utils.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig01_uniform_profiles: Figure 1 - load profiles of uniform bin arrays "
+      "(n=10000, d=2, c in {1,2,3,4,8}, m=C). Paper reference: max load close to "
+      "1 + lnln(n)/c for c >= 2 and lnln(n)/ln(2) for c = 1.");
+  bench::register_common(cli, /*default_seed=*/0xF160001);
+  cli.add_int("n", 10000, "number of bins");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const std::uint64_t reps = bench::effective_reps(opts, 100);  // paper: 10,000
+
+  Timer timer;
+  const std::vector<std::uint64_t> capacities = {1, 2, 3, 4, 8};
+
+  std::vector<std::vector<double>> profiles;
+  std::vector<double> max_loads;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    ExperimentConfig exp;
+    exp.replications = reps;
+    exp.base_seed = mix_seed(opts.seed, capacities[i]);
+    const auto profile = mean_sorted_profile(uniform_capacities(n, capacities[i]),
+                                             SelectionPolicy::proportional_to_capacity(),
+                                             GameConfig{}, exp);
+    max_loads.push_back(profile.front());
+    profiles.push_back(profile);
+  }
+
+  // Terminal table: down-sampled profile, one column per capacity.
+  if (!opts.quiet) {
+    TextTable table("Figure 1: mean sorted load profile, n=" + std::to_string(n) +
+                    ", d=2, m=C (reps=" + std::to_string(reps) + ")");
+    table.set_header({"bin rank", "c=1", "c=2", "c=3", "c=4", "c=8"});
+    for (const std::size_t i : bench::profile_print_indices(n, 20)) {
+      table.add_row({TextTable::num(static_cast<std::uint64_t>(i)),
+                     TextTable::num(profiles[0][i]), TextTable::num(profiles[1][i]),
+                     TextTable::num(profiles[2][i]), TextTable::num(profiles[3][i]),
+                     TextTable::num(profiles[4][i])});
+    }
+    std::cout << table;
+  }
+
+  // Headline comparison against the analytical prediction.
+  TextTable head("Figure 1 headline: mean max load vs Observation 2 prediction");
+  head.set_header({"c", "measured max load", "predicted ~ 1 + lnln(n)/c (c>1) | lnln(n)/ln2 (c=1)"});
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const double c = static_cast<double>(capacities[i]);
+    const double lnln = ln_ln(static_cast<double>(n));
+    const double prediction = capacities[i] == 1
+                                  ? bounds::azar_leading_term(static_cast<double>(n), 2)
+                                  : 1.0 + lnln / c;
+    head.add_row({TextTable::num(capacities[i]), TextTable::num(max_loads[i]),
+                  TextTable::num(prediction)});
+  }
+  std::cout << head;
+
+  if (auto csv = maybe_csv(opts.csv_dir, "fig01_profiles.csv")) {
+    csv->header({"bin_rank", "c1", "c2", "c3", "c4", "c8"});
+    for (std::size_t i = 0; i < n; ++i) {
+      csv->row_numeric({static_cast<double>(i), profiles[0][i], profiles[1][i], profiles[2][i],
+                        profiles[3][i], profiles[4][i]});
+    }
+  }
+
+  bench::finish("fig01", timer, reps);
+  return 0;
+}

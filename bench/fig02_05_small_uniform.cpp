@@ -1,0 +1,89 @@
+/// Figures 2-5: 32 uniform bins of capacity c in {1,2,3,4}; load profiles
+/// for m = C, 10C, 100C and 1000C balls. The paper's observation: the
+/// absolute deviation from the average load m/n is invariant in m (the
+/// heavily loaded case behaves like m = C shifted upward).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig02_05_small_uniform: Figures 2-5 - 32 uniform bins, c in {1..4}, "
+      "m in {C, 10C, 100C, 1000C}. Paper reference: profiles for different m are "
+      "vertical translations of each other (deviation from m/n independent of m).");
+  bench::register_common(cli, /*default_seed=*/0xF160205);
+  cli.add_int("n", 32, "number of bins");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const std::uint64_t reps = bench::effective_reps(opts, 200);  // paper: 10,000
+
+  Timer timer;
+  const std::vector<std::uint64_t> capacities = {1, 2, 3, 4};
+  const std::vector<std::uint64_t> multipliers = {1, 10, 100, 1000};
+
+  // profiles[mult][cap] = mean sorted profile.
+  std::vector<std::vector<std::vector<double>>> profiles(
+      multipliers.size(), std::vector<std::vector<double>>(capacities.size()));
+
+  for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+    for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+      const std::uint64_t C = n * capacities[ci];
+      GameConfig cfg;
+      cfg.balls = multipliers[mi] * C;
+      ExperimentConfig exp;
+      exp.replications = reps;
+      exp.base_seed = mix_seed(opts.seed, multipliers[mi] * 100 + capacities[ci]);
+      profiles[mi][ci] =
+          mean_sorted_profile(uniform_capacities(n, capacities[ci]),
+                              SelectionPolicy::proportional_to_capacity(), cfg, exp);
+    }
+  }
+
+  for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+    if (opts.quiet) break;
+    TextTable table("Figure " + std::to_string(2 + mi) + ": 32 uniform bins, m = " +
+                    std::to_string(multipliers[mi]) + " * C (reps=" + std::to_string(reps) +
+                    ")");
+    table.set_header({"bin rank", "c=1", "c=2", "c=3", "c=4"});
+    for (std::size_t i = 0; i < n; i += 4) {
+      table.add_row({TextTable::num(static_cast<std::uint64_t>(i)),
+                     TextTable::num(profiles[mi][0][i]), TextTable::num(profiles[mi][1][i]),
+                     TextTable::num(profiles[mi][2][i]), TextTable::num(profiles[mi][3][i])});
+    }
+    std::cout << table;
+  }
+
+  // The invariance headline: max - average per (c, m) combination.
+  TextTable head("Figures 2-5 headline: deviation of max load from average m/C");
+  head.set_header({"c", "m=C", "m=10C", "m=100C", "m=1000C"});
+  for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+    std::vector<std::string> row = {TextTable::num(capacities[ci])};
+    for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+      const double avg = static_cast<double>(multipliers[mi]);  // m / C = multiplier
+      row.push_back(TextTable::num(profiles[mi][ci].front() - avg));
+    }
+    head.add_row(row);
+  }
+  std::cout << head;
+
+  if (auto csv = maybe_csv(opts.csv_dir, "fig02_05_profiles.csv")) {
+    csv->header({"multiplier", "capacity", "bin_rank", "mean_load"});
+    for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+      for (std::size_t ci = 0; ci < capacities.size(); ++ci) {
+        for (std::size_t i = 0; i < n; ++i) {
+          csv->row_numeric({static_cast<double>(multipliers[mi]),
+                            static_cast<double>(capacities[ci]), static_cast<double>(i),
+                            profiles[mi][ci][i]});
+        }
+      }
+    }
+  }
+
+  bench::finish("fig02_05", timer, reps);
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Figures 6 and 7: n = 1000 bins mixing capacity 1 and capacity 10;
+/// the fraction of large bins sweeps 0%..100%.
+///   Fig 6: mean maximum load (expected: ~3.05 at 0%, a plateau near 2
+///          between ~10% and ~30%, then decay towards ~1.2).
+///   Fig 7: percentage of runs in which a small bin attains the maximum
+///          (expected: ~100% for small fractions, dropping below 50% around
+///          45% large bins, ~0% beyond ~80%).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig06_07_mixed_1_10: Figures 6-7 - bins of size 1 and 10, maximum load "
+      "and location of the maximum as a function of the large-bin fraction.");
+  bench::register_common(cli, /*default_seed=*/0xF160607);
+  cli.add_int("n", 1000, "number of bins");
+  cli.add_int("step", 2, "sweep step in percent of large bins");
+  cli.add_int("large-cap", 10, "capacity of the large bins");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto step = static_cast<std::size_t>(cli.get_int("step"));
+  const auto large_cap = static_cast<std::uint64_t>(cli.get_int("large-cap"));
+  const std::uint64_t reps = bench::effective_reps(opts, 200);  // paper: 10,000 / 1,000
+
+  Timer timer;
+  TextTable table("Figures 6-7: capacity-1/capacity-" + std::to_string(large_cap) +
+                  " mix, n=" + std::to_string(n) + ", d=2, m=C (reps=" +
+                  std::to_string(reps) + ")");
+  table.set_header({"% large bins", "mean max load", "std err", "P[max in small bin] %"});
+
+  auto csv = maybe_csv(opts.csv_dir, "fig06_07_mixed.csv");
+  if (csv) csv->header({"pct_large", "mean_max_load", "std_err", "pct_max_in_small"});
+
+  for (std::size_t pct = 0; pct <= 100; pct += step) {
+    const std::size_t large = n * pct / 100;
+    const auto caps = two_class_capacities(n - large, 1, large, large_cap);
+
+    ExperimentConfig exp;
+    exp.replications = reps;
+    exp.base_seed = mix_seed(opts.seed, pct);
+
+    const Summary s = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(),
+                                       GameConfig{}, exp);
+
+    double small_fraction = 0.0;
+    if (large < n) {
+      const auto fractions = class_of_max_fractions(
+          caps, SelectionPolicy::proportional_to_capacity(), GameConfig{}, exp);
+      const auto it = fractions.find(1);
+      small_fraction = it == fractions.end() ? 0.0 : it->second;
+    }
+
+    table.add_row({TextTable::num(static_cast<std::uint64_t>(pct)), TextTable::num(s.mean),
+                   TextTable::num(s.std_error), TextTable::num(100.0 * small_fraction, 1)});
+    if (csv) {
+      csv->row_numeric({static_cast<double>(pct), s.mean, s.std_error,
+                        100.0 * small_fraction});
+    }
+  }
+
+  if (!opts.quiet) std::cout << table;
+  bench::finish("fig06_07", timer, reps);
+  return 0;
+}

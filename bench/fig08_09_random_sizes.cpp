@@ -1,0 +1,120 @@
+/// Figures 8 and 9: randomised bin sizes, capacity of each bin drawn as
+/// 1 + Bin(7, (c-1)/7) for a target mean capacity c.
+///   Fig 8 (n = 10,000): mean max load as a function of the total capacity
+///           (expected: decreasing from ~3.05 towards ~1.2 with small
+///           plateaus).
+///   Fig 9 (n = 1,000): which capacity class holds the maximum, for classes
+///           x in {1, 2, 4, 6} (expected: max migrates from size-1 bins to
+///           mid-size classes as capacity grows).
+
+#include <iostream>
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+namespace {
+
+/// One sweep point: average max load and class-of-max fractions over
+/// replications, where each replication draws a fresh randomised capacity
+/// vector (as in the paper: the bin array itself is part of the experiment).
+struct SweepPoint {
+  double mean_total_capacity = 0.0;
+  double mean_max_load = 0.0;
+  double std_err = 0.0;
+  std::map<std::uint64_t, double> class_of_max;
+};
+
+SweepPoint run_point(std::size_t n, double mean_cap, std::uint64_t reps,
+                     std::uint64_t seed) {
+  RunningStats max_stats;
+  RunningStats cap_stats;
+  KeyFrequencyCollector classes;
+
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    Xoshiro256StarStar rng(seed_for_replication(seed, r));
+    const auto caps = binomial_capacities(n, mean_cap, rng);
+    BinArray bins(caps);
+    const BinSampler sampler =
+        BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+    play_game(bins, sampler, GameConfig{}, rng);
+
+    max_stats.add(bins.max_load().value());
+    cap_stats.add(static_cast<double>(bins.total_capacity()));
+    classes.add_trial();
+    for (const std::uint64_t cap : capacities_attaining_max(bins)) classes.add(cap);
+  }
+
+  SweepPoint p;
+  p.mean_total_capacity = cap_stats.mean();
+  p.mean_max_load = max_stats.mean();
+  p.std_err = max_stats.std_error();
+  for (const auto& [cap, count] : classes.counts()) {
+    p.class_of_max[cap] = static_cast<double>(count) / static_cast<double>(classes.trials());
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig08_09_random_sizes: Figures 8-9 - randomised capacities 1+Bin(7,(c-1)/7); "
+      "max load vs total capacity (Fig 8, n=10000) and location of the maximum by "
+      "capacity class (Fig 9, n=1000).");
+  bench::register_common(cli, /*default_seed=*/0xF160809);
+  cli.add_int("n8", 10000, "bins for Figure 8");
+  cli.add_int("n9", 1000, "bins for Figure 9");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n8 = static_cast<std::size_t>(cli.get_int("n8"));
+  const auto n9 = static_cast<std::size_t>(cli.get_int("n9"));
+  const std::uint64_t reps8 = bench::effective_reps(opts, 60);   // paper: 10,000
+  const std::uint64_t reps9 = bench::effective_reps(opts, 300);  // paper: 1,000
+
+  Timer timer;
+
+  // ----- Figure 8 -------------------------------------------------------------
+  TextTable fig8("Figure 8: randomised sizes, n=" + std::to_string(n8) +
+                 ", mean max load vs total capacity (reps=" + std::to_string(reps8) + ")");
+  fig8.set_header({"target mean c", "mean total capacity", "mean max load", "std err"});
+  auto csv8 = maybe_csv(opts.csv_dir, "fig08_maxload.csv");
+  if (csv8) csv8->header({"mean_c", "total_capacity", "mean_max_load", "std_err"});
+
+  for (double c = 1.0; c <= 8.01; c += 0.5) {
+    const SweepPoint p = run_point(n8, c, reps8, mix_seed(opts.seed, static_cast<std::uint64_t>(c * 100)));
+    fig8.add_row({TextTable::num(c, 1), TextTable::num(p.mean_total_capacity, 0),
+                  TextTable::num(p.mean_max_load), TextTable::num(p.std_err)});
+    if (csv8) csv8->row_numeric({c, p.mean_total_capacity, p.mean_max_load, p.std_err});
+  }
+  if (!opts.quiet) std::cout << fig8;
+
+  // ----- Figure 9 -------------------------------------------------------------
+  TextTable fig9("Figure 9: randomised sizes, n=" + std::to_string(n9) +
+                 ", % of runs where class x attains the max (reps=" + std::to_string(reps9) +
+                 ")");
+  fig9.set_header({"target mean c", "total capacity", "x=1 %", "x=2 %", "x=4 %", "x=6 %"});
+  auto csv9 = maybe_csv(opts.csv_dir, "fig09_class_of_max.csv");
+  if (csv9) csv9->header({"mean_c", "total_capacity", "pct_1", "pct_2", "pct_4", "pct_6"});
+
+  for (double c = 1.0; c <= 8.01; c += 0.5) {
+    const SweepPoint p =
+        run_point(n9, c, reps9, mix_seed(opts.seed, 77777 + static_cast<std::uint64_t>(c * 100)));
+    auto pct = [&p](std::uint64_t cls) {
+      const auto it = p.class_of_max.find(cls);
+      return it == p.class_of_max.end() ? 0.0 : 100.0 * it->second;
+    };
+    fig9.add_row({TextTable::num(c, 1), TextTable::num(p.mean_total_capacity, 0),
+                  TextTable::num(pct(1), 1), TextTable::num(pct(2), 1),
+                  TextTable::num(pct(4), 1), TextTable::num(pct(6), 1)});
+    if (csv9) {
+      csv9->row_numeric({c, p.mean_total_capacity, pct(1), pct(2), pct(4), pct(6)});
+    }
+  }
+  if (!opts.quiet) std::cout << fig9;
+
+  bench::finish("fig08_09", timer, reps8);
+  return 0;
+}

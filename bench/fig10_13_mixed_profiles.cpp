@@ -1,0 +1,123 @@
+/// Figures 10-13: load profiles of two-class arrays.
+///   Fig 10: 32 bins of capacities 1 and 2, large count in {0,8,16,24,32}.
+///   Fig 11: 10,000 bins of capacities 1 and 8, large count in
+///           {0, 2500, 5000, 7500, 10000}.
+///   Fig 12: the same arrays, profile restricted to the capacity-8 bins.
+///   Fig 13: profile restricted to the capacity-1 bins.
+/// Expected shape: the more large bins, the flatter the overall profile;
+/// large bins sit at constant load ~<= 1.6 (Observation 1) while small bins
+/// carry the occasional load-2..3 outlier.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+namespace {
+
+void run_family(const std::string& title, std::size_t n, std::uint64_t large_cap,
+                const std::vector<std::size_t>& large_counts, std::uint64_t reps,
+                std::uint64_t seed, const nubb::bench::CommonOptions& opts,
+                const std::string& csv_name, bool per_class) {
+  // Collect profiles for each mix.
+  std::vector<std::vector<double>> overall;
+  std::vector<std::map<std::uint64_t, std::vector<double>>> by_class;
+  for (std::size_t k = 0; k < large_counts.size(); ++k) {
+    const std::size_t large = large_counts[k];
+    const auto caps = two_class_capacities(n - large, 1, large, large_cap);
+    ExperimentConfig exp;
+    exp.replications = reps;
+    exp.base_seed = mix_seed(seed, large);
+    overall.push_back(mean_sorted_profile(caps, SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, exp));
+    if (per_class) {
+      by_class.push_back(mean_class_profiles(caps, SelectionPolicy::proportional_to_capacity(),
+                                             GameConfig{}, exp));
+    }
+  }
+
+  if (!opts.quiet) {
+    TextTable table(title + " (reps=" + std::to_string(reps) + ")");
+    std::vector<std::string> header = {"bin rank"};
+    for (const std::size_t large : large_counts) {
+      header.push_back(std::to_string(large) + "x" + std::to_string(large_cap) + "-bins");
+    }
+    table.set_header(header);
+    for (const std::size_t i : nubb::bench::profile_print_indices(n, 16)) {
+      std::vector<std::string> row = {TextTable::num(static_cast<std::uint64_t>(i))};
+      for (const auto& profile : overall) row.push_back(TextTable::num(profile[i]));
+      table.add_row(row);
+    }
+    std::cout << table;
+  }
+
+  if (per_class && !opts.quiet) {
+    // Figures 12/13 view: per-class head/tail summary.
+    TextTable split("Figures 12-13 view: per-class profile extremes, caps {1, " +
+                    std::to_string(large_cap) + "}");
+    split.set_header({"mix (large count)", "cap-" + std::to_string(large_cap) + " max",
+                      "cap-" + std::to_string(large_cap) + " min", "cap-1 max", "cap-1 min"});
+    for (std::size_t k = 0; k < large_counts.size(); ++k) {
+      const auto& classes = by_class[k];
+      auto ends = [&classes](std::uint64_t cap) -> std::pair<std::string, std::string> {
+        const auto it = classes.find(cap);
+        if (it == classes.end() || it->second.empty()) return {"-", "-"};
+        return {TextTable::num(it->second.front()), TextTable::num(it->second.back())};
+      };
+      const auto [lmax, lmin] = ends(large_cap);
+      const auto [smax, smin] = ends(1);
+      split.add_row({TextTable::num(static_cast<std::uint64_t>(large_counts[k])), lmax, lmin,
+                     smax, smin});
+    }
+    std::cout << split;
+  }
+
+  if (auto csv = maybe_csv(opts.csv_dir, csv_name)) {
+    csv->header({"large_count", "capacity_class", "bin_rank", "mean_load"});
+    for (std::size_t k = 0; k < large_counts.size(); ++k) {
+      for (std::size_t i = 0; i < overall[k].size(); ++i) {
+        csv->row_numeric({static_cast<double>(large_counts[k]), 0.0, static_cast<double>(i),
+                          overall[k][i]});
+      }
+      if (per_class) {
+        for (const auto& [cap, profile] : by_class[k]) {
+          for (std::size_t i = 0; i < profile.size(); ++i) {
+            csv->row_numeric({static_cast<double>(large_counts[k]),
+                              static_cast<double>(cap), static_cast<double>(i), profile[i]});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig10_13_mixed_profiles: Figures 10-13 - load profiles of mixed arrays "
+      "(32 bins caps {1,2}; 10000 bins caps {1,8}; plus per-class views).");
+  bench::register_common(cli, /*default_seed=*/0xF161013);
+  cli.add_int("n-large", 10000, "bins for the {1,8} family (Figures 11-13)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n_large = static_cast<std::size_t>(cli.get_int("n-large"));
+  const std::uint64_t reps_small = bench::effective_reps(opts, 2000);  // paper: 10,000
+  const std::uint64_t reps_large = bench::effective_reps(opts, 60);
+
+  Timer timer;
+
+  run_family("Figure 10: 32 bins of capacities 1 and 2", 32, 2, {0, 8, 16, 24, 32},
+             reps_small, mix_seed(opts.seed, 10), opts, "fig10_profiles.csv",
+             /*per_class=*/false);
+
+  run_family("Figures 11-13: " + std::to_string(n_large) + " bins of capacities 1 and 8",
+             n_large, 8,
+             {0, n_large / 4, n_large / 2, 3 * n_large / 4, n_large}, reps_large,
+             mix_seed(opts.seed, 11), opts, "fig11_13_profiles.csv", /*per_class=*/true);
+
+  bench::finish("fig10_13", timer, reps_large);
+  return 0;
+}

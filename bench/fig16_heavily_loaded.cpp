@@ -1,0 +1,98 @@
+/// Figure 16: the heavily loaded case on randomised capacities. For total
+/// capacities CAP in {1, 2, 5, 10} * n, throw 100 * CAP balls and record
+/// (current max load - current average load) after every CAP balls.
+/// Expected shape: a bundle of ~flat parallel lines, ordered by CAP (larger
+/// total capacity => smaller deviation), demonstrating that the deviation is
+/// independent of the number of balls thrown.
+///
+/// Substitution note: the paper uses n = 10,000; the default here is
+/// n = 2,500 so the 100*CAP = 2.5M-ball runs stay laptop-sized. The measured
+/// quantity is m-independent by construction, and its CAP ordering is
+/// preserved (--n 10000 restores the paper's exact setting).
+
+#include <iostream>
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "fig16_heavily_loaded: Figure 16 - deviation of max load from average as a "
+      "function of balls thrown (100 checkpoints), CAP in {1,2,5,10} * n.");
+  bench::register_common(cli, /*default_seed=*/0xF1616);
+  cli.add_int("n", 2500, "number of bins (paper: 10000)");
+  cli.add_int("checkpoints", 100, "number of checkpoints (balls = checkpoints * CAP)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto checkpoints = static_cast<std::uint64_t>(cli.get_int("checkpoints"));
+  const std::uint64_t reps = bench::effective_reps(opts, 20);  // paper: 10,000
+
+  Timer timer;
+  const std::vector<std::uint64_t> cap_multipliers = {1, 2, 5, 10};
+
+  // traces[k][i] = mean gap after (i+1)*CAP balls for CAP = mult[k]*n.
+  std::vector<std::vector<double>> traces;
+  for (const std::uint64_t mult : cap_multipliers) {
+    // Randomised capacities with mean `mult` (Section 4.2 generator); for
+    // mult = 1 all bins are unit, for larger mult the support {1..8} applies
+    // (mult = 10 exceeds the generator's mean range, so scale a mean-5 array
+    // by 2 — preserving the randomised character and the total capacity).
+    std::vector<std::uint64_t> caps;
+    Xoshiro256StarStar cap_rng(mix_seed(opts.seed, 1000 + mult));
+    if (mult <= 8) {
+      caps = binomial_capacities(n, static_cast<double>(mult), cap_rng);
+    } else {
+      caps = binomial_capacities(n, static_cast<double>(mult) / 2.0, cap_rng);
+      for (auto& c : caps) c *= 2;
+    }
+
+    const std::uint64_t CAP = std::accumulate(caps.begin(), caps.end(), std::uint64_t{0});
+    ExperimentConfig exp;
+    exp.replications = reps;
+    exp.base_seed = mix_seed(opts.seed, mult);
+    traces.push_back(mean_gap_trace(caps, SelectionPolicy::proportional_to_capacity(),
+                                    GameConfig{}, checkpoints * CAP, CAP, exp));
+  }
+
+  TextTable table("Figure 16: current max load - current average, n=" + std::to_string(n) +
+                  ", 100 checkpoints (reps=" + std::to_string(reps) + ")");
+  table.set_header({"balls (x CAP)", "CAP=1n", "CAP=2n", "CAP=5n", "CAP=10n"});
+  for (std::uint64_t i = 0; i < checkpoints; i += 5) {
+    table.add_row({TextTable::num(i + 1), TextTable::num(traces[0][i]),
+                   TextTable::num(traces[1][i]), TextTable::num(traces[2][i]),
+                   TextTable::num(traces[3][i])});
+  }
+  if (!opts.quiet) std::cout << table;
+
+  // Headline: flatness (late minus early gap) per series.
+  TextTable head("Figure 16 headline: trace flatness (mean of last 10 - mean of first 10)");
+  head.set_header({"CAP", "early gap", "late gap", "difference"});
+  for (std::size_t k = 0; k < cap_multipliers.size(); ++k) {
+    double early = 0.0;
+    double late = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      early += traces[k][i];
+      late += traces[k][traces[k].size() - 1 - i];
+    }
+    early /= 10.0;
+    late /= 10.0;
+    head.add_row({std::to_string(cap_multipliers[k]) + "n", TextTable::num(early),
+                  TextTable::num(late), TextTable::num(late - early)});
+  }
+  std::cout << head;
+
+  if (auto csv = maybe_csv(opts.csv_dir, "fig16_heavy_traces.csv")) {
+    csv->header({"checkpoint", "cap_1n", "cap_2n", "cap_5n", "cap_10n"});
+    for (std::uint64_t i = 0; i < checkpoints; ++i) {
+      csv->row_numeric({static_cast<double>(i + 1), traces[0][i], traces[1][i], traces[2][i],
+                        traces[3][i]});
+    }
+  }
+
+  bench::finish("fig16", timer, reps);
+  return 0;
+}

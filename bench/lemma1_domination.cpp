@@ -1,0 +1,86 @@
+/// Lemma 1: the heterogeneous process P (n bins, total capacity C) is
+/// stochastically dominated by the unit-bin process Q (C bins). This bench
+/// samples both max-load distributions across several capacity mixes and
+/// prints means and quantiles side by side — P must sit at or below Q
+/// everywhere.
+
+#include <iostream>
+#include <numeric>
+
+#include "baselines/greedy_uniform.hpp"
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "lemma1_domination: Lemma 1 - max load of the heterogeneous process P vs the "
+      "dominating unit-bin process Q on C bins, across capacity mixes.");
+  bench::register_common(cli, /*default_seed=*/0x1E111);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const std::uint64_t reps = bench::effective_reps(opts, 300);
+
+  Timer timer;
+
+  struct Mix {
+    std::string label;
+    std::vector<std::uint64_t> caps;
+  };
+  const std::vector<Mix> mixes = {
+      {"600x1 + 50x8", two_class_capacities(600, 1, 50, 8)},
+      {"900x1 + 10x100", two_class_capacities(900, 1, 10, 100)},
+      {"uniform 250x4", uniform_capacities(250, 4)},
+      {"1000x1 (sanity: P == Q)", uniform_capacities(1000, 1)},
+  };
+
+  TextTable table("Lemma 1: P (heterogeneous) vs Q (unit bins on C), d=2, m=C (reps=" +
+                  std::to_string(reps) + ")");
+  table.set_header({"mix", "C", "P mean", "Q mean", "P q95", "Q q95", "P worst", "Q worst"});
+  auto csv = maybe_csv(opts.csv_dir, "lemma1_domination.csv");
+  if (csv) {
+    csv->header({"mix", "C", "p_mean", "q_mean", "p_q95", "q_q95", "p_max", "q_max"});
+  }
+
+  for (const auto& mix : mixes) {
+    const std::uint64_t C =
+        std::accumulate(mix.caps.begin(), mix.caps.end(), std::uint64_t{0});
+
+    std::vector<double> p_vals;
+    const BinSampler sampler =
+        BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), mix.caps);
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      BinArray bins(mix.caps);
+      Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, C), r));
+      play_game(bins, sampler, GameConfig{}, rng);
+      p_vals.push_back(bins.max_load().value());
+    }
+
+    std::vector<double> q_vals;
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, C + 1), r));
+      q_vals.push_back(static_cast<double>(greedy_uniform_max_load(C, C, 2, rng)));
+    }
+
+    RunningStats p_stats;
+    RunningStats q_stats;
+    for (const double v : p_vals) p_stats.add(v);
+    for (const double v : q_vals) q_stats.add(v);
+
+    table.add_row({mix.label, TextTable::num(C), TextTable::num(p_stats.mean()),
+                   TextTable::num(q_stats.mean()), TextTable::num(quantile(p_vals, 0.95)),
+                   TextTable::num(quantile(q_vals, 0.95)), TextTable::num(p_stats.max()),
+                   TextTable::num(q_stats.max())});
+    if (csv) {
+      csv->row({mix.label, TextTable::num(C), TextTable::num(p_stats.mean()),
+                TextTable::num(q_stats.mean()), TextTable::num(quantile(p_vals, 0.95)),
+                TextTable::num(quantile(q_vals, 0.95)), TextTable::num(p_stats.max()),
+                TextTable::num(q_stats.max())});
+    }
+  }
+
+  if (!opts.quiet) std::cout << table;
+  bench::finish("lemma1_domination", timer, reps);
+  return 0;
+}

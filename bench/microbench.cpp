@@ -1,0 +1,140 @@
+/// google-benchmark micro-benchmarks for the inner loops: RNG throughput,
+/// alias-table sampling, single-ball placement, and full-game throughput in
+/// balls/second across array shapes. These guard the constant factors that
+/// make the figure harnesses laptop-feasible.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "baselines/greedy_uniform.hpp"
+#include "core/nubb.hpp"
+
+namespace {
+
+using namespace nubb;
+
+void BM_Xoshiro_Next(benchmark::State& state) {
+  Xoshiro256StarStar rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro_Next);
+
+void BM_Xoshiro_Bounded(benchmark::State& state) {
+  Xoshiro256StarStar rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bounded(10000));
+  }
+}
+BENCHMARK(BM_Xoshiro_Bounded);
+
+void BM_AliasTable_Sample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = static_cast<double>(1 + i % 8);
+  const AliasTable table(weights);
+  Xoshiro256StarStar rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTable_Sample)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_AliasTable_Build(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = static_cast<double>(1 + i % 8);
+  for (auto _ : state) {
+    const AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AliasTable_Build)->Arg(10000)->Arg(100000);
+
+void BM_PlaceOneBall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto caps = two_class_capacities(n - n / 10, 1, n / 10, 8);
+  BinArray bins(caps);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(3);
+  GameConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place_one_ball(bins, sampler, cfg, rng));
+    if (bins.total_balls() >= 64 * bins.total_capacity()) {
+      state.PauseTiming();
+      bins.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlaceOneBall)->Arg(1000)->Arg(100000);
+
+void BM_FullGame_MixedArray(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto caps = two_class_capacities(n / 2, 1, n / 2, 8);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(4);
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    BinArray bins(caps);
+    play_game(bins, sampler, GameConfig{}, rng);
+    balls += bins.total_balls();
+    benchmark::DoNotOptimize(bins.max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
+}
+BENCHMARK(BM_FullGame_MixedArray)->Arg(1000)->Arg(10000);
+
+void BM_FullGame_ChoiceCount(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const auto caps = uniform_capacities(4096, 2);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(5);
+  GameConfig cfg;
+  cfg.choices = d;
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    BinArray bins(caps);
+    play_game(bins, sampler, cfg, rng);
+    balls += bins.total_balls();
+    benchmark::DoNotOptimize(bins.max_load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
+}
+BENCHMARK(BM_FullGame_ChoiceCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GreedyUniform_Baseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256StarStar rng(6);
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_uniform_max_load(n, n, 2, rng));
+    balls += n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
+}
+BENCHMARK(BM_GreedyUniform_Baseline)->Arg(1000)->Arg(100000);
+
+void BM_SlotVector_Normalise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto caps = two_class_capacities(n / 2, 1, n / 2, 8);
+  BinArray bins(caps);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(7);
+  play_game(bins, sampler, GameConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalized_slot_load_vector(bins));
+  }
+}
+BENCHMARK(BM_SlotVector_Normalise)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,120 @@
+/// Theorem 3 as a scaling experiment: max load vs n for d in {2, 3, 4} on
+/// randomised heterogeneous arrays, against (a) the ln ln n / ln d + O(1)
+/// prediction and (b) the unit-bin Greedy[d] baseline on C bins (the
+/// dominating process of Lemma 1). Also contrasts the capacity-aware model
+/// with Wieder's skew-probability/uniform-capacity setting, where the gap
+/// grows with m instead of staying flat.
+
+#include <iostream>
+#include <numeric>
+
+#include "baselines/greedy_uniform.hpp"
+#include "baselines/wieder.hpp"
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+#include "theory/bounds.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "thm3_maxload_scaling: Theorem 3 - max load scaling in n and d on randomised "
+      "heterogeneous arrays vs the lnln(n)/ln(d) prediction and the unit-bin "
+      "dominating process, plus the Wieder-model contrast.");
+  bench::register_common(cli, /*default_seed=*/0x7733);
+  cli.add_double("mean-cap", 3.0, "mean randomised capacity (1..8)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const double mean_cap = cli.get_double("mean-cap");
+  const std::uint64_t reps = bench::effective_reps(opts, 50);
+
+  Timer timer;
+
+  TextTable table("Theorem 3: max load vs n and d (randomised capacities, mean " +
+                  TextTable::num(mean_cap, 1) + ", m=C, reps=" + std::to_string(reps) + ")");
+  table.set_header({"n", "d", "measured mean", "measured worst", "lnln(n)/ln(d)+4 bound",
+                    "unit-bin Q mean"});
+  auto csv = maybe_csv(opts.csv_dir, "thm3_scaling.csv");
+  if (csv) csv->header({"n", "d", "mean_max", "worst_max", "bound", "unit_bin_mean"});
+
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    Xoshiro256StarStar cap_rng(mix_seed(opts.seed, n));
+    const auto caps = binomial_capacities(n, mean_cap, cap_rng);
+    const std::uint64_t C = std::accumulate(caps.begin(), caps.end(), std::uint64_t{0});
+    // Keep per-point work bounded: big n gets fewer reps.
+    const std::uint64_t point_reps =
+        std::max<std::uint64_t>(5, std::min<std::uint64_t>(reps, 20000000 / C));
+
+    for (const std::uint32_t d : {2u, 3u, 4u}) {
+      GameConfig cfg;
+      cfg.choices = d;
+      ExperimentConfig exp;
+      exp.replications = point_reps;
+      exp.base_seed = mix_seed(opts.seed, n * 10 + d);
+      const Summary s =
+          max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp);
+
+      // The dominating process Q: Greedy[d] on C unit bins.
+      RunningStats q_stats;
+      for (std::uint64_t r = 0; r < point_reps; ++r) {
+        Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, 999 + d), r));
+        q_stats.add(greedy_uniform_max_load(C, C, d, rng));
+      }
+
+      const double bound = bounds::theorem3_bound(static_cast<double>(n), d, 4.0);
+      table.add_row({TextTable::num(static_cast<std::uint64_t>(n)), TextTable::num(d, 0),
+                     TextTable::num(s.mean), TextTable::num(s.max), TextTable::num(bound),
+                     TextTable::num(q_stats.mean())});
+      if (csv) {
+        csv->row_numeric({static_cast<double>(n), static_cast<double>(d), s.mean, s.max,
+                          bound, q_stats.mean()});
+      }
+    }
+  }
+  if (!opts.quiet) std::cout << table;
+
+  // --- Contrast with Wieder's setting ------------------------------------------
+  // Capacity-aware heterogeneity (this paper): gap flat in m.
+  // Probability-only heterogeneity (Wieder): gap grows with m.
+  TextTable contrast("Contrast: gap growth in m, capacity-aware (this paper) vs "
+                     "probability-skew on uniform bins (Wieder)");
+  contrast.set_header({"balls (x n)", "this paper: max-avg", "wieder skew=3: max-avg"});
+  const std::size_t wn = 512;
+  Xoshiro256StarStar cap_rng(mix_seed(opts.seed, 4242));
+  const auto wcaps = binomial_capacities(wn, 3.0, cap_rng);
+  const std::uint64_t wC = std::accumulate(wcaps.begin(), wcaps.end(), std::uint64_t{0});
+
+  ExperimentConfig wexp;
+  wexp.replications = std::max<std::uint64_t>(10, reps / 2);
+  wexp.base_seed = mix_seed(opts.seed, 515);
+  const auto paper_trace =
+      mean_gap_trace(wcaps, SelectionPolicy::proportional_to_capacity(), GameConfig{},
+                     40 * wC, 2 * wC, wexp);
+
+  // Wieder: same ball schedule on wn unit bins with linearly skewed
+  // probabilities (top bin 4x as likely as the bottom one).
+  VectorMeanCollector wieder_acc;
+  for (std::uint64_t r = 0; r < wexp.replications; ++r) {
+    Xoshiro256StarStar rng(seed_for_replication(mix_seed(opts.seed, 616), r));
+    wieder_acc.add(wieder_gap_trace(linear_skew_probabilities(wn, 3.0), 40 * wC, 2 * wC, 2,
+                                    rng));
+  }
+  const auto wieder_trace = wieder_acc.mean();
+
+  for (std::size_t i = 0; i < paper_trace.size(); ++i) {
+    contrast.add_row({TextTable::num(static_cast<std::uint64_t>((i + 1) * 2 * wC / wn)),
+                      TextTable::num(paper_trace[i]), TextTable::num(wieder_trace[i])});
+  }
+  if (!opts.quiet) std::cout << contrast;
+
+  if (auto csv2 = maybe_csv(opts.csv_dir, "thm3_wieder_contrast.csv")) {
+    csv2->header({"balls_per_bin", "paper_gap", "wieder_gap"});
+    for (std::size_t i = 0; i < paper_trace.size(); ++i) {
+      csv2->row_numeric({static_cast<double>((i + 1) * 2 * wC / wn), paper_trace[i],
+                         wieder_trace[i]});
+    }
+  }
+
+  bench::finish("thm3_scaling", timer, reps);
+  return 0;
+}

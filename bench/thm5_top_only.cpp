@@ -1,0 +1,68 @@
+/// Theorem 5: if a constant fraction alpha of the bins has capacity
+/// q(n) = Omega(ln ln n), putting all probability mass on exactly those bins
+/// gives a constant maximum load. Sweep alpha and q; compare the top-only
+/// distribution against the proportional default and the theorem's
+/// k/alpha + lnln(n)/q bound.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/nubb.hpp"
+#include "theory/bounds.hpp"
+
+using namespace nubb;
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "thm5_top_only: Theorem 5 - constant max load from a top-capacity-only "
+      "probability distribution, vs the proportional default.");
+  bench::register_common(cli, /*default_seed=*/0x755);
+  cli.add_int("n", 2000, "number of bins");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto opts = bench::read_common(cli);
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const std::uint64_t reps = bench::effective_reps(opts, 150);
+
+  Timer timer;
+
+  TextTable table("Theorem 5: top-only distribution vs proportional (n=" +
+                  std::to_string(n) + ", m=C, reps=" + std::to_string(reps) + ")");
+  table.set_header({"alpha", "q", "proportional mean max", "top-only mean max",
+                    "top-only worst", "Thm-5 bound k/a + lnln/q"});
+  auto csv = maybe_csv(opts.csv_dir, "thm5_top_only.csv");
+  if (csv) {
+    csv->header({"alpha", "q", "proportional_mean", "top_only_mean", "top_only_worst",
+                 "bound"});
+  }
+
+  for (const double alpha : {0.25, 0.5, 0.75}) {
+    for (const std::uint64_t q : {4ull, 8ull, 16ull}) {
+      const auto big = static_cast<std::size_t>(static_cast<double>(n) * alpha);
+      const auto caps = two_class_capacities(n - big, 1, big, q);
+
+      ExperimentConfig exp;
+      exp.replications = reps;
+      exp.base_seed = mix_seed(opts.seed, static_cast<std::uint64_t>(alpha * 100) * 100 + q);
+
+      const Summary prop = max_load_summary(
+          caps, SelectionPolicy::proportional_to_capacity(), GameConfig{}, exp);
+      const Summary top =
+          max_load_summary(caps, SelectionPolicy::top_capacity_only(q), GameConfig{}, exp);
+      // k = m / C = 1 here.
+      const double bound =
+          bounds::theorem5_bound(1.0, alpha, static_cast<double>(q), static_cast<double>(n));
+
+      table.add_row({TextTable::num(alpha, 2), TextTable::num(q), TextTable::num(prop.mean),
+                     TextTable::num(top.mean), TextTable::num(top.max),
+                     TextTable::num(bound)});
+      if (csv) {
+        csv->row_numeric({alpha, static_cast<double>(q), prop.mean, top.mean, top.max,
+                          bound});
+      }
+    }
+  }
+
+  if (!opts.quiet) std::cout << table;
+  bench::finish("thm5_top_only", timer, reps);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "baselines/capacity_greedy.hpp"
+
+#include "core/load.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+
+std::vector<std::uint64_t> capacity_greedy_loads(const BinSampler& sampler,
+                                                 const std::vector<std::uint64_t>& capacities,
+                                                 std::uint64_t m, std::uint32_t d,
+                                                 Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
+  NUBB_REQUIRE_MSG(sampler.size() == capacities.size(),
+                   "sampler and capacity vector size mismatch");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(d <= kMaxChoices, "more than 64 choices per ball");
+
+  std::vector<std::uint64_t> balls(capacities.size(), 0);
+  std::size_t ties[kMaxChoices];
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::size_t tie_count = 0;
+    std::uint64_t best_cap = 0;
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const std::size_t candidate = sampler.sample(rng);
+      const std::uint64_t cap = capacities[candidate];
+      if (tie_count == 0 || cap > best_cap) {
+        best_cap = cap;
+        ties[0] = candidate;
+        tie_count = 1;
+      } else if (cap == best_cap) {
+        bool duplicate = false;
+        for (std::size_t i = 0; i < tie_count; ++i) {
+          if (ties[i] == candidate) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) ties[tie_count++] = candidate;
+      }
+    }
+    const std::size_t dest = tie_count == 1 ? ties[0] : ties[rng.bounded(tie_count)];
+    ++balls[dest];
+  }
+  return balls;
+}
+
+double capacity_greedy_max_load(const BinSampler& sampler,
+                                const std::vector<std::uint64_t>& capacities, std::uint64_t m,
+                                std::uint32_t d, Xoshiro256StarStar& rng) {
+  const auto balls = capacity_greedy_loads(sampler, capacities, m, d, rng);
+  Load best{0, 1};
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    const Load l{balls[i], capacities[i]};
+    if (best < l) best = l;
+  }
+  return best.value();
+}
+
+}  // namespace nubb

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file capacity_greedy.hpp
+/// The "anti-ablation" of Algorithm 1: a ball inspects d candidates and
+/// joins the one with the *largest capacity*, ignoring loads entirely
+/// (capacity ties uniform). Algorithm 1 uses capacity only to break load
+/// ties; this baseline shows what happens when capacity is the whole
+/// signal — big bins become hotspots as soon as they are scarce, which is
+/// precisely why the paper's rule looks at loads first.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Throw m balls; each joins the largest-capacity bin among its d draws
+/// (ties uniform). Returns per-bin ball counts.
+/// \pre d >= 1, sampler.size() == capacities.size().
+std::vector<std::uint64_t> capacity_greedy_loads(const BinSampler& sampler,
+                                                 const std::vector<std::uint64_t>& capacities,
+                                                 std::uint64_t m, std::uint32_t d,
+                                                 Xoshiro256StarStar& rng);
+
+/// Maximum load (balls/capacity) of the capacity-greedy process.
+double capacity_greedy_max_load(const BinSampler& sampler,
+                                const std::vector<std::uint64_t>& capacities, std::uint64_t m,
+                                std::uint32_t d, Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,102 @@
+#include "baselines/consistent_hashing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+ConsistentHashRing::ConsistentHashRing(std::size_t peers, Xoshiro256StarStar& rng,
+                                       std::size_t virtual_nodes)
+    : peers_(peers) {
+  NUBB_REQUIRE_MSG(peers >= 1, "ring needs at least one peer");
+  NUBB_REQUIRE_MSG(virtual_nodes >= 1, "ring needs at least one virtual node per peer");
+
+  const std::size_t total_points = peers * virtual_nodes;
+  std::vector<std::pair<double, std::uint32_t>> placed;
+  placed.reserve(total_points);
+  for (std::size_t p = 0; p < peers; ++p) {
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      placed.emplace_back(rng.next_double(), static_cast<std::uint32_t>(p));
+    }
+  }
+  std::sort(placed.begin(), placed.end());
+
+  points_.reserve(total_points);
+  point_owner_.reserve(total_points);
+  for (const auto& [pos, peer] : placed) {
+    points_.push_back(pos);
+    point_owner_.push_back(peer);
+  }
+}
+
+std::size_t ConsistentHashRing::owner(double x) const {
+  NUBB_REQUIRE_MSG(x >= 0.0 && x < 1.0, "ring point out of [0,1)");
+  // First ring point at or after x; wrap to the first point past 1.
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  const std::size_t idx =
+      it == points_.end() ? 0 : static_cast<std::size_t>(std::distance(points_.begin(), it));
+  return point_owner_[idx];
+}
+
+std::vector<double> ConsistentHashRing::arc_lengths() const {
+  std::vector<double> arcs(peers_, 0.0);
+  // Point i owns the arc (points_[i-1], points_[i]]; point 0 additionally
+  // wraps around past 1.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double prev = i == 0 ? points_.back() - 1.0 : points_[i - 1];
+    arcs[point_owner_[i]] += points_[i] - prev;
+  }
+  return arcs;
+}
+
+double ConsistentHashRing::max_to_average_arc_ratio() const {
+  const std::vector<double> arcs = arc_lengths();
+  const double maximum = *std::max_element(arcs.begin(), arcs.end());
+  const double average = 1.0 / static_cast<double>(peers_);
+  return maximum / average;
+}
+
+std::vector<std::uint64_t> ring_game(const ConsistentHashRing& ring, std::uint64_t m,
+                                     std::uint32_t d, Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(d <= kMaxChoices, "more than 64 choices per ball");
+
+  std::vector<std::uint64_t> balls(ring.peers(), 0);
+  std::size_t ties[kMaxChoices];
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::size_t tie_count = 0;
+    std::uint64_t best_load = 0;
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const std::size_t peer = ring.owner(rng.next_double());
+      const std::uint64_t load = balls[peer];
+      if (tie_count == 0 || load < best_load) {
+        best_load = load;
+        ties[0] = peer;
+        tie_count = 1;
+      } else if (load == best_load) {
+        bool duplicate = false;
+        for (std::size_t i = 0; i < tie_count; ++i) {
+          if (ties[i] == peer) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) ties[tie_count++] = peer;
+      }
+    }
+    const std::size_t dest = tie_count == 1 ? ties[0] : ties[rng.bounded(tie_count)];
+    ++balls[dest];
+  }
+  return balls;
+}
+
+std::uint64_t ring_game_max(const ConsistentHashRing& ring, std::uint64_t m, std::uint32_t d,
+                            Xoshiro256StarStar& rng) {
+  const std::vector<std::uint64_t> balls = ring_game(ring, m, d, rng);
+  return *std::max_element(balls.begin(), balls.end());
+}
+
+}  // namespace nubb

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file consistent_hashing.hpp
+/// The Byers / Considine / Mitzenmacher setting that motivates the paper:
+/// peers are random points on the unit ring (Consistent Hashing, Karger et
+/// al.); a request hashed to x is served by the first peer *clockwise* from
+/// x, so each peer owns the arc between its predecessor point and its own.
+/// Arc lengths are exponential-ish and the longest is ~log(n) times the
+/// average, i.e. the selection probabilities are highly non-uniform even
+/// though the peers are identical.
+///
+/// `ring_game` applies the power-of-d-choices fix of Byers et al.: each ball
+/// hashes d points and joins a least-loaded owner. This is the related-work
+/// baseline against which the paper's heterogeneous-capacity setting is
+/// positioned (there the imbalance is *wanted* and capacity-weighted).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// A consistent-hashing ring with `peers` peers placed i.u.r. on [0, 1).
+/// Optionally each peer is represented by `virtual_nodes` points (the
+/// classical variance-reduction trick; 1 reproduces the paper's setting).
+class ConsistentHashRing {
+ public:
+  /// \pre peers >= 1, virtual_nodes >= 1.
+  ConsistentHashRing(std::size_t peers, Xoshiro256StarStar& rng,
+                     std::size_t virtual_nodes = 1);
+
+  std::size_t peers() const noexcept { return peers_; }
+
+  /// Owner of point x in [0, 1): the peer whose ring point is the first at
+  /// or after x (wrapping at 1).
+  std::size_t owner(double x) const;
+
+  /// Total arc length owned by each peer (sums to 1). This is exactly the
+  /// selection probability vector the ring induces.
+  std::vector<double> arc_lengths() const;
+
+  /// Longest arc / average arc; Theta(log n) in expectation for 1 virtual
+  /// node, shrinking as virtual nodes are added.
+  double max_to_average_arc_ratio() const;
+
+ private:
+  std::size_t peers_;
+  std::vector<double> points_;          // sorted ring positions
+  std::vector<std::uint32_t> point_owner_;  // peer of points_[i]
+};
+
+/// The d-choice game on the ring: each of m balls hashes d i.u.r. points,
+/// maps them to owners and joins an owner with the fewest balls (ties
+/// uniform). Returns per-peer ball counts.
+std::vector<std::uint64_t> ring_game(const ConsistentHashRing& ring, std::uint64_t m,
+                                     std::uint32_t d, Xoshiro256StarStar& rng);
+
+/// Maximum ball count of a ring game (convenience).
+std::uint64_t ring_game_max(const ConsistentHashRing& ring, std::uint64_t m, std::uint32_t d,
+                            Xoshiro256StarStar& rng);
+
+}  // namespace nubb

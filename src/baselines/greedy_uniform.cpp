@@ -1,0 +1,66 @@
+#include "baselines/greedy_uniform.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+namespace {
+
+/// Shared inner loop; `track` receives the destination's new ball count.
+template <typename OnPlace>
+void run_greedy(std::size_t n, std::uint64_t m, std::uint32_t d, Xoshiro256StarStar& rng,
+                std::vector<std::uint32_t>& balls, OnPlace on_place) {
+  NUBB_REQUIRE_MSG(n >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
+
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(d <= kMaxChoices, "more than 64 choices per ball");
+  std::size_t ties[kMaxChoices];
+
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::size_t tie_count = 0;
+    std::uint32_t best_load = 0;
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const auto candidate = static_cast<std::size_t>(rng.bounded(n));
+      const std::uint32_t load = balls[candidate];
+      if (tie_count == 0 || load < best_load) {
+        best_load = load;
+        ties[0] = candidate;
+        tie_count = 1;
+      } else if (load == best_load) {
+        bool duplicate = false;
+        for (std::size_t i = 0; i < tie_count; ++i) {
+          if (ties[i] == candidate) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) ties[tie_count++] = candidate;
+      }
+    }
+    const std::size_t dest = tie_count == 1 ? ties[0] : ties[rng.bounded(tie_count)];
+    on_place(++balls[dest]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> greedy_uniform_loads(std::size_t n, std::uint64_t m, std::uint32_t d,
+                                                Xoshiro256StarStar& rng) {
+  std::vector<std::uint32_t> balls(n, 0);
+  run_greedy(n, m, d, rng, balls, [](std::uint32_t) {});
+  return balls;
+}
+
+std::uint32_t greedy_uniform_max_load(std::size_t n, std::uint64_t m, std::uint32_t d,
+                                      Xoshiro256StarStar& rng) {
+  std::vector<std::uint32_t> balls(n, 0);
+  std::uint32_t max_load = 0;
+  run_greedy(n, m, d, rng, balls,
+             [&max_load](std::uint32_t placed) { max_load = std::max(max_load, placed); });
+  return max_load;
+}
+
+}  // namespace nubb

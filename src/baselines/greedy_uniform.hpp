@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file greedy_uniform.hpp
+/// The classic Greedy[d] process of Azar, Broder, Karlin, Upfal on n
+/// *unit-capacity* bins with *uniform* choice probabilities.
+///
+/// This is deliberately an independent, minimal implementation (dense
+/// uint32 ball counters, no rational arithmetic) rather than a call into the
+/// core library:
+///  * it serves as the Q process of Lemma 1 (m balls into C unit bins) for
+///    the stochastic-domination bench and tests;
+///  * it cross-validates the core protocol: with all capacities 1, the core
+///    game must match this process in distribution;
+///  * it is the speed-of-light baseline for the micro-benchmarks.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Play Greedy[d]: throw m balls into n unit bins, each ball inspects d
+/// uniform independent bins and joins a least-loaded one (ties uniform).
+/// Returns the final ball-count vector.
+/// \pre n >= 1, d >= 1.
+std::vector<std::uint32_t> greedy_uniform_loads(std::size_t n, std::uint64_t m, std::uint32_t d,
+                                                Xoshiro256StarStar& rng);
+
+/// Same game, but only the maximum ball count (no O(n) result allocation).
+std::uint32_t greedy_uniform_max_load(std::size_t n, std::uint64_t m, std::uint32_t d,
+                                      Xoshiro256StarStar& rng);
+
+}  // namespace nubb

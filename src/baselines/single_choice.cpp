@@ -1,0 +1,29 @@
+#include "baselines/single_choice.hpp"
+
+#include "core/load.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+
+std::vector<std::uint64_t> single_choice_loads(const BinSampler& sampler, std::uint64_t m,
+                                               Xoshiro256StarStar& rng) {
+  std::vector<std::uint64_t> balls(sampler.size(), 0);
+  for (std::uint64_t i = 0; i < m; ++i) ++balls[sampler.sample(rng)];
+  return balls;
+}
+
+double single_choice_max_load(const BinSampler& sampler,
+                              const std::vector<std::uint64_t>& capacities, std::uint64_t m,
+                              Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(sampler.size() == capacities.size(),
+                   "sampler and capacity vector size mismatch");
+  const std::vector<std::uint64_t> balls = single_choice_loads(sampler, m, rng);
+  Load best{0, 1};
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    const Load l{balls[i], capacities[i]};
+    if (best < l) best = l;
+  }
+  return best.value();
+}
+
+}  // namespace nubb

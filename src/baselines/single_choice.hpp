@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file single_choice.hpp
+/// The d = 1 process: each ball joins the one bin it draws. No balancing at
+/// all — the classic Theta(log n / log log n) maximum for m = n uniform bins,
+/// and the natural "do nothing" baseline for every figure.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Throw m balls, one sampler draw each; returns per-bin ball counts.
+std::vector<std::uint64_t> single_choice_loads(const BinSampler& sampler, std::uint64_t m,
+                                               Xoshiro256StarStar& rng);
+
+/// Maximum *load* (balls / capacity) of the single-choice process on bins
+/// with the given capacities, sampling bins from `sampler`.
+/// \pre sampler.size() == capacities.size().
+double single_choice_max_load(const BinSampler& sampler,
+                              const std::vector<std::uint64_t>& capacities, std::uint64_t m,
+                              Xoshiro256StarStar& rng);
+
+}  // namespace nubb

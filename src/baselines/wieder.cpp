@@ -1,0 +1,70 @@
+#include "baselines/wieder.hpp"
+
+#include <algorithm>
+
+#include "util/alias_table.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+
+std::vector<double> linear_skew_probabilities(std::size_t n, double skew) {
+  NUBB_REQUIRE_MSG(n >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(skew >= 0.0, "skew must be non-negative");
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double position = n == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    w[i] = 1.0 + skew * position;
+  }
+  return w;
+}
+
+std::vector<double> wieder_gap_trace(const std::vector<double>& probabilities,
+                                     std::uint64_t total_balls, std::uint64_t interval,
+                                     std::uint32_t d, Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(interval > 0, "need a positive checkpoint interval");
+  NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(d <= kMaxChoices, "more than 64 choices per ball");
+
+  const AliasTable table(probabilities);
+  const std::size_t n = probabilities.size();
+  std::vector<std::uint64_t> balls(n, 0);
+  std::uint64_t max_balls = 0;
+
+  std::vector<double> trace;
+  trace.reserve((total_balls + interval - 1) / interval);
+
+  std::size_t ties[kMaxChoices];
+  for (std::uint64_t ball = 1; ball <= total_balls; ++ball) {
+    std::size_t tie_count = 0;
+    std::uint64_t best_load = 0;
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const std::size_t candidate = table.sample(rng);
+      const std::uint64_t load = balls[candidate];
+      if (tie_count == 0 || load < best_load) {
+        best_load = load;
+        ties[0] = candidate;
+        tie_count = 1;
+      } else if (load == best_load) {
+        bool duplicate = false;
+        for (std::size_t i = 0; i < tie_count; ++i) {
+          if (ties[i] == candidate) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) ties[tie_count++] = candidate;
+      }
+    }
+    const std::size_t dest = tie_count == 1 ? ties[0] : ties[rng.bounded(tie_count)];
+    max_balls = std::max(max_balls, ++balls[dest]);
+
+    if (ball % interval == 0 || ball == total_balls) {
+      const double average = static_cast<double>(ball) / static_cast<double>(n);
+      trace.push_back(static_cast<double>(max_balls) - average);
+    }
+  }
+  return trace;
+}
+
+}  // namespace nubb

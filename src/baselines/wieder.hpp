@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file wieder.hpp
+/// Wieder's setting (SPAA 2007): *uniform-capacity* bins chosen with
+/// *heterogeneous* probabilities, Greedy[d] on ball counts. Wieder showed
+/// that with fixed d the max-minus-average gap grows with m (unlike the
+/// uniform case), and that growing d with the probability skew restores the
+/// m-independent gap. The `thm3_maxload_scaling` bench contrasts this
+/// behaviour with the paper's capacity-aware model, where the skew is
+/// *matched* by capacity and the gap stays flat.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Probability vector with a controlled skew: bin i gets weight
+/// (1 + skew * i / (n-1)), normalised. skew = 0 is uniform; skew = 1 means
+/// the most likely bin is twice as likely as the least likely — the
+/// "(1+eps)/n vs (1-eps)/n" shape Wieder analyses.
+/// \pre n >= 1, skew >= 0.
+std::vector<double> linear_skew_probabilities(std::size_t n, double skew);
+
+/// Run the heterogeneous-probability Greedy[d] on n unit bins, recording the
+/// gap (max balls - m/n) after every `interval` balls. Returns the trace.
+std::vector<double> wieder_gap_trace(const std::vector<double>& probabilities,
+                                     std::uint64_t total_balls, std::uint64_t interval,
+                                     std::uint32_t d, Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file batched.hpp
+/// Batched / parallel arrivals: balls arrive in rounds of `batch_size` and
+/// all decisions within a round observe the loads as of the round start
+/// (stale information). This models the parallel-dispatch setting of HPC
+/// and distributed systems where load reports propagate only between
+/// rounds; with batch_size = 1 the process is exactly the sequential game.
+///
+/// The paper's sequential analysis does not cover this mode; the
+/// `ext_batched_arrivals` bench measures how much staleness costs across
+/// heterogeneous arrays (the classic result for uniform bins: an additive
+/// O(batch/n) term — heterogeneity turns out not to change that shape).
+
+#include <cstdint>
+
+#include "core/game.hpp"
+
+namespace nubb {
+
+/// Play a game in batches: during each batch every candidate's load is
+/// evaluated against the ball counts *at the batch boundary*; allocations
+/// are applied immediately (so ball conservation holds) but invisible to
+/// decisions until the next boundary. Ties on the stale loads follow
+/// cfg.tie_break as usual.
+///
+/// \pre batch_size >= 1.
+GameResult play_batched_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
+                             std::uint64_t batch_size, Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,67 @@
+#include "core/bin_array.hpp"
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+BinArray::BinArray(std::vector<std::uint64_t> capacities) : capacities_(std::move(capacities)) {
+  NUBB_REQUIRE_MSG(!capacities_.empty(), "BinArray needs at least one bin");
+  for (const auto c : capacities_) {
+    NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+    total_capacity_ += c;
+  }
+  balls_.assign(capacities_.size(), 0);
+}
+
+void BinArray::remove_ball(std::size_t i) {
+  NUBB_REQUIRE_MSG(balls_[i] >= 1, "cannot remove a ball from an empty bin");
+  const bool was_max = Load{balls_[i], capacities_[i]} == max_load_;
+  --balls_[i];
+  --total_balls_;
+  if (was_max) {
+    // The maximum may have dropped; rescan (other bins may still attain it).
+    max_load_ = Load{0, 1};
+    argmax_ = 0;
+    for (std::size_t b = 0; b < balls_.size(); ++b) {
+      const Load l{balls_[b], capacities_[b]};
+      if (max_load_ < l) {
+        max_load_ = l;
+        argmax_ = b;
+      }
+    }
+  }
+}
+
+void BinArray::append_bins(const std::vector<std::uint64_t>& new_capacities) {
+  for (const auto c : new_capacities) {
+    NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+  }
+  for (const auto c : new_capacities) {
+    capacities_.push_back(c);
+    balls_.push_back(0);
+    total_capacity_ += c;
+  }
+}
+
+void BinArray::clear() noexcept {
+  balls_.assign(capacities_.size(), 0);
+  total_balls_ = 0;
+  max_load_ = Load{0, 1};
+  argmax_ = 0;
+}
+
+std::vector<double> BinArray::load_values() const {
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = load_value(i);
+  return out;
+}
+
+std::uint64_t BinArray::capacity_at_least(std::uint64_t threshold) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : capacities_) {
+    if (c >= threshold) total += c;
+  }
+  return total;
+}
+
+}  // namespace nubb

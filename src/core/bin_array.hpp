@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file bin_array.hpp
+/// The system state: `n` bins with positive integer capacities and the
+/// number of balls currently allocated to each.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/load.hpp"
+
+namespace nubb {
+
+/// Bins with integer capacities (paper Section 2). Stores capacities and
+/// per-bin ball counts; maintains the total capacity C and total ball count,
+/// and tracks the running maximum load online (loads only ever grow, so the
+/// maximum is monotone and can be maintained in O(1) per allocation).
+class BinArray {
+ public:
+  /// \pre capacities non-empty; every capacity >= 1.
+  explicit BinArray(std::vector<std::uint64_t> capacities);
+
+  std::size_t size() const noexcept { return capacities_.size(); }
+
+  std::uint64_t capacity(std::size_t i) const noexcept { return capacities_[i]; }
+  std::uint64_t balls(std::size_t i) const noexcept { return balls_[i]; }
+
+  /// Total capacity C = sum of capacities.
+  std::uint64_t total_capacity() const noexcept { return total_capacity_; }
+
+  /// Total number of balls currently allocated.
+  std::uint64_t total_balls() const noexcept { return total_balls_; }
+
+  /// Exact load of bin i.
+  Load load(std::size_t i) const noexcept { return Load{balls_[i], capacities_[i]}; }
+
+  /// Floating-point load of bin i (reporting only).
+  double load_value(std::size_t i) const noexcept { return load(i).value(); }
+
+  /// Average load = total_balls / total_capacity (the optimum when m = C
+  /// is 1 by construction).
+  double average_load() const noexcept {
+    return static_cast<double>(total_balls_) / static_cast<double>(total_capacity_);
+  }
+
+  /// Allocate one ball to bin i; O(1), updates the running maximum.
+  void add_ball(std::size_t i) noexcept {
+    ++balls_[i];
+    ++total_balls_;
+    const Load l{balls_[i], capacities_[i]};
+    if (max_load_ < l) {
+      max_load_ = l;
+      argmax_ = i;
+    }
+  }
+
+  /// Running maximum load (exact). {0, 1} when no ball has been allocated.
+  Load max_load() const noexcept { return max_load_; }
+
+  /// Index of a bin attaining the maximum load (the most recent one to reach
+  /// it). Meaningful only after at least one ball.
+  std::size_t argmax_bin() const noexcept { return argmax_; }
+
+  /// Remove one ball from bin i. O(1) unless bin i currently attains the
+  /// maximum load, in which case the maximum is recomputed by a full scan.
+  /// \pre balls(i) >= 1.
+  void remove_ball(std::size_t i);
+
+  /// Append new empty bins (dynamic growth, Section 4.3). Existing balls
+  /// and the running maximum are unaffected; the total capacity grows.
+  /// \pre every new capacity >= 1.
+  void append_bins(const std::vector<std::uint64_t>& new_capacities);
+
+  /// Remove all balls, keep capacities.
+  void clear() noexcept;
+
+  const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
+  const std::vector<std::uint64_t>& ball_counts() const noexcept { return balls_; }
+
+  /// All bin loads as doubles (reporting).
+  std::vector<double> load_values() const;
+
+  /// Sum of capacities of bins with capacity >= threshold (the paper's
+  /// C_b / C_s split for "big" vs "small" bins).
+  std::uint64_t capacity_at_least(std::uint64_t threshold) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> capacities_;
+  std::vector<std::uint64_t> balls_;
+  std::uint64_t total_capacity_ = 0;
+  std::uint64_t total_balls_ = 0;
+  Load max_load_{0, 1};
+  std::size_t argmax_ = 0;
+};
+
+}  // namespace nubb

@@ -1,0 +1,65 @@
+#include "core/builder.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace nubb {
+
+std::vector<std::uint64_t> uniform_capacities(std::size_t n, std::uint64_t c) {
+  NUBB_REQUIRE_MSG(n >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(c >= 1, "capacity must be positive");
+  return std::vector<std::uint64_t>(n, c);
+}
+
+std::vector<std::uint64_t> two_class_capacities(std::size_t n_small, std::uint64_t c_small,
+                                                std::size_t n_large, std::uint64_t c_large) {
+  NUBB_REQUIRE_MSG(n_small + n_large >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(c_small >= 1 && c_large >= 1, "capacities must be positive");
+  std::vector<std::uint64_t> caps;
+  caps.reserve(n_small + n_large);
+  caps.insert(caps.end(), n_small, c_small);
+  caps.insert(caps.end(), n_large, c_large);
+  return caps;
+}
+
+std::vector<std::uint64_t> binomial_capacities(std::size_t n, double mean_capacity,
+                                               Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(n >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(mean_capacity >= 1.0 && mean_capacity <= 8.0,
+                   "Section 4.2 model requires mean capacity in [1, 8]");
+  const BinomialDistribution binom(7, (mean_capacity - 1.0) / 7.0);
+  std::vector<std::uint64_t> caps(n);
+  for (auto& c : caps) c = 1 + binom(rng);
+  return caps;
+}
+
+std::vector<std::uint64_t> zipf_capacities(std::size_t n, double alpha,
+                                           std::uint64_t max_capacity,
+                                           Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(n >= 1, "need at least one bin");
+  NUBB_REQUIRE_MSG(alpha >= 0.0, "zipf exponent must be non-negative");
+  NUBB_REQUIRE_MSG(max_capacity >= 1, "max capacity must be positive");
+
+  std::vector<double> weights(max_capacity);
+  for (std::uint64_t k = 1; k <= max_capacity; ++k) {
+    weights[k - 1] = std::pow(static_cast<double>(k), -alpha);
+  }
+  const DiscreteCdfDistribution dist(weights);
+  std::vector<std::uint64_t> caps(n);
+  for (auto& c : caps) c = 1 + dist(rng);
+  return caps;
+}
+
+std::vector<std::uint64_t> from_classes(const std::vector<CapacityClass>& classes) {
+  std::vector<std::uint64_t> caps;
+  for (const auto& cls : classes) {
+    NUBB_REQUIRE_MSG(cls.capacity >= 1, "capacities must be positive");
+    caps.insert(caps.end(), cls.count, cls.capacity);
+  }
+  NUBB_REQUIRE_MSG(!caps.empty(), "need at least one bin");
+  return caps;
+}
+
+}  // namespace nubb

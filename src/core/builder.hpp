@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file builder.hpp
+/// Constructors for the bin arrays used throughout the paper's evaluation:
+/// uniform arrays, two-class mixes, and the randomised capacities of
+/// Section 4.2 (1 + Bin(7, (c-1)/7)).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// n bins, all of capacity c. \pre n >= 1, c >= 1.
+std::vector<std::uint64_t> uniform_capacities(std::size_t n, std::uint64_t c);
+
+/// `n_small` bins of capacity `c_small` followed by `n_large` bins of
+/// capacity `c_large` (order is irrelevant to the protocol; keeping classes
+/// contiguous makes per-class reporting cheap to eyeball).
+/// \pre n_small + n_large >= 1; capacities >= 1.
+std::vector<std::uint64_t> two_class_capacities(std::size_t n_small, std::uint64_t c_small,
+                                                std::size_t n_large, std::uint64_t c_large);
+
+/// Randomised capacities of Section 4.2: each bin gets 1 + X with
+/// X ~ Bin(7, (c-1)/7), so capacities lie in {1..8} with mean c. The total
+/// capacity concentrates near c*n.
+/// \pre 1 <= mean_capacity <= 8.
+std::vector<std::uint64_t> binomial_capacities(std::size_t n, double mean_capacity,
+                                               Xoshiro256StarStar& rng);
+
+/// Power-law (zipf-like) capacities: each bin's capacity is drawn from
+/// {1, ..., max_capacity} with P[k] proportional to k^-alpha. alpha = 0 is
+/// uniform over sizes; large alpha concentrates on capacity 1. Models the
+/// long-tailed node capacities of real P2P populations (the paper's
+/// motivating domain), beyond the binomial generator of Section 4.2.
+/// \pre n >= 1, alpha >= 0, max_capacity >= 1.
+std::vector<std::uint64_t> zipf_capacities(std::size_t n, double alpha,
+                                           std::uint64_t max_capacity,
+                                           Xoshiro256StarStar& rng);
+
+/// Multi-class array from (count, capacity) pairs, classes contiguous.
+struct CapacityClass {
+  std::size_t count = 0;
+  std::uint64_t capacity = 1;
+};
+std::vector<std::uint64_t> from_classes(const std::vector<CapacityClass>& classes);
+
+}  // namespace nubb

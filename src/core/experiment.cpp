@@ -1,0 +1,221 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace nubb {
+
+void VectorMeanCollector::add(const std::vector<double>& v) {
+  if (sum_.empty()) {
+    sum_ = v;
+  } else {
+    NUBB_REQUIRE_MSG(sum_.size() == v.size(), "VectorMeanCollector length mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i) sum_[i] += v[i];
+  }
+  ++count_;
+}
+
+void VectorMeanCollector::merge(const VectorMeanCollector& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  NUBB_REQUIRE_MSG(sum_.size() == other.sum_.size(), "VectorMeanCollector merge mismatch");
+  for (std::size_t i = 0; i < sum_.size(); ++i) sum_[i] += other.sum_[i];
+  count_ += other.count_;
+}
+
+std::vector<double> VectorMeanCollector::mean() const {
+  std::vector<double> out(sum_.size());
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    out[i] = sum_[i] / static_cast<double>(count_);
+  }
+  return out;
+}
+
+void KeyFrequencyCollector::add(std::uint64_t key) { ++counts_[key]; }
+
+void KeyFrequencyCollector::merge(const KeyFrequencyCollector& other) {
+  for (const auto& [key, count] : other.counts_) counts_[key] += count;
+  trials_ += other.trials_;
+}
+
+double KeyFrequencyCollector::fraction(std::uint64_t key) const {
+  if (trials_ == 0) return 0.0;
+  const auto it = counts_.find(key);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(trials_);
+}
+
+namespace {
+
+/// Shared per-experiment fixture: the sampler is immutable and thread-safe,
+/// so we build it once and share it across replications.
+struct Fixture {
+  const std::vector<std::uint64_t>& capacities;
+  BinSampler sampler;
+  GameConfig game;
+
+  Fixture(const std::vector<std::uint64_t>& caps, const SelectionPolicy& policy,
+          const GameConfig& g)
+      : capacities(caps), sampler(BinSampler::from_policy(policy, caps)), game(g) {}
+
+  GameResult run_one(Xoshiro256StarStar& rng, BinArray& bins) const {
+    bins.clear();
+    return play_game(bins, sampler, game, rng);
+  }
+};
+
+}  // namespace
+
+Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
+                         const SelectionPolicy& policy, const GameConfig& game,
+                         const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  ScalarCollector acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, ScalarCollector& local) {
+        BinArray bins(fixture.capacities);
+        const GameResult result = fixture.run_one(rng, bins);
+        local.add(result.max_load_value());
+      },
+      acc, exp.pool);
+  return Summary::from(acc.stats);
+}
+
+std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capacities,
+                                        const SelectionPolicy& policy, const GameConfig& game,
+                                        const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  VectorMeanCollector acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, VectorMeanCollector& local) {
+        BinArray bins(fixture.capacities);
+        fixture.run_one(rng, bins);
+        local.add(sorted_load_profile(bins));
+      },
+      acc, exp.pool);
+  return acc.mean();
+}
+
+std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+
+  // One VectorMeanCollector per capacity class, merged as a unit.
+  struct ClassProfiles {
+    std::map<std::uint64_t, VectorMeanCollector> per_class;
+    void merge(const ClassProfiles& other) {
+      for (const auto& [cap, collector] : other.per_class) per_class[cap].merge(collector);
+    }
+  };
+
+  ClassProfiles acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, ClassProfiles& local) {
+        BinArray bins(fixture.capacities);
+        fixture.run_one(rng, bins);
+        for (const std::uint64_t cap : distinct_capacities(bins)) {
+          local.per_class[cap].add(sorted_class_profile(bins, cap));
+        }
+      },
+      acc, exp.pool);
+
+  std::map<std::uint64_t, std::vector<double>> out;
+  for (const auto& [cap, collector] : acc.per_class) out[cap] = collector.mean();
+  return out;
+}
+
+std::map<std::uint64_t, double> class_of_max_fractions(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  KeyFrequencyCollector acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, KeyFrequencyCollector& local) {
+        BinArray bins(fixture.capacities);
+        fixture.run_one(rng, bins);
+        local.add_trial();
+        for (const std::uint64_t cap : capacities_attaining_max(bins)) local.add(cap);
+      },
+      acc, exp.pool);
+
+  std::map<std::uint64_t, double> out;
+  for (const auto& [cap, count] : acc.counts()) {
+    out[cap] = static_cast<double>(count) / static_cast<double>(acc.trials());
+  }
+  return out;
+}
+
+std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
+                                   const SelectionPolicy& policy, const GameConfig& game,
+                                   std::uint64_t total_balls, std::uint64_t checkpoint_interval,
+                                   const ExperimentConfig& exp) {
+  NUBB_REQUIRE_MSG(checkpoint_interval > 0, "gap trace needs a positive checkpoint interval");
+  NUBB_REQUIRE_MSG(total_balls > 0, "gap trace needs at least one ball");
+
+  const Fixture fixture(capacities, policy, game);
+  VectorMeanCollector acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture, total_balls, checkpoint_interval](std::uint64_t, Xoshiro256StarStar& rng,
+                                                   VectorMeanCollector& local) {
+        BinArray bins(fixture.capacities);
+        GameConfig cfg = fixture.game;
+        cfg.balls = total_balls;
+        std::vector<double> trace;
+        trace.reserve((total_balls + checkpoint_interval - 1) / checkpoint_interval);
+        play_game(bins, fixture.sampler, cfg, rng, checkpoint_interval,
+                  [&trace](const GameCheckpoint& cp, const BinArray&) {
+                    trace.push_back(cp.max_load.value() - cp.average_load);
+                  });
+        local.add(trace);
+      },
+      acc, exp.pool);
+  return acc.mean();
+}
+
+MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capacities,
+                                          const SelectionPolicy& policy, const GameConfig& game,
+                                          const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+
+  struct DistAcc {
+    RunningStats stats;
+    std::vector<double> values;
+    void merge(const DistAcc& other) {
+      stats.merge(other.stats);
+      values.insert(values.end(), other.values.begin(), other.values.end());
+    }
+  };
+
+  DistAcc acc;
+  parallel_replications(
+      exp.replications, exp.base_seed,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, DistAcc& local) {
+        BinArray bins(fixture.capacities);
+        const GameResult result = fixture.run_one(rng, bins);
+        local.stats.add(result.max_load_value());
+        local.values.push_back(result.max_load_value());
+      },
+      acc, exp.pool);
+
+  MaxLoadDistribution out;
+  out.summary = Summary::from(acc.stats);
+  if (!acc.values.empty()) {
+    out.q50 = quantile(acc.values, 0.50);
+    out.q95 = quantile(acc.values, 0.95);
+    out.q99 = quantile(acc.values, 0.99);
+  }
+  return out;
+}
+
+}  // namespace nubb

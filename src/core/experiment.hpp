@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Monte-Carlo experiment driver: replicate a game many times with
+/// deterministic per-replication seeds, aggregate with mergeable collectors,
+/// optionally in parallel.
+///
+/// The high-level runners below cover every measurement shape the paper's
+/// evaluation uses:
+///   * scalar statistics of the final maximum load        (Figs 6, 8, 14, 15, 17, 18)
+///   * mean sorted load profile                           (Figs 1-5, 10, 11)
+///   * mean per-capacity-class sorted profiles            (Figs 12, 13)
+///   * which capacity class attains the maximum           (Figs 7, 9)
+///   * trace of (max - average) at checkpoints            (Fig 16)
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/metrics.hpp"
+#include "core/probability.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nubb {
+
+/// Replication parameters shared by all runners.
+struct ExperimentConfig {
+  std::uint64_t replications = 1000;
+  std::uint64_t base_seed = 0xB1A5ED0ULL;
+  ThreadPool* pool = nullptr;  ///< null => global pool
+};
+
+// ---------------------------------------------------------------------------
+// Mergeable collectors (commutative monoids for parallel_replications).
+// ---------------------------------------------------------------------------
+
+/// Scalar statistic collector.
+struct ScalarCollector {
+  RunningStats stats;
+  void add(double x) { stats.add(x); }
+  void merge(const ScalarCollector& other) { stats.merge(other.stats); }
+};
+
+/// Mean of equal-length vectors (sorted profiles, checkpoint traces).
+class VectorMeanCollector {
+ public:
+  void add(const std::vector<double>& v);
+  void merge(const VectorMeanCollector& other);
+  std::vector<double> mean() const;
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::vector<double> sum_;
+  std::uint64_t count_ = 0;
+};
+
+/// Frequency with which each key "wins" across replications.
+class KeyFrequencyCollector {
+ public:
+  /// Record that `key` occurred in this replication.
+  void add(std::uint64_t key);
+  void add_trial() { ++trials_; }
+  void merge(const KeyFrequencyCollector& other);
+  /// Fraction of replications in which `key` occurred.
+  double fraction(std::uint64_t key) const;
+  std::uint64_t trials() const noexcept { return trials_; }
+  std::map<std::uint64_t, std::uint64_t> counts() const { return counts_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t trials_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// High-level runners.
+// ---------------------------------------------------------------------------
+
+/// Statistics of the final maximum load over replications.
+Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
+                         const SelectionPolicy& policy, const GameConfig& game,
+                         const ExperimentConfig& exp);
+
+/// Mean sorted (descending) load profile over replications.
+std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capacities,
+                                        const SelectionPolicy& policy, const GameConfig& game,
+                                        const ExperimentConfig& exp);
+
+/// Mean sorted profile per capacity class (key = capacity value).
+std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+
+/// For each capacity class, the fraction of replications in which a bin of
+/// that class attains the exact maximum load (ties count for every class
+/// attaining the maximum, as in Figures 7 and 9).
+std::map<std::uint64_t, double> class_of_max_fractions(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+
+/// Throw `total_balls` balls, recording (max load - average load) after every
+/// `checkpoint_interval` balls; returns the mean trace over replications.
+/// The trace length is ceil(total_balls / checkpoint_interval).
+std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
+                                   const SelectionPolicy& policy, const GameConfig& game,
+                                   std::uint64_t total_balls, std::uint64_t checkpoint_interval,
+                                   const ExperimentConfig& exp);
+
+/// Statistics of the final max load *and* the full distribution of the
+/// max-load value (as RunningStats plus min/max); convenience for benches
+/// that want error bars.
+struct MaxLoadDistribution {
+  Summary summary;
+  double q50 = 0.0;
+  double q95 = 0.0;
+  double q99 = 0.0;
+};
+MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capacities,
+                                          const SelectionPolicy& policy, const GameConfig& game,
+                                          const ExperimentConfig& exp);
+
+}  // namespace nubb

@@ -1,0 +1,65 @@
+#include "core/exponent_search.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+double parabolic_argmin(double x0, double y0, double x1, double y1, double x2, double y2) {
+  // Vertex of the parabola through three points (standard three-point form).
+  const double denom = (x1 - x0) * (y1 - y2) - (x1 - x2) * (y1 - y0);
+  if (std::abs(denom) < 1e-14) return x1;
+  const double numer =
+      (x1 - x0) * (x1 - x0) * (y1 - y2) - (x1 - x2) * (x1 - x2) * (y1 - y0);
+  return x1 - 0.5 * numer / denom;
+}
+
+ExponentSweep sweep_exponent(const std::vector<std::uint64_t>& capacities, double t_min,
+                             double t_max, double t_step, const GameConfig& game,
+                             const ExperimentConfig& exp) {
+  NUBB_REQUIRE_MSG(t_step > 0.0, "exponent sweep needs a positive step");
+  NUBB_REQUIRE_MSG(t_min <= t_max, "exponent sweep needs t_min <= t_max");
+
+  ExponentSweep sweep;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+
+  const auto steps = static_cast<std::size_t>(std::floor((t_max - t_min) / t_step + 1e-9));
+  for (std::size_t s = 0; s <= steps; ++s) {
+    const double t = t_min + static_cast<double>(s) * t_step;
+    // Derive a per-point seed so that adding grid points does not reshuffle
+    // the randomness of existing ones.
+    ExperimentConfig point_exp = exp;
+    point_exp.base_seed = mix_seed(exp.base_seed, static_cast<std::uint64_t>(s));
+
+    const Summary summary = max_load_summary(capacities, SelectionPolicy::capacity_power(t),
+                                             game, point_exp);
+    sweep.points.push_back(ExponentPoint{t, summary.mean, summary.std_error});
+    if (summary.mean < best) {
+      best = summary.mean;
+      best_index = sweep.points.size() - 1;
+    }
+  }
+
+  sweep.best_exponent = sweep.points[best_index].exponent;
+  sweep.best_mean_max_load = sweep.points[best_index].mean_max_load;
+
+  if (best_index > 0 && best_index + 1 < sweep.points.size()) {
+    const auto& a = sweep.points[best_index - 1];
+    const auto& b = sweep.points[best_index];
+    const auto& c = sweep.points[best_index + 1];
+    sweep.refined_exponent = parabolic_argmin(a.exponent, a.mean_max_load, b.exponent,
+                                              b.mean_max_load, c.exponent, c.mean_max_load);
+    // Clamp the refinement to the bracketing interval; a noisy fit must not
+    // leave the region the data actually supports.
+    sweep.refined_exponent =
+        std::min(std::max(sweep.refined_exponent, a.exponent), c.exponent);
+  } else {
+    sweep.refined_exponent = sweep.best_exponent;
+  }
+  return sweep;
+}
+
+}  // namespace nubb

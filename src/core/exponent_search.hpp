@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file exponent_search.hpp
+/// Section 4.5: sweep the probability exponent t (bin i chosen with
+/// probability proportional to c_i^t) and locate the t minimising the
+/// expected maximum load. The paper used step 0.005 with 10^6 repetitions;
+/// we sweep a coarser grid and refine the argmin with a parabolic fit
+/// through the grid minimum and its neighbours, which recovers sub-grid
+/// precision from far fewer replications.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/game.hpp"
+
+namespace nubb {
+
+/// One point of the sweep.
+struct ExponentPoint {
+  double exponent = 0.0;
+  double mean_max_load = 0.0;
+  double std_error = 0.0;
+};
+
+/// Full sweep result.
+struct ExponentSweep {
+  std::vector<ExponentPoint> points;
+  double best_exponent = 1.0;       ///< grid argmin
+  double best_mean_max_load = 0.0;  ///< mean max load at grid argmin
+  double refined_exponent = 1.0;    ///< parabolic-fit argmin (sub-grid)
+};
+
+/// Sweep t over [t_min, t_max] in steps of t_step (inclusive of both ends up
+/// to rounding). Each point runs a full Monte-Carlo experiment with the
+/// given game config (balls = 0 means m = C as usual).
+/// \pre t_min <= t_max, t_step > 0.
+ExponentSweep sweep_exponent(const std::vector<std::uint64_t>& capacities, double t_min,
+                             double t_max, double t_step, const GameConfig& game,
+                             const ExperimentConfig& exp);
+
+/// Parabolic interpolation of the minimum through three points
+/// (x0,y0),(x1,y1),(x2,y2) with x1 the grid argmin. Falls back to x1 when
+/// the points are collinear/degenerate. Exposed for testing.
+double parabolic_argmin(double x0, double y0, double x1, double y1, double x2, double y2);
+
+}  // namespace nubb

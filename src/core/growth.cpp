@@ -1,0 +1,73 @@
+#include "core/growth.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+GrowthModel GrowthModel::constant(std::uint64_t initial) {
+  GrowthModel m;
+  m.kind = Kind::kConstant;
+  m.initial_capacity = initial;
+  return m;
+}
+
+GrowthModel GrowthModel::linear(double a, std::uint64_t initial) {
+  NUBB_REQUIRE_MSG(a >= 0.0, "linear growth offset must be non-negative");
+  GrowthModel m;
+  m.kind = Kind::kLinear;
+  m.parameter = a;
+  m.initial_capacity = initial;
+  return m;
+}
+
+GrowthModel GrowthModel::exponential(double b, std::uint64_t initial) {
+  NUBB_REQUIRE_MSG(b >= 1.0, "exponential growth factor must be >= 1");
+  GrowthModel m;
+  m.kind = Kind::kExponential;
+  m.parameter = b;
+  m.initial_capacity = initial;
+  return m;
+}
+
+std::uint64_t GrowthModel::batch_capacity(std::uint64_t index) const {
+  double c = static_cast<double>(initial_capacity);
+  switch (kind) {
+    case Kind::kConstant:
+      break;
+    case Kind::kLinear:
+      c += parameter * static_cast<double>(index);
+      break;
+    case Kind::kExponential:
+      c *= std::pow(parameter, static_cast<double>(index));
+      break;
+  }
+  auto capacity = static_cast<std::uint64_t>(std::llround(c));
+  if (capacity < 1) capacity = 1;
+  if (capacity_limit > 0 && capacity > capacity_limit) capacity = capacity_limit;
+  return capacity;
+}
+
+std::vector<std::uint64_t> growth_capacities(std::size_t total_disks, std::size_t first_batch,
+                                             std::size_t batch_size, const GrowthModel& model) {
+  NUBB_REQUIRE_MSG(total_disks >= 1, "need at least one disk");
+  NUBB_REQUIRE_MSG(first_batch >= 1 && batch_size >= 1, "batch sizes must be positive");
+
+  std::vector<std::uint64_t> caps;
+  caps.reserve(total_disks);
+  std::uint64_t batch_index = 0;
+  std::size_t in_batch = 0;
+  std::size_t current_batch_size = first_batch;
+  for (std::size_t disk = 0; disk < total_disks; ++disk) {
+    caps.push_back(model.batch_capacity(batch_index));
+    if (++in_batch == current_batch_size) {
+      in_batch = 0;
+      ++batch_index;
+      current_batch_size = batch_size;
+    }
+  }
+  return caps;
+}
+
+}  // namespace nubb

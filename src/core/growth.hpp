@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file growth.hpp
+/// The dynamic-scaling scenario of Section 4.3: a storage system grows in
+/// batches of disks; each new generation is bigger than the previous one,
+/// old disks stay in the system. `growth_capacities` materialises the
+/// capacity vector of such a system at a given size.
+
+#include <cstdint>
+#include <vector>
+
+namespace nubb {
+
+/// Generation-over-generation capacity growth law.
+struct GrowthModel {
+  enum class Kind {
+    kConstant,     ///< baseline: every batch has the initial capacity
+    kLinear,       ///< batch i capacity = initial + a * i
+    kExponential,  ///< batch i capacity = initial * b^i (rounded, >= 1)
+  };
+
+  Kind kind = Kind::kConstant;
+  double parameter = 0.0;                 ///< a (linear) or b (exponential)
+  std::uint64_t initial_capacity = 2;     ///< capacity of the first batch
+  /// Per-disk capacity ceiling; 0 disables. The paper's exponential model at
+  /// b = 1.4 reaches per-disk capacities ~3*10^7 which makes m = C games
+  /// infeasible and is far past the point where the measured max load has
+  /// converged to 1; benches clamp (documented in EXPERIMENTS.md).
+  std::uint64_t capacity_limit = 0;
+
+  static GrowthModel constant(std::uint64_t initial = 2);
+  static GrowthModel linear(double a, std::uint64_t initial = 2);
+  static GrowthModel exponential(double b, std::uint64_t initial = 2);
+
+  /// Capacity of disks in batch `index` (0-based).
+  std::uint64_t batch_capacity(std::uint64_t index) const;
+};
+
+/// Capacity vector of a system with `total_disks` disks that grew in batches
+/// of `batch_size` (the first batch may be smaller if total_disks is not a
+/// multiple — the paper starts at 2 disks and adds 20 per step, so batch 0
+/// has 2 disks and subsequent batches 20).
+///
+/// Concretely: disks [0, first_batch) are batch 0; after that every
+/// `batch_size` disks form the next batch.
+/// \pre total_disks >= 1, batch_size >= 1, first_batch >= 1.
+std::vector<std::uint64_t> growth_capacities(std::size_t total_disks, std::size_t first_batch,
+                                             std::size_t batch_size, const GrowthModel& model);
+
+}  // namespace nubb

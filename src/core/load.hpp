@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file load.hpp
+/// Exact rational bin load.
+///
+/// The paper defines the load of bin `i` holding `m_i` balls as
+/// `l_i = m_i / c_i`. Algorithm 1's decisions ("lowest load after
+/// allocating", "ties") must be exact: capacity tie-breaking only fires on
+/// *exact* load ties, and with integer capacities those ties are frequent
+/// (e.g. 4 balls in a 2-bin vs 2 balls in a 1-bin). We therefore compare
+/// loads as rationals by 128-bit cross multiplication and only convert to
+/// double for reporting.
+
+#include <compare>
+#include <cstdint>
+
+#include "util/int128.hpp"
+
+namespace nubb {
+
+/// A bin load as the exact rational `balls / capacity`.
+struct Load {
+  std::uint64_t balls = 0;
+  std::uint64_t capacity = 1;  ///< strictly positive
+
+  /// Floating-point value for reporting (not for decisions).
+  constexpr double value() const noexcept {
+    return static_cast<double>(balls) / static_cast<double>(capacity);
+  }
+
+  /// Exact comparison of balls_a/cap_a vs balls_b/cap_b.
+  friend constexpr std::strong_ordering operator<=>(const Load& a, const Load& b) noexcept {
+    const auto lhs = static_cast<uint128>(a.balls) * b.capacity;
+    const auto rhs = static_cast<uint128>(b.balls) * a.capacity;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// Exact equality (equal rational value, e.g. 2/1 == 4/2).
+  friend constexpr bool operator==(const Load& a, const Load& b) noexcept {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+
+  /// The load this bin would have after receiving one more ball.
+  constexpr Load after_one_more() const noexcept { return Load{balls + 1, capacity}; }
+};
+
+}  // namespace nubb

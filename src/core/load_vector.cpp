@@ -1,0 +1,70 @@
+#include "core/load_vector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+std::vector<double> normalized_load_vector(const BinArray& bins) {
+  std::vector<double> loads = bins.load_values();
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  return loads;
+}
+
+std::vector<Slot> slot_load_vector(const BinArray& bins) {
+  std::vector<Slot> slots;
+  slots.reserve(bins.total_capacity());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::uint64_t c = bins.capacity(i);
+    const std::uint64_t l = bins.balls(i);
+    const std::uint64_t base = l / c;
+    const std::uint64_t extra = l % c;  // first `extra` slots hold base+1
+    for (std::uint64_t s = 0; s < c; ++s) {
+      slots.push_back(Slot{s < extra ? base + 1 : base, static_cast<std::uint32_t>(i)});
+    }
+  }
+  return slots;
+}
+
+std::vector<std::uint64_t> normalized_slot_load_vector(const BinArray& bins) {
+  std::vector<Slot> slots = slot_load_vector(bins);
+  // Sort by slot ball count descending; equal slot counts break ties by the
+  // owning bin's exact load, higher bin load first (paper Section 2).
+  std::stable_sort(slots.begin(), slots.end(), [&bins](const Slot& a, const Slot& b) {
+    if (a.balls != b.balls) return a.balls > b.balls;
+    return bins.load(b.bin) < bins.load(a.bin);
+  });
+  std::vector<std::uint64_t> counts(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) counts[i] = slots[i].balls;
+  return counts;
+}
+
+namespace {
+
+template <typename T>
+bool majorizes_impl(std::vector<T> u, std::vector<T> v) {
+  NUBB_REQUIRE_MSG(u.size() == v.size(), "majorisation requires equal-length vectors");
+  std::sort(u.begin(), u.end(), std::greater<>());
+  std::sort(v.begin(), v.end(), std::greater<>());
+  long double prefix_u = 0;
+  long double prefix_v = 0;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    prefix_u += static_cast<long double>(u[k]);
+    prefix_v += static_cast<long double>(v[k]);
+    if (prefix_u < prefix_v) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool majorizes(std::vector<std::uint64_t> u, std::vector<std::uint64_t> v) {
+  return majorizes_impl(std::move(u), std::move(v));
+}
+
+bool majorizes(std::vector<double> u, std::vector<double> v) {
+  return majorizes_impl(std::move(u), std::move(v));
+}
+
+}  // namespace nubb

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file load_vector.hpp
+/// The analysis machinery of Section 2: normalised load vectors, slot load
+/// vectors (each bin of capacity c viewed as c unit slots filled round-robin)
+/// and the majorisation partial order. Used by the property tests and by the
+/// Lemma-1 domination bench; the protocol itself never looks at slots.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_array.hpp"
+
+namespace nubb {
+
+/// Loads of all bins sorted in non-increasing order (the paper's normalised
+/// load vector L-bar).
+std::vector<double> normalized_load_vector(const BinArray& bins);
+
+/// One slot of the slot load vector: its ball count and owning bin.
+struct Slot {
+  std::uint64_t balls = 0;     ///< balls in this slot under round-robin fill
+  std::uint32_t bin = 0;       ///< owning bin index b(i)
+};
+
+/// Slot load vector S in bin order (Section 2): bin i with l balls has its
+/// first (l mod c_i) slots holding ceil(l/c_i) balls and the remaining slots
+/// holding floor(l/c_i).
+std::vector<Slot> slot_load_vector(const BinArray& bins);
+
+/// Normalised slot load vector S-bar: slots sorted by ball count descending;
+/// among slots with equal ball count, slots of bins with *higher bin load*
+/// come first (the paper's explicit tie rule). Returns just the ball counts,
+/// which is what majorisation consumes.
+std::vector<std::uint64_t> normalized_slot_load_vector(const BinArray& bins);
+
+/// Majorisation U >= V: both vectors are normalised (sorted descending,
+/// copies are made) and every prefix sum of U must dominate the corresponding
+/// prefix sum of V. \pre equal lengths.
+bool majorizes(std::vector<std::uint64_t> u, std::vector<std::uint64_t> v);
+bool majorizes(std::vector<double> u, std::vector<double> v);
+
+}  // namespace nubb

@@ -1,0 +1,53 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace nubb {
+
+std::vector<double> sorted_load_profile(const BinArray& bins) {
+  std::vector<double> loads = bins.load_values();
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  return loads;
+}
+
+std::vector<double> sorted_class_profile(const BinArray& bins, std::uint64_t capacity) {
+  std::vector<double> loads;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins.capacity(i) == capacity) loads.push_back(bins.load_value(i));
+  }
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  return loads;
+}
+
+Load scan_max_load(const BinArray& bins) {
+  Load best{0, 1};
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const Load l = bins.load(i);
+    if (best < l) best = l;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> capacities_attaining_max(const BinArray& bins) {
+  const Load max = scan_max_load(bins);
+  std::vector<std::uint64_t> caps;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins.load(i) == max) caps.push_back(bins.capacity(i));
+  }
+  std::sort(caps.begin(), caps.end());
+  caps.erase(std::unique(caps.begin(), caps.end()), caps.end());
+  return caps;
+}
+
+double load_gap(const BinArray& bins) {
+  return bins.max_load().value() - bins.average_load();
+}
+
+std::vector<std::uint64_t> distinct_capacities(const BinArray& bins) {
+  std::vector<std::uint64_t> caps = bins.capacities();
+  std::sort(caps.begin(), caps.end());
+  caps.erase(std::unique(caps.begin(), caps.end()), caps.end());
+  return caps;
+}
+
+}  // namespace nubb

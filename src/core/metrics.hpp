@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Post-game measurements used by the figure harnesses:
+/// sorted load profiles, per-capacity-class profiles, the identity of the
+/// maximally loaded bin(s), and the max-vs-average gap.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_array.hpp"
+#include "core/load.hpp"
+
+namespace nubb {
+
+/// All bin loads, sorted descending (what Figures 1-5 and 10-11 plot).
+std::vector<double> sorted_load_profile(const BinArray& bins);
+
+/// Loads of the bins with the given capacity, sorted descending
+/// (Figures 12/13 split the profile by capacity class).
+std::vector<double> sorted_class_profile(const BinArray& bins, std::uint64_t capacity);
+
+/// Exact maximum load by full scan (cross-checks BinArray's online maximum).
+Load scan_max_load(const BinArray& bins);
+
+/// Distinct capacities of bins attaining the exact maximum load (exact
+/// rational tie detection; Figures 7/9 ask which class holds the maximum).
+std::vector<std::uint64_t> capacities_attaining_max(const BinArray& bins);
+
+/// max load - average load (the quantity of Figure 16).
+double load_gap(const BinArray& bins);
+
+/// Number of distinct capacity values present.
+std::vector<std::uint64_t> distinct_capacities(const BinArray& bins);
+
+}  // namespace nubb

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file nubb.hpp
+/// Umbrella header: include everything a typical application needs.
+///
+/// Quickstart:
+/// \code
+///   #include "core/nubb.hpp"
+///   using namespace nubb;
+///
+///   auto caps = two_class_capacities(/*n_small=*/900, /*c_small=*/1,
+///                                    /*n_large=*/100, /*c_large=*/10);
+///   GameConfig game;              // d = 2, Algorithm 1 tie-break, m = C
+///   ExperimentConfig exp;         // 1000 replications, fixed seed
+///   Summary s = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(),
+///                                game, exp);
+///   // s.mean is the expected maximum load
+/// \endcode
+
+#include "core/batched.hpp"
+#include "core/bin_array.hpp"
+#include "core/builder.hpp"
+#include "core/experiment.hpp"
+#include "core/exponent_search.hpp"
+#include "core/game.hpp"
+#include "core/growth.hpp"
+#include "core/load.hpp"
+#include "core/load_vector.hpp"
+#include "core/metrics.hpp"
+#include "core/probability.hpp"
+#include "core/protocol.hpp"
+#include "core/reallocation.hpp"
+#include "core/sampler.hpp"
+#include "core/weighted.hpp"

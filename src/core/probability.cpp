@@ -1,0 +1,103 @@
+#include "core/probability.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+SelectionPolicy SelectionPolicy::uniform() {
+  SelectionPolicy p;
+  p.kind_ = Kind::kUniform;
+  return p;
+}
+
+SelectionPolicy SelectionPolicy::proportional_to_capacity() {
+  SelectionPolicy p;
+  p.kind_ = Kind::kProportionalToCapacity;
+  return p;
+}
+
+SelectionPolicy SelectionPolicy::capacity_power(double exponent) {
+  NUBB_REQUIRE_MSG(std::isfinite(exponent), "capacity_power exponent must be finite");
+  SelectionPolicy p;
+  p.kind_ = Kind::kCapacityPower;
+  p.exponent_ = exponent;
+  return p;
+}
+
+SelectionPolicy SelectionPolicy::top_capacity_only(std::uint64_t threshold) {
+  NUBB_REQUIRE_MSG(threshold >= 1, "top_capacity_only threshold must be >= 1");
+  SelectionPolicy p;
+  p.kind_ = Kind::kTopCapacityOnly;
+  p.threshold_ = threshold;
+  return p;
+}
+
+SelectionPolicy SelectionPolicy::custom(std::vector<double> weights) {
+  NUBB_REQUIRE_MSG(!weights.empty(), "custom policy needs weights");
+  SelectionPolicy p;
+  p.kind_ = Kind::kCustom;
+  p.custom_ = std::move(weights);
+  return p;
+}
+
+std::vector<double> SelectionPolicy::weights(
+    const std::vector<std::uint64_t>& capacities) const {
+  NUBB_REQUIRE_MSG(!capacities.empty(), "selection policy applied to empty bin set");
+  std::vector<double> w(capacities.size());
+  switch (kind_) {
+    case Kind::kUniform:
+      for (auto& x : w) x = 1.0;
+      break;
+    case Kind::kProportionalToCapacity:
+      for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<double>(capacities[i]);
+      break;
+    case Kind::kCapacityPower:
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = std::pow(static_cast<double>(capacities[i]), exponent_);
+      }
+      break;
+    case Kind::kTopCapacityOnly: {
+      double total = 0.0;
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = capacities[i] >= threshold_ ? static_cast<double>(capacities[i]) : 0.0;
+        total += w[i];
+      }
+      NUBB_REQUIRE_MSG(total > 0.0,
+                       "top_capacity_only threshold excludes every bin (no probability mass)");
+      break;
+    }
+    case Kind::kCustom:
+      NUBB_REQUIRE_MSG(custom_.size() == capacities.size(),
+                       "custom weights size does not match the number of bins");
+      w = custom_;
+      break;
+  }
+  return w;
+}
+
+std::string SelectionPolicy::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kUniform:
+      os << "uniform(1/n)";
+      break;
+    case Kind::kProportionalToCapacity:
+      os << "proportional(c_i/C)";
+      break;
+    case Kind::kCapacityPower:
+      os << "power(c_i^" << exponent_ << ")";
+      break;
+    case Kind::kTopCapacityOnly:
+      os << "top-only(c_i >= " << threshold_ << ")";
+      break;
+    case Kind::kCustom:
+      os << "custom[" << custom_.size() << "]";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace nubb

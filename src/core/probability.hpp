@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file probability.hpp
+/// Bin selection-probability models.
+///
+/// The paper's default is "proportional to capacity" (`p_i = c_i / C`);
+/// Section 4.5 and Theorem 5 study alternatives. A `SelectionPolicy` turns a
+/// capacity vector into sampling weights; the `BinSampler` then compiles the
+/// weights into an O(1) alias table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Declarative description of how a ball picks each of its d candidate bins.
+class SelectionPolicy {
+ public:
+  enum class Kind {
+    kUniform,                 ///< p_i = 1/n, independent of capacity
+    kProportionalToCapacity,  ///< p_i = c_i / C (the paper's default)
+    kCapacityPower,           ///< p_i proportional to c_i^t (Section 4.5)
+    kTopCapacityOnly,         ///< p_i proportional to c_i for bins with c_i >= threshold, else 0 (Theorem 5)
+    kCustom                   ///< explicit weight vector
+  };
+
+  /// Factories (the only way to construct; keeps invariants local).
+  static SelectionPolicy uniform();
+  static SelectionPolicy proportional_to_capacity();
+  /// \pre exponent finite.
+  static SelectionPolicy capacity_power(double exponent);
+  /// Probability mass only on bins with capacity >= threshold,
+  /// proportional to capacity among those. \pre threshold >= 1.
+  static SelectionPolicy top_capacity_only(std::uint64_t threshold);
+  /// Explicit non-negative weights, one per bin.
+  static SelectionPolicy custom(std::vector<double> weights);
+
+  Kind kind() const noexcept { return kind_; }
+  double exponent() const noexcept { return exponent_; }
+  std::uint64_t threshold() const noexcept { return threshold_; }
+
+  /// Materialise sampling weights for the given capacities.
+  /// \pre for kCustom: weights registered at construction match the size.
+  /// \throws PreconditionError if the policy assigns zero total weight
+  ///         (e.g. top_capacity_only threshold above every capacity).
+  std::vector<double> weights(const std::vector<std::uint64_t>& capacities) const;
+
+  /// Human-readable description for tables/CSV metadata.
+  std::string describe() const;
+
+ private:
+  SelectionPolicy() = default;
+
+  Kind kind_ = Kind::kProportionalToCapacity;
+  double exponent_ = 1.0;
+  std::uint64_t threshold_ = 1;
+  std::vector<double> custom_;
+};
+
+}  // namespace nubb

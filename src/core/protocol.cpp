@@ -1,0 +1,67 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+
+namespace nubb {
+
+std::size_t choose_destination(const BinArray& bins, std::span<const std::size_t> choices,
+                               TieBreak tie_break, Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(!choices.empty(), "ball needs at least one candidate bin");
+
+  // Collect the distinct candidates with minimal post-allocation load.
+  // d is small (typically 2..8), so linear scans with a fixed-size buffer
+  // beat any set machinery.
+  constexpr std::size_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(choices.size() <= kMaxChoices, "more than 64 choices per ball");
+
+  std::size_t best[kMaxChoices];
+  std::size_t best_count = 0;
+  Load best_load{0, 1};
+
+  for (const std::size_t candidate : choices) {
+    NUBB_REQUIRE_MSG(candidate < bins.size(), "candidate bin index out of range");
+    const Load post = bins.load(candidate).after_one_more();
+    if (best_count == 0 || post < best_load) {
+      best_load = post;
+      best[0] = candidate;
+      best_count = 1;
+    } else if (post == best_load) {
+      // Set semantics: skip duplicates of an already-recorded candidate so a
+      // bin drawn twice does not get double weight in the uniform tie-break.
+      bool duplicate = false;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (best[i] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best[best_count++] = candidate;
+    }
+  }
+
+  if (best_count == 1) return best[0];
+
+  switch (tie_break) {
+    case TieBreak::kFirstChoice:
+      return best[0];  // candidates were recorded in choice order
+    case TieBreak::kUniform:
+      return best[rng.bounded(best_count)];
+    case TieBreak::kPreferLargerCapacity: {
+      // Algorithm 1 lines 4-6: keep only maximum-capacity members of B_opt.
+      std::uint64_t cmax = 0;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        cmax = std::max(cmax, bins.capacity(best[i]));
+      }
+      std::size_t filtered_count = 0;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (bins.capacity(best[i]) == cmax) best[filtered_count++] = best[i];
+      }
+      if (filtered_count == 1) return best[0];
+      return best[rng.bounded(filtered_count)];
+    }
+  }
+  NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");
+  return best[0];
+}
+
+}  // namespace nubb

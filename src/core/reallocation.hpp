@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file reallocation.hpp
+/// Incremental growth and minimal reallocation (Section 4.3's closing
+/// remark: "data could of course be reallocated instead ... a number of
+/// algorithms have been proposed which are able to perform a reorganization
+/// with minimum overhead").
+///
+/// The paper's growth experiments re-place every ball from scratch whenever
+/// a disk batch arrives. This module implements the operationally realistic
+/// alternatives and measures what they cost:
+///
+///  * **incremental fill** — old balls stay where they are; only the newly
+///    added capacity's worth of balls is thrown (with selection
+///    probabilities rebuilt for the grown array). Existing data never moves,
+///    but old bins keep their historical (now too-high) share.
+///  * **greedy rebalance** — after an incremental fill, repeatedly take one
+///    ball from a maximally loaded bin and re-place it with d fresh choices,
+///    until the max load reaches a target or a migration budget is spent.
+///    This is the "minimum overhead" reorganisation: each move is one data
+///    migration.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/game.hpp"
+#include "core/growth.hpp"
+#include "core/probability.hpp"
+
+namespace nubb {
+
+/// Outcome of a rebalance pass.
+struct RebalanceResult {
+  std::uint64_t moves = 0;          ///< balls actually migrated
+  std::uint64_t failed_moves = 0;   ///< draws that landed back in the source bin
+  double final_max_load = 0.0;
+  bool reached_target = false;
+};
+
+/// Greedy migration: while max load > target and budget remains, remove one
+/// ball from a maximally loaded bin and re-place it with `cfg.choices`
+/// fresh draws from `sampler` (Algorithm 1 on the current state). A
+/// re-placement that lands back in the source bin is undone and counted in
+/// `failed_moves`; after 3 consecutive failures on the same bin the pass
+/// gives up (the target is unreachable by single-ball moves).
+/// \pre target_max_load > 0, sampler matches bins.
+RebalanceResult rebalance(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
+                          double target_max_load, std::uint64_t max_moves,
+                          Xoshiro256StarStar& rng);
+
+/// One measured step of an incremental growth simulation.
+struct IncrementalGrowthStep {
+  std::size_t disks = 0;
+  std::uint64_t total_capacity = 0;
+  double incremental_max_load = 0.0;  ///< after filling new capacity only
+  double rebalanced_max_load = 0.0;   ///< after the optional rebalance pass
+  std::uint64_t moves = 0;            ///< migrations spent by the pass
+};
+
+/// Grow a system from `first_batch` disks to `total_disks` in visible steps
+/// of `disks_per_step`, throwing only the newly added capacity's worth of
+/// balls at each step (m = C is maintained as an invariant). If
+/// `rebalance_target_gap >= 0`, each step ends with a rebalance pass towards
+/// max load <= average + gap, spending at most `max_moves_per_step`
+/// migrations.
+/// \pre disks_per_step >= 1; growth parameters as in growth_capacities.
+std::vector<IncrementalGrowthStep> simulate_incremental_growth(
+    const GrowthModel& model, std::size_t total_disks, std::size_t first_batch,
+    std::size_t batch_size, std::size_t disks_per_step, const SelectionPolicy& policy,
+    const GameConfig& cfg, double rebalance_target_gap, std::uint64_t max_moves_per_step,
+    Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file sampler.hpp
+/// O(1) bin choice. Wraps either a uniform fast path (no table needed) or a
+/// Vose alias table built from a SelectionPolicy's weights.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/probability.hpp"
+#include "util/alias_table.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+class BinArray;
+
+/// Immutable sampler over bin indices {0, ..., n-1}.
+class BinSampler {
+ public:
+  /// Uniform over n bins (alias-table-free fast path).
+  static BinSampler uniform(std::size_t n);
+
+  /// From explicit weights.
+  static BinSampler from_weights(const std::vector<double>& weights);
+
+  /// From a policy applied to a capacity vector.
+  static BinSampler from_policy(const SelectionPolicy& policy,
+                                const std::vector<std::uint64_t>& capacities);
+
+  /// Draw one bin index.
+  std::size_t sample(Xoshiro256StarStar& rng) const noexcept {
+    if (!table_) return static_cast<std::size_t>(rng.bounded(n_));
+    return table_->sample(rng);
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Probability assigned to bin i.
+  double probability(std::size_t i) const;
+
+ private:
+  BinSampler(std::size_t n, std::shared_ptr<const AliasTable> table)
+      : n_(n), table_(std::move(table)) {}
+
+  std::size_t n_;
+  std::shared_ptr<const AliasTable> table_;  // null => uniform
+};
+
+}  // namespace nubb

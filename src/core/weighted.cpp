@@ -1,0 +1,191 @@
+#include "core/weighted.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+WeightedBinArray::WeightedBinArray(std::vector<std::uint64_t> capacities)
+    : capacities_(std::move(capacities)) {
+  NUBB_REQUIRE_MSG(!capacities_.empty(), "WeightedBinArray needs at least one bin");
+  for (const auto c : capacities_) {
+    NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+    total_capacity_ += c;
+  }
+  weights_.assign(capacities_.size(), 0);
+}
+
+void WeightedBinArray::add_weight(std::size_t i, std::uint64_t w) {
+  NUBB_REQUIRE_MSG(w >= 1, "ball weight must be positive");
+  weights_[i] += w;
+  total_weight_ += w;
+  const Load l{weights_[i], capacities_[i]};
+  if (max_load_ < l) {
+    max_load_ = l;
+    argmax_ = i;
+  }
+}
+
+void WeightedBinArray::clear() noexcept {
+  weights_.assign(capacities_.size(), 0);
+  total_weight_ = 0;
+  max_load_ = Load{0, 1};
+  argmax_ = 0;
+}
+
+BallSizeModel BallSizeModel::constant(std::uint64_t s) {
+  NUBB_REQUIRE_MSG(s >= 1, "ball size must be positive");
+  BallSizeModel m;
+  m.kind_ = Kind::kConstant;
+  m.a_ = s;
+  return m;
+}
+
+BallSizeModel BallSizeModel::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  NUBB_REQUIRE_MSG(lo >= 1 && lo <= hi, "uniform size range needs 1 <= lo <= hi");
+  BallSizeModel m;
+  m.kind_ = Kind::kUniformRange;
+  m.a_ = lo;
+  m.b_ = hi;
+  return m;
+}
+
+BallSizeModel BallSizeModel::shifted_geometric(double p, std::uint64_t cap) {
+  NUBB_REQUIRE_MSG(p > 0.0 && p <= 1.0, "geometric parameter out of (0,1]");
+  NUBB_REQUIRE_MSG(cap >= 1, "geometric size cap must be >= 1");
+  BallSizeModel m;
+  m.kind_ = Kind::kShiftedGeometric;
+  m.p_ = p;
+  m.a_ = cap;
+  return m;
+}
+
+std::uint64_t BallSizeModel::sample(Xoshiro256StarStar& rng) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kUniformRange:
+      return a_ + rng.bounded(b_ - a_ + 1);
+    case Kind::kShiftedGeometric: {
+      // Inversion: failures-before-success, shifted by 1, truncated.
+      const double u = 1.0 - rng.next_double();  // (0, 1]
+      const auto g = static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p_)));
+      const std::uint64_t size = 1 + g;
+      return size > a_ ? a_ : size;
+    }
+  }
+  return 1;  // unreachable
+}
+
+double BallSizeModel::mean() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return static_cast<double>(a_);
+    case Kind::kUniformRange:
+      return 0.5 * (static_cast<double>(a_) + static_cast<double>(b_));
+    case Kind::kShiftedGeometric:
+      return 1.0 + (1.0 - p_) / p_;
+  }
+  return 1.0;  // unreachable
+}
+
+std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sampler,
+                                    std::uint64_t w, const GameConfig& cfg,
+                                    Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
+  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
+
+  // Draw candidates (independent; distinct mode mirrors game.cpp).
+  std::size_t choices[kMaxChoices];
+  for (std::uint32_t k = 0; k < cfg.choices; ++k) {
+    if (!cfg.distinct_choices) {
+      choices[k] = sampler.sample(rng);
+      continue;
+    }
+    NUBB_REQUIRE_MSG(cfg.choices <= bins.size(),
+                     "cannot draw more distinct bins than exist");
+    for (;;) {
+      const std::size_t candidate = sampler.sample(rng);
+      bool seen = false;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (choices[j] == candidate) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        choices[k] = candidate;
+        break;
+      }
+    }
+  }
+
+  // Weighted Algorithm 1: minimise (W_i + w) / c_i exactly.
+  std::size_t best[kMaxChoices];
+  std::size_t best_count = 0;
+  Load best_load{0, 1};
+  for (std::uint32_t k = 0; k < cfg.choices; ++k) {
+    const std::size_t candidate = choices[k];
+    const Load post{bins.weight(candidate) + w, bins.capacity(candidate)};
+    if (best_count == 0 || post < best_load) {
+      best_load = post;
+      best[0] = candidate;
+      best_count = 1;
+    } else if (post == best_load) {
+      bool duplicate = false;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (best[i] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best[best_count++] = candidate;
+    }
+  }
+
+  std::size_t dest = best[0];
+  if (best_count > 1) {
+    switch (cfg.tie_break) {
+      case TieBreak::kFirstChoice:
+        dest = best[0];
+        break;
+      case TieBreak::kUniform:
+        dest = best[rng.bounded(best_count)];
+        break;
+      case TieBreak::kPreferLargerCapacity: {
+        std::uint64_t cmax = 0;
+        for (std::size_t i = 0; i < best_count; ++i) {
+          cmax = std::max(cmax, bins.capacity(best[i]));
+        }
+        std::size_t filtered = 0;
+        for (std::size_t i = 0; i < best_count; ++i) {
+          if (bins.capacity(best[i]) == cmax) best[filtered++] = best[i];
+        }
+        dest = filtered == 1 ? best[0] : best[rng.bounded(filtered)];
+        break;
+      }
+    }
+  }
+  bins.add_weight(dest, w);
+  return dest;
+}
+
+WeightedGameResult play_weighted_game(WeightedBinArray& bins, const BinSampler& sampler,
+                                      const BallSizeModel& sizes, const GameConfig& cfg,
+                                      Xoshiro256StarStar& rng) {
+  std::uint64_t balls = cfg.balls;
+  if (balls == 0) {
+    balls = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(bins.total_capacity()) / sizes.mean()));
+    if (balls == 0) balls = 1;
+  }
+  for (std::uint64_t b = 0; b < balls; ++b) {
+    place_one_weighted_ball(bins, sampler, sizes.sample(rng), cfg, rng);
+  }
+  return WeightedGameResult{bins.max_load(), bins.argmax_bin(), balls, bins.total_weight()};
+}
+
+}  // namespace nubb

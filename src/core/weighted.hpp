@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file weighted.hpp
+/// Weighted (non-unit) balls — the general model of the paper's
+/// introduction: "when a ball of size s is placed into a bin of capacity c,
+/// the effective load that this bin experiences is s/c". The analysis
+/// section restricts to unit balls; this module implements the general
+/// protocol so the evaluation can probe how the bounds degrade with ball
+/// size variance (an explicit future-work direction).
+
+#include <cstdint>
+#include <functional>
+
+#include "core/game.hpp"
+#include "core/load.hpp"
+#include "core/protocol.hpp"
+#include "core/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Bins accumulating integer ball *weight* instead of ball count.
+/// Loads are exact rationals weight/capacity; the running maximum is
+/// maintained online exactly as in BinArray.
+class WeightedBinArray {
+ public:
+  /// \pre capacities non-empty; every capacity >= 1.
+  explicit WeightedBinArray(std::vector<std::uint64_t> capacities);
+
+  std::size_t size() const noexcept { return capacities_.size(); }
+  std::uint64_t capacity(std::size_t i) const noexcept { return capacities_[i]; }
+  std::uint64_t weight(std::size_t i) const noexcept { return weights_[i]; }
+  std::uint64_t total_capacity() const noexcept { return total_capacity_; }
+  std::uint64_t total_weight() const noexcept { return total_weight_; }
+
+  Load load(std::size_t i) const noexcept { return Load{weights_[i], capacities_[i]}; }
+  double load_value(std::size_t i) const noexcept { return load(i).value(); }
+  double average_load() const noexcept {
+    return static_cast<double>(total_weight_) / static_cast<double>(total_capacity_);
+  }
+
+  /// Add a ball of weight `w` to bin i; O(1). \pre w >= 1.
+  void add_weight(std::size_t i, std::uint64_t w);
+
+  Load max_load() const noexcept { return max_load_; }
+  std::size_t argmax_bin() const noexcept { return argmax_; }
+
+  void clear() noexcept;
+
+  const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
+  const std::vector<std::uint64_t>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<std::uint64_t> capacities_;
+  std::vector<std::uint64_t> weights_;
+  std::uint64_t total_capacity_ = 0;
+  std::uint64_t total_weight_ = 0;
+  Load max_load_{0, 1};
+  std::size_t argmax_ = 0;
+};
+
+/// Random integer ball sizes. Immutable; thread-safe to share.
+class BallSizeModel {
+ public:
+  /// Every ball has the same size s. \pre s >= 1.
+  static BallSizeModel constant(std::uint64_t s);
+  /// Uniform integer in [lo, hi]. \pre 1 <= lo <= hi.
+  static BallSizeModel uniform_range(std::uint64_t lo, std::uint64_t hi);
+  /// 1 + Geometric(p): heavy-ish tail with mean 1 + (1-p)/p, truncated at
+  /// `cap`. \pre 0 < p <= 1, cap >= 1.
+  static BallSizeModel shifted_geometric(double p, std::uint64_t cap);
+
+  std::uint64_t sample(Xoshiro256StarStar& rng) const;
+
+  /// Expected ball size (exact for constant/uniform; truncation ignored for
+  /// the geometric model, documented as an upper bound on the mean).
+  double mean() const;
+
+ private:
+  enum class Kind { kConstant, kUniformRange, kShiftedGeometric };
+  BallSizeModel() = default;
+
+  Kind kind_ = Kind::kConstant;
+  std::uint64_t a_ = 1;  // constant value / lo / cap
+  std::uint64_t b_ = 1;  // hi
+  double p_ = 1.0;       // geometric parameter
+};
+
+/// Result of a weighted game.
+struct WeightedGameResult {
+  Load max_load{0, 1};
+  std::size_t argmax_bin = 0;
+  std::uint64_t balls_thrown = 0;
+  std::uint64_t total_weight = 0;
+
+  double max_load_value() const noexcept { return max_load.value(); }
+};
+
+/// Place one ball of weight `w` by the weighted Algorithm 1: among the d
+/// candidates, minimise the exact post-allocation load (W_i + w)/c_i; break
+/// exact ties per `cfg.tie_break`. Returns the destination.
+std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sampler,
+                                    std::uint64_t w, const GameConfig& cfg,
+                                    Xoshiro256StarStar& rng);
+
+/// Throw `balls` balls whose sizes are drawn from `sizes`.
+/// cfg.balls == 0 keeps the paper's convention scaled by mean ball size:
+/// the number of balls is round(C / mean_size), so the expected average
+/// load is ~1.
+WeightedGameResult play_weighted_game(WeightedBinArray& bins, const BinSampler& sampler,
+                                      const BallSizeModel& sizes, const GameConfig& cfg,
+                                      Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,54 @@
+#include "theory/bounds.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math_utils.hpp"
+
+namespace nubb::bounds {
+
+double azar_leading_term(double n, std::uint32_t d) {
+  NUBB_REQUIRE_MSG(d >= 2, "multiple-choice bounds need d >= 2");
+  return ln_ln(n) / std::log(static_cast<double>(d));
+}
+
+double theorem3_bound(double n, std::uint32_t d, double additive) {
+  return azar_leading_term(n, d) + additive;
+}
+
+double observation2_bound(double m, double n, double cbar, std::uint32_t d,
+                          double gap_constant) {
+  NUBB_REQUIRE_MSG(cbar >= 1.0 && n >= 1.0, "observation 2 needs cbar, n >= 1");
+  return (m / n + gap_constant * azar_leading_term(n, d)) / cbar;
+}
+
+double heavily_loaded_max_balls(double m, double n, std::uint32_t d, double additive) {
+  return m / n + azar_leading_term(n, d) + additive;
+}
+
+double big_bin_threshold(double n, double r) {
+  NUBB_REQUIRE_MSG(r > 0.0, "big-bin constant must be positive");
+  return r * std::log(n);
+}
+
+bool theorem1_applies(double m, double n, double c_small_total, double c_constant) {
+  if (m >= n * n) return true;
+  return c_small_total <= c_constant * std::pow(n * std::log(n), 2.0 / 3.0);
+}
+
+bool theorem2_applies(double total_capacity, double c_small_total, std::uint32_t d) {
+  NUBB_REQUIRE_MSG(d >= 2, "theorem 2 needs d >= 2");
+  NUBB_REQUIRE_MSG(total_capacity > 1.0, "theorem 2 needs C > 1");
+  const double dd = static_cast<double>(d);
+  const double bound =
+      std::pow(total_capacity, (dd - 1.0) / dd) * std::pow(std::log(total_capacity), 1.0 / dd);
+  return c_small_total <= bound;
+}
+
+double theorem5_bound(double k, double alpha, double q, double n) {
+  NUBB_REQUIRE_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+  NUBB_REQUIRE_MSG(q >= 1.0, "big capacity q must be >= 1");
+  return k / alpha + ln_ln(n) / q;
+}
+
+}  // namespace nubb::bounds

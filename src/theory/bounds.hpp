@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Closed-form predictions from the paper's analysis (Section 3) and from
+/// the prior work it builds on. The benches print these next to measured
+/// values; the property tests assert the measurements stay below the bounds
+/// with generous slack.
+///
+/// All bounds are asymptotic with unspecified O(1) terms; functions take the
+/// additive constant as a parameter so callers make their slack explicit.
+
+#include <cstdint>
+
+namespace nubb::bounds {
+
+/// Leading term of the classic two-choice bound [Azar et al.]:
+/// ln ln(n) / ln(d). Defined as 0 for n <= e (the bound is asymptotic).
+double azar_leading_term(double n, std::uint32_t d);
+
+/// Theorem 3: max load <= ln ln(n)/ln(d) + additive, w.h.p., for m = C.
+double theorem3_bound(double n, std::uint32_t d, double additive);
+
+/// Observation 2: uniform capacity cbar, m balls, n bins:
+/// max load = (m/n + Theta(ln ln n / ln d)) / cbar; this returns the bound
+/// with the Theta replaced by `gap_constant * ln ln n / ln d`.
+double observation2_bound(double m, double n, double cbar, std::uint32_t d,
+                          double gap_constant);
+
+/// Heavily loaded case [Berenbrink et al. 2000], in *balls* (capacity 1):
+/// m/n + ln ln(n)/ln(d) + additive.
+double heavily_loaded_max_balls(double m, double n, std::uint32_t d, double additive);
+
+/// The paper's "big bin" threshold: capacity >= r * ln(n).
+double big_bin_threshold(double n, double r);
+
+/// Observation 1 load cap for big bins (the proof gives 4).
+constexpr double observation1_big_bin_load_cap() { return 4.0; }
+
+/// Theorem 1 condition (either branch): m >= n^2, or
+/// Cs <= c * (n ln n)^(2/3).
+bool theorem1_applies(double m, double n, double c_small_total, double c_constant);
+
+/// Theorem 2 condition: Cs <= C^((d-1)/d) * (log C)^(1/d).
+bool theorem2_applies(double total_capacity, double c_small_total, std::uint32_t d);
+
+/// Theorem 5 bound: with alpha*n bins of capacity q and probability 1/(alpha n)
+/// on exactly those bins, max load <= k/alpha + O(ln ln n / q) for m = k*C.
+double theorem5_bound(double k, double alpha, double q, double n);
+
+}  // namespace nubb::bounds

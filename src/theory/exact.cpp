@@ -1,0 +1,160 @@
+#include "theory/exact.hpp"
+
+#include <cmath>
+
+#include "core/load.hpp"
+#include "util/assert.hpp"
+#include "util/math_utils.hpp"
+
+namespace nubb {
+
+namespace {
+
+/// Enumeration context shared across the recursion.
+struct Enumeration {
+  const std::vector<std::uint64_t>& capacities;
+  std::vector<double> probabilities;  // normalised selection probabilities
+  std::uint32_t d;
+  TieBreak tie_break;
+  std::map<std::vector<std::uint64_t>, double> out;
+};
+
+/// Distinct candidates of one choice tuple that minimise the exact
+/// post-allocation load, filtered by the tie-break policy. Returns the set
+/// of possible destinations; under kUniform / kPreferLargerCapacity the
+/// probability splits evenly among them, under kFirstChoice the first
+/// candidate (in tuple order) wins outright.
+std::vector<std::size_t> destinations(const Enumeration& ctx,
+                                      const std::vector<std::uint64_t>& balls,
+                                      const std::vector<std::size_t>& tuple) {
+  std::vector<std::size_t> best;
+  Load best_load{0, 1};
+  for (const std::size_t candidate : tuple) {
+    const Load post{balls[candidate] + 1, ctx.capacities[candidate]};
+    if (best.empty() || post < best_load) {
+      best_load = post;
+      best.assign(1, candidate);
+    } else if (post == best_load) {
+      bool duplicate = false;
+      for (const std::size_t b : best) {
+        if (b == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best.push_back(candidate);
+    }
+  }
+  if (best.size() == 1) return best;
+
+  switch (ctx.tie_break) {
+    case TieBreak::kFirstChoice:
+      return {best.front()};
+    case TieBreak::kUniform:
+      return best;
+    case TieBreak::kPreferLargerCapacity: {
+      std::uint64_t cmax = 0;
+      for (const std::size_t b : best) cmax = std::max(cmax, ctx.capacities[b]);
+      std::vector<std::size_t> filtered;
+      for (const std::size_t b : best) {
+        if (ctx.capacities[b] == cmax) filtered.push_back(b);
+      }
+      return filtered;
+    }
+  }
+  return best;  // unreachable
+}
+
+/// Recurse over the remaining balls; `prob` is the probability mass of the
+/// current partial history.
+void recurse(Enumeration& ctx, std::vector<std::uint64_t>& balls, std::uint64_t remaining,
+             double prob) {
+  if (remaining == 0) {
+    ctx.out[balls] += prob;
+    return;
+  }
+  const std::size_t n = ctx.capacities.size();
+
+  // Enumerate all n^d choice tuples via an odometer.
+  std::vector<std::size_t> tuple(ctx.d, 0);
+  for (;;) {
+    double tuple_prob = prob;
+    for (const std::size_t c : tuple) tuple_prob *= ctx.probabilities[c];
+
+    if (tuple_prob > 0.0) {
+      const auto dests = destinations(ctx, balls, tuple);
+      const double share = tuple_prob / static_cast<double>(dests.size());
+      for (const std::size_t dest : dests) {
+        ++balls[dest];
+        recurse(ctx, balls, remaining - 1, share);
+        --balls[dest];
+      }
+    }
+
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < ctx.d && ++tuple[pos] == n) {
+      tuple[pos] = 0;
+      ++pos;
+    }
+    if (pos == ctx.d) break;
+  }
+}
+
+}  // namespace
+
+std::map<std::vector<std::uint64_t>, double> exact_allocation_distribution(
+    const std::vector<std::uint64_t>& capacities, const std::vector<double>& weights,
+    std::uint32_t d, std::uint64_t m, TieBreak tie_break) {
+  NUBB_REQUIRE_MSG(!capacities.empty(), "need at least one bin");
+  NUBB_REQUIRE_MSG(capacities.size() == weights.size(), "weights/capacities size mismatch");
+  NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
+
+  const std::uint64_t tuples = saturating_pow(capacities.size(), d);
+  NUBB_REQUIRE_MSG(tuples < 4096 && m <= 8 && saturating_pow(tuples, static_cast<std::uint32_t>(m)) < 100000000ULL,
+                   "exact enumeration limited to tiny games (n^d and m too large)");
+
+  double total = 0.0;
+  for (const double w : weights) {
+    NUBB_REQUIRE_MSG(w >= 0.0, "selection weights must be non-negative");
+    total += w;
+  }
+  NUBB_REQUIRE_MSG(total > 0.0, "selection weights must have positive total");
+
+  Enumeration ctx{capacities, {}, d, tie_break, {}};
+  ctx.probabilities.reserve(weights.size());
+  for (const double w : weights) ctx.probabilities.push_back(w / total);
+
+  std::vector<std::uint64_t> balls(capacities.size(), 0);
+  recurse(ctx, balls, m, 1.0);
+  return ctx.out;
+}
+
+std::map<double, double> exact_max_load_distribution(
+    const std::vector<std::uint64_t>& capacities, const std::vector<double>& weights,
+    std::uint32_t d, std::uint64_t m, TieBreak tie_break) {
+  const auto allocations = exact_allocation_distribution(capacities, weights, d, m, tie_break);
+  std::map<double, double> out;
+  for (const auto& [balls, prob] : allocations) {
+    Load max{0, 1};
+    for (std::size_t i = 0; i < balls.size(); ++i) {
+      const Load l{balls[i], capacities[i]};
+      if (max < l) max = l;
+    }
+    out[max.value()] += prob;
+  }
+  return out;
+}
+
+double exact_expected_max_load(const std::vector<std::uint64_t>& capacities,
+                               const std::vector<double>& weights, std::uint32_t d,
+                               std::uint64_t m, TieBreak tie_break) {
+  double expectation = 0.0;
+  for (const auto& [value, prob] : exact_max_load_distribution(capacities, weights, d, m,
+                                                               tie_break)) {
+    expectation += value * prob;
+  }
+  return expectation;
+}
+
+}  // namespace nubb

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file exact.hpp
+/// Exact (exhaustive) analysis of tiny games.
+///
+/// For small n, d and m the full probability distribution of the final
+/// allocation can be computed by enumerating every choice tuple and every
+/// tie-break branch with its exact probability. This gives a ground-truth
+/// oracle against which the Monte-Carlo simulator is validated: any bias in
+/// candidate sampling, tie handling or the protocol itself shows up as a
+/// statistically significant deviation from the exact distribution.
+///
+/// Complexity is O((n^d)^m * branching); intended for n <= 4, m <= 6.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace nubb {
+
+/// Exact probability distribution over final per-bin ball-count vectors.
+/// Keys are the ball-count vectors, values their probabilities (sum to 1).
+///
+/// `weights` are the (unnormalised) selection weights of the bins — pass
+/// the capacities for the paper's proportional model.
+/// \pre capacities/weights non-empty and matching; d >= 1; total weight > 0;
+///      n^d * m small enough to enumerate (guarded at ~10^7 states).
+std::map<std::vector<std::uint64_t>, double> exact_allocation_distribution(
+    const std::vector<std::uint64_t>& capacities, const std::vector<double>& weights,
+    std::uint32_t d, std::uint64_t m, TieBreak tie_break);
+
+/// Exact distribution of the final *maximum load*, as value -> probability.
+/// Max-load values are exact rationals rendered as doubles (tiny cases, so
+/// no two distinct rationals collide).
+std::map<double, double> exact_max_load_distribution(
+    const std::vector<std::uint64_t>& capacities, const std::vector<double>& weights,
+    std::uint32_t d, std::uint64_t m, TieBreak tie_break);
+
+/// Exact expected maximum load (convenience over the distribution).
+double exact_expected_max_load(const std::vector<std::uint64_t>& capacities,
+                               const std::vector<double>& weights, std::uint32_t d,
+                               std::uint64_t m, TieBreak tie_break);
+
+}  // namespace nubb

@@ -1,0 +1,74 @@
+#include "util/alias_table.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  NUBB_REQUIRE_MSG(n > 0, "alias table needs at least one outcome");
+  NUBB_REQUIRE_MSG(n <= std::numeric_limits<std::uint32_t>::max(),
+                   "alias table limited to 2^32-1 outcomes");
+
+  double total = 0.0;
+  for (const double w : weights) {
+    NUBB_REQUIRE_MSG(w >= 0.0, "alias table weights must be non-negative");
+    total += w;
+  }
+  NUBB_REQUIRE_MSG(total > 0.0, "alias table needs positive total weight");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's stable construction: scale probabilities by n, split outcomes
+  // into "small" (< 1) and "large" (>= 1), and repeatedly pair one of each.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * static_cast<double>(n);
+
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    // The large outcome donates (1 - scaled[s]) of its mass to slot s.
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are == 1 up to rounding; they keep prob 1 / self-alias.
+  for (const std::uint32_t l : large) prob_[l] = 1.0;
+  for (const std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+double AliasTable::probability(std::size_t i) const {
+  NUBB_REQUIRE(i < prob_.size());
+  // P(outcome i) = (prob of own slot + mass donated by slots aliased to i)/n.
+  double mass = prob_[i];
+  for (std::size_t slot = 0; slot < prob_.size(); ++slot) {
+    if (alias_[slot] == i && slot != i) mass += 1.0 - prob_[slot];
+  }
+  return mass / static_cast<double>(prob_.size());
+}
+
+double AliasTable::input_probability(std::size_t i) const {
+  NUBB_REQUIRE(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace nubb

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file alias_table.hpp
+/// Walker/Vose alias method: O(n) construction, O(1) weighted sampling.
+///
+/// Every selection-probability model in the core library (proportional,
+/// capacity^t, top-only, ...) compiles down to an AliasTable, because bin
+/// probabilities are static for the duration of a game and the inner loop
+/// draws d of them per ball.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Immutable alias table over outcomes {0, ..., n-1}.
+class AliasTable {
+ public:
+  /// Build from non-negative weights (not necessarily normalised).
+  /// \pre weights non-empty; all weights >= 0; sum of weights > 0.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draw one outcome in O(1): one bounded integer + one double compare.
+  std::size_t sample(Xoshiro256StarStar& rng) const noexcept {
+    const std::size_t slot = static_cast<std::size_t>(rng.bounded(prob_.size()));
+    return rng.next_double() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Exact probability the table assigns to outcome i (reconstructed from
+  /// the internal slots; used by tests to verify the construction against
+  /// the input weights).
+  double probability(std::size_t i) const;
+
+  /// Normalised input weight of outcome i.
+  double input_probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per slot
+  std::vector<std::uint32_t> alias_; // fallback outcome per slot
+  std::vector<double> normalized_;   // normalised input weights (diagnostics)
+};
+
+}  // namespace nubb

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file assert.hpp
+/// Precondition checking for the nubb library.
+///
+/// NUBB_REQUIRE is an always-on precondition check used on public API
+/// boundaries: violations indicate caller bugs and throw
+/// `nubb::PreconditionError` so they are testable and never silently ignored
+/// in release builds (simulation results built on violated preconditions are
+/// worthless, so the cost of a branch is always worth paying).
+
+#include <stdexcept>
+#include <string>
+
+namespace nubb {
+
+/// Thrown when a public API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failure(const char* expr, const char* file, int line,
+                                              const std::string& message) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line) + (message.empty() ? "" : (": " + message)));
+}
+}  // namespace detail
+
+}  // namespace nubb
+
+#define NUBB_REQUIRE(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::nubb::detail::precondition_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+#define NUBB_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::nubb::detail::precondition_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny declarative command-line option parser for the bench/example
+/// binaries. Supports `--name value`, `--name=value` and boolean flags;
+/// prints a generated `--help`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Declarative option set. Register options with defaults, then parse().
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register options (call before parse()).
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false if `--help` was requested (help printed to
+  /// stdout) — callers should then exit 0. Throws std::runtime_error on
+  /// unknown options or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// True if the user explicitly supplied the option on the command line.
+  bool was_set(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;      // current value, textual
+    std::string fallback;   // default, textual
+    bool set_by_user = false;
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order for --help
+};
+
+}  // namespace nubb

@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace nubb {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { write_cells(names); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) { write_cells(cells); }
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    cells.push_back(os.str());
+  }
+  write_cells(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::unique_ptr<CsvWriter> maybe_csv(const std::string& dir, const std::string& filename) {
+  if (dir.empty()) return nullptr;
+  std::filesystem::create_directories(dir);
+  return std::make_unique<CsvWriter>(dir + "/" + filename);
+}
+
+}  // namespace nubb

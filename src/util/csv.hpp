@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for the benchmark harness (`--csv DIR` writes one
+/// file per figure so the series can be re-plotted with gnuplot/matplotlib).
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Streams rows into a CSV file; quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write the header row (convention: once, first).
+  void header(const std::vector<std::string>& names);
+
+  /// Write one data row.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: row of doubles with full precision.
+  void row_numeric(const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Helper used by benches: returns an open writer when `dir` is non-empty,
+/// nullptr otherwise (so call-sites stay single-line).
+std::unique_ptr<CsvWriter> maybe_csv(const std::string& dir, const std::string& filename);
+
+}  // namespace nubb

@@ -1,0 +1,124 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+BinomialDistribution::BinomialDistribution(std::uint32_t trials, double p)
+    : trials_(trials), p_(p) {
+  NUBB_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "binomial probability out of [0,1]");
+}
+
+std::uint32_t BinomialDistribution::operator()(Xoshiro256StarStar& rng) const {
+  if (trials_ == 0 || p_ == 0.0) return 0;
+  if (p_ == 1.0) return trials_;
+  if (trials_ <= 64) return sample_bernoulli_sum(rng);
+  return sample_inversion(rng);
+}
+
+std::uint32_t BinomialDistribution::sample_bernoulli_sum(Xoshiro256StarStar& rng) const {
+  std::uint32_t successes = 0;
+  for (std::uint32_t i = 0; i < trials_; ++i) {
+    successes += (rng.next_double() < p_) ? 1u : 0u;
+  }
+  return successes;
+}
+
+std::uint32_t BinomialDistribution::sample_inversion(Xoshiro256StarStar& rng) const {
+  // CDF inversion enumerated outward from the mode. Starting at k = 0 with
+  // pow(q, n) underflows for large n*|ln q| (e.g. Bin(1000, 0.7)); the pmf
+  // at the mode is always representable, and walking outward visits the
+  // outcomes in near-decreasing probability, so the search also terminates
+  // in O(stddev) steps on average. Any fixed enumeration order yields exact
+  // sampling as long as each outcome's pmf is accumulated once.
+  const double n = static_cast<double>(trials_);
+  const double q = 1.0 - p_;
+  const auto mode = static_cast<std::uint32_t>((n + 1.0) * p_);
+  const double log_pmf_mode = std::lgamma(n + 1.0) - std::lgamma(mode + 1.0) -
+                              std::lgamma(n - mode + 1.0) + mode * std::log(p_) +
+                              (n - mode) * std::log(q);
+  const double pmf_mode = std::exp(log_pmf_mode);
+
+  const double u = rng.next_double();
+  double acc = pmf_mode;
+  if (u < acc) return mode;
+
+  // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/q ; pmf(k-1) = pmf(k) * k/(n-k+1) * q/p.
+  double pmf_up = pmf_mode;
+  double pmf_down = pmf_mode;
+  std::uint32_t up = mode;
+  std::uint32_t down = mode;
+  while (up < trials_ || down > 0) {
+    if (up < trials_) {
+      pmf_up *= (n - up) / (static_cast<double>(up) + 1.0) * (p_ / q);
+      ++up;
+      acc += pmf_up;
+      if (u < acc) return up;
+    }
+    if (down > 0) {
+      pmf_down *= static_cast<double>(down) / (n - static_cast<double>(down) + 1.0) * (q / p_);
+      --down;
+      acc += pmf_down;
+      if (u < acc) return down;
+    }
+  }
+  // Accumulated rounding left a sliver of mass unassigned: return the mode.
+  return mode;
+}
+
+DiscreteCdfDistribution::DiscreteCdfDistribution(const std::vector<double>& weights) {
+  NUBB_REQUIRE_MSG(!weights.empty(), "discrete distribution needs at least one outcome");
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    NUBB_REQUIRE_MSG(w >= 0.0, "discrete distribution weights must be non-negative");
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  total_ = acc;
+  NUBB_REQUIRE_MSG(total_ > 0.0, "discrete distribution needs positive total weight");
+}
+
+std::size_t DiscreteCdfDistribution::operator()(Xoshiro256StarStar& rng) const {
+  const double u = rng.next_double() * total_;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  // u < total implies it != end(), but guard against u == total rounding.
+  return std::min(idx, cdf_.size() - 1);
+}
+
+double DiscreteCdfDistribution::probability(std::size_t i) const {
+  NUBB_REQUIRE(i < cdf_.size());
+  const double prev = (i == 0) ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - prev) / total_;
+}
+
+std::uint64_t sample_geometric(Xoshiro256StarStar& rng, double p) {
+  NUBB_REQUIRE_MSG(p > 0.0 && p <= 1.0, "geometric probability out of (0,1]");
+  if (p == 1.0) return 0;
+  // Inversion: floor(ln(U) / ln(1-p)). U in (0,1].
+  double u = 1.0 - rng.next_double();  // (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k,
+                                                    Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(k <= n, "cannot sample more distinct values than the population size");
+  // Floyd's algorithm: k iterations, no O(n) scratch space.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(rng.bounded(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace nubb

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Reproducible random distributions built on Xoshiro256StarStar.
+///
+/// Unlike `std::binomial_distribution` & friends these produce identical
+/// streams on every conforming implementation, which the test-suite and the
+/// experiment reproducibility guarantees rely on.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Exact binomial sampler Bin(n, p).
+///
+/// Strategy by regime:
+///  * n <= 64: sum of Bernoulli trials (branch-light bit trick on one or a
+///    few 64-bit words would bias towards p = k/64 grids, so we draw one
+///    double per trial - `n` is tiny in all library uses, e.g. Bin(7, .) for
+///    the paper's randomised capacities in Section 4.2).
+///  * otherwise: CDF inversion using the stable recurrence
+///    P(k+1) = P(k) * (n-k)/(k+1) * p/(1-p), restarted from the mode when
+///    the accumulated probability underflows.
+class BinomialDistribution {
+ public:
+  /// \pre trials >= 0, 0 <= p <= 1.
+  BinomialDistribution(std::uint32_t trials, double p);
+
+  std::uint32_t operator()(Xoshiro256StarStar& rng) const;
+
+  std::uint32_t trials() const noexcept { return trials_; }
+  double probability() const noexcept { return p_; }
+  double mean() const noexcept { return trials_ * p_; }
+  double variance() const noexcept { return trials_ * p_ * (1.0 - p_); }
+
+ private:
+  std::uint32_t sample_bernoulli_sum(Xoshiro256StarStar& rng) const;
+  std::uint32_t sample_inversion(Xoshiro256StarStar& rng) const;
+
+  std::uint32_t trials_;
+  double p_;
+};
+
+/// Discrete distribution over {0, ..., n-1} by CDF binary search.
+///
+/// O(log n) per draw. The alias table (alias_table.hpp) is the production
+/// sampler; this exists as an independently-implemented oracle to
+/// cross-validate the alias construction in tests, and for one-off draws
+/// where building an alias table is not worth it.
+class DiscreteCdfDistribution {
+ public:
+  /// \pre weights non-empty, all >= 0, sum > 0.
+  explicit DiscreteCdfDistribution(const std::vector<double>& weights);
+
+  std::size_t operator()(Xoshiro256StarStar& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability of outcome i (normalised weight).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // strictly increasing, back() == total
+  double total_;
+};
+
+/// Geometric-like helper: number of failures before first success with
+/// success probability p; used by sparse simulation paths and tests.
+/// \pre 0 < p <= 1.
+std::uint64_t sample_geometric(Xoshiro256StarStar& rng, double p);
+
+/// Fisher-Yates shuffle with the library RNG (reproducible everywhere).
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256StarStar& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.bounded(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Sample `k` distinct indices from {0,...,n-1} (Floyd's algorithm), returned
+/// in unspecified order. \pre k <= n.
+std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k,
+                                                    Xoshiro256StarStar& rng);
+
+}  // namespace nubb

@@ -1,0 +1,100 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  NUBB_REQUIRE_MSG(bins > 0, "histogram needs at least one bin");
+  NUBB_REQUIRE_MSG(lo < hi, "histogram range must be non-empty");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  NUBB_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  NUBB_REQUIRE(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+void Histogram::merge(const Histogram& other) {
+  NUBB_REQUIRE_MSG(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size(),
+                   "histogram merge requires identical geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                                 static_cast<double>(bar_width));
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << counts_[i] << " "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+void CountingHistogram::add(std::uint64_t value) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  ++counts_[value];
+  ++total_;
+}
+
+std::uint64_t CountingHistogram::count(std::uint64_t value) const noexcept {
+  if (value >= counts_.size()) return 0;
+  return counts_[value];
+}
+
+std::uint64_t CountingHistogram::max_value() const noexcept {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return i - 1;
+  }
+  return 0;
+}
+
+void CountingHistogram::merge(const CountingHistogram& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double CountingHistogram::fraction(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+}  // namespace nubb

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Simple fixed-width histogram plus an exact integer counter histogram.
+///
+/// Used for distribution-shaped results (e.g. distribution of the maximum
+/// load over replications) and by statistical tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Histogram over [lo, hi) with `bins` equal-width cells plus underflow /
+/// overflow counters.
+class Histogram {
+ public:
+  /// \pre bins > 0, lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Merge a histogram with identical geometry. \pre same lo/hi/bins.
+  void merge(const Histogram& other);
+
+  /// Multi-line ASCII rendering (one row per non-empty bin, # bar chart).
+  std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact counter over small non-negative integers (e.g. "how often was the
+/// max number of balls k"); grows on demand.
+class CountingHistogram {
+ public:
+  void add(std::uint64_t value);
+  std::uint64_t count(std::uint64_t value) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  /// Largest value observed (0 if empty).
+  std::uint64_t max_value() const noexcept;
+  void merge(const CountingHistogram& other);
+
+  /// Empirical probability of `value`.
+  double fraction(std::uint64_t value) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nubb

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file int128.hpp
+/// `unsigned __int128` is a GCC/Clang extension (fine for this library's
+/// supported toolchains) but trips -Wpedantic at every use site; the alias
+/// below confines the suppression to one place.
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+namespace nubb {
+using uint128 = unsigned __int128;
+}  // namespace nubb
+#pragma GCC diagnostic pop
+#else
+#error "nubb requires a compiler with unsigned __int128 support (GCC or Clang)"
+#endif

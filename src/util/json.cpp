@@ -1,0 +1,153 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+bool JsonWriter::complete() const noexcept {
+  return root_written_ && stack_.empty() && !pending_key_;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    NUBB_REQUIRE_MSG(!root_written_, "JSON document already has a top-level value");
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    NUBB_REQUIRE_MSG(pending_key_, "JSON object members need a key before the value");
+    pending_key_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  NUBB_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                   "end_object without matching begin_object");
+  NUBB_REQUIRE_MSG(!pending_key_, "JSON object closed with a dangling key");
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  NUBB_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                   "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::key(const std::string& name) {
+  NUBB_REQUIRE_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                   "JSON key outside an object");
+  NUBB_REQUIRE_MSG(!pending_key_, "two JSON keys in a row");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  write_string(name);
+  out_ << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; emit null per the common convention.
+    out_ << "null";
+  } else {
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    out_ << os.str();
+  }
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value();
+  write_string(v);
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (stack_.empty()) root_written_ = true;
+}
+
+void JsonWriter::write_string(const std::string& s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0') << static_cast<int>(c);
+          out_ << os.str();
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace nubb

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal streaming JSON writer for machine-readable experiment output
+/// (`nubb_run --json`, bench post-processing). Write-only, no DOM: the
+/// writer tracks the nesting structure and enforces well-formedness with
+/// precondition checks, so malformed output is impossible rather than
+/// merely unlikely.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Streaming JSON emitter. Usage:
+/// \code
+///   JsonWriter j(out);
+///   j.begin_object();
+///     j.kv("mean", 1.25);
+///     j.key("series"); j.begin_array();
+///       j.value(1.0); j.value(2.0);
+///     j.end_array();
+///   j.end_object();
+/// \endcode
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+
+  /// Exactly one top-level value must be written; the destructor does not
+  /// check (streams may outlive the writer) but `complete()` does.
+  bool complete() const noexcept;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member name; must be followed by exactly one value.
+  void key(const std::string& name);
+
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v);
+  void null();
+
+  /// key(k); value(v); in one call.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+  void write_string(const std::string& s);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool pending_key_ = false;     // a key was written, value expected
+  bool root_written_ = false;
+};
+
+}  // namespace nubb

@@ -1,0 +1,59 @@
+#include "util/math_utils.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+double log_factorial(std::uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  NUBB_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_binomial_coefficient(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_upper_tail(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  double tail = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) tail += binomial_pmf(n, i, p);
+  return std::min(tail, 1.0);
+}
+
+double chernoff_upper(double mu, double eps) {
+  NUBB_REQUIRE_MSG(mu >= 0.0 && eps > 0.0, "chernoff bound needs mu >= 0, eps > 0");
+  return std::exp(-eps * eps * mu / 3.0);
+}
+
+double ln_ln(double n) {
+  if (n <= std::exp(1.0)) return 0.0;
+  return std::log(std::log(n));
+}
+
+std::uint64_t saturating_pow(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > std::numeric_limits<std::uint64_t>::max() / base) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result *= base;
+  }
+  return result;
+}
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) { return std::gcd(a, b); }
+
+}  // namespace nubb

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file math_utils.hpp
+/// Small numeric helpers shared by the theory oracle and the tests:
+/// log-factorials, binomial coefficients/tails, and the iterated logarithms
+/// that appear in every bound of the paper.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nubb {
+
+/// ln(n!) via lgamma; exact enough for tail-bound evaluation.
+double log_factorial(std::uint64_t n);
+
+/// ln C(n, k); returns -inf for k > n.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Exact binomial PMF P[Bin(n,p) = k] computed in log space.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Upper tail P[Bin(n,p) >= k] by direct summation (exact up to fp rounding;
+/// fine for the modest n used in bound checks).
+double binomial_upper_tail(std::uint64_t n, std::uint64_t k, double p);
+
+/// Chernoff bound P[X >= (1+eps) mu] <= exp(-eps^2 mu / 3) for eps in (0,1],
+/// the form used in the proof of Observation 1.
+double chernoff_upper(double mu, double eps);
+
+/// ln(ln(n)) clamped to be >= 0 (the paper's bounds only make sense for
+/// n >= 3; smaller n fall back to 0).
+double ln_ln(double n);
+
+/// Integer power with overflow saturation at uint64 max.
+std::uint64_t saturating_pow(std::uint64_t base, std::uint32_t exp);
+
+/// Greatest common divisor (binary gcd not needed; std::gcd is fine, this
+/// wrapper just keeps the call-sites free of <numeric> includes).
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace nubb

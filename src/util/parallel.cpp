@@ -1,0 +1,4 @@
+// parallel.hpp is header-only (templates); this translation unit exists so
+// the build still has a home for future non-template helpers and so the
+// header gets compiled standalone at least once (include hygiene).
+#include "util/parallel.hpp"

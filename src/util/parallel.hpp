@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic parallel map-reduce over Monte-Carlo replications.
+///
+/// The contract that makes experiments reproducible:
+///   * replication k always receives `seed_for_replication(base_seed, k)`;
+///   * the per-replication results are folded into an accumulator type `Acc`
+///     that is a commutative monoid (`merge`), so the final value does not
+///     depend on worker scheduling or the thread count.
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nubb {
+
+/// Run `replications` independent trials. `body(rep_index, rng, acc)` folds
+/// trial `rep_index` into a worker-local `Acc`; the worker-local accumulators
+/// are merged into `out` in replication order (so even non-commutative
+/// accumulators behave deterministically).
+///
+/// `Acc` requirements: default-constructible, `void merge(const Acc&)`.
+template <typename Acc, typename Body>
+void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, Body body,
+                           Acc& out, ThreadPool* pool = nullptr) {
+  if (replications == 0) return;
+  ThreadPool& tp = pool ? *pool : global_thread_pool();
+  const std::uint64_t workers = tp.thread_count();
+  // Chunk replications contiguously so each worker's accumulator covers a
+  // deterministic index range.
+  const std::uint64_t chunks = std::min<std::uint64_t>(workers * 4, replications);
+  const std::uint64_t per_chunk = (replications + chunks - 1) / chunks;
+
+  std::vector<std::future<Acc>> partials;
+  partials.reserve(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t begin = c * per_chunk;
+    const std::uint64_t end = std::min(begin + per_chunk, replications);
+    if (begin >= end) break;
+    partials.push_back(tp.submit([begin, end, base_seed, &body]() {
+      Acc local;
+      for (std::uint64_t rep = begin; rep < end; ++rep) {
+        Xoshiro256StarStar rng(seed_for_replication(base_seed, rep));
+        body(rep, rng, local);
+      }
+      return local;
+    }));
+  }
+  for (auto& f : partials) {
+    Acc part = f.get();
+    out.merge(part);
+  }
+}
+
+/// Parallel for over [0, count): `body(i)` with static chunking.
+template <typename Body>
+void parallel_for(std::uint64_t count, Body body, ThreadPool* pool = nullptr) {
+  if (count == 0) return;
+  ThreadPool& tp = pool ? *pool : global_thread_pool();
+  const std::uint64_t workers = tp.thread_count();
+  const std::uint64_t chunks = std::min<std::uint64_t>(workers * 4, count);
+  const std::uint64_t per_chunk = (count + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t begin = c * per_chunk;
+    const std::uint64_t end = std::min(begin + per_chunk, count);
+    if (begin >= end) break;
+    futures.push_back(tp.submit([begin, end, &body]() {
+      for (std::uint64_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace nubb

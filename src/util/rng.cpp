@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+namespace nubb {
+
+void Xoshiro256StarStar::jump() noexcept {
+  // Jump polynomial from the reference implementation (xoshiro256** 1.0).
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        acc[0] ^= state_[0];
+        acc[1] ^= state_[1];
+        acc[2] ^= state_[2];
+        acc[3] ^= state_[3];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+}
+
+}  // namespace nubb

@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci_half_width(double confidence) const {
+  return normal_z(confidence) * std_error();
+}
+
+Summary Summary::from(const RunningStats& s) {
+  Summary out;
+  out.count = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.std_error = s.std_error();
+  out.min = s.min();
+  out.max = s.max();
+  return out;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "mean=" << mean << " sd=" << stddev << " se=" << std_error << " min=" << min
+     << " max=" << max << " n=" << count;
+  return os.str();
+}
+
+double quantile(std::vector<double> values, double q) {
+  NUBB_REQUIRE_MSG(!values.empty(), "quantile of empty sample");
+  NUBB_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double chi_square_statistic(const std::vector<std::uint64_t>& observed,
+                            const std::vector<double>& expected_probability) {
+  NUBB_REQUIRE(observed.size() == expected_probability.size());
+  NUBB_REQUIRE(!observed.empty());
+  std::uint64_t total = 0;
+  for (const auto o : observed) total += o;
+  NUBB_REQUIRE_MSG(total > 0, "chi-square needs at least one observation");
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probability[i] * static_cast<double>(total);
+    NUBB_REQUIRE_MSG(expected > 0.0, "chi-square cell with zero expectation");
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical_1e4(std::size_t dof) {
+  NUBB_REQUIRE(dof > 0);
+  // Wilson-Hilferty: X ~ chi2(k)  =>  (X/k)^(1/3) approx N(1 - 2/(9k), 2/(9k)).
+  const double k = static_cast<double>(dof);
+  const double z = 3.719;  // one-sided 1e-4 upper quantile of N(0,1)
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  NUBB_REQUIRE_MSG(!a.empty() && !b.empty(), "KS statistic needs non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  double max_gap = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    // Advance past ties in lockstep so the gap is evaluated *between*
+    // distinct values, where the empirical CDFs are constant.
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    const double gap = std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb);
+    max_gap = std::max(max_gap, gap);
+  }
+  return max_gap;
+}
+
+double ks_critical(double alpha, std::size_t n, std::size_t m) {
+  NUBB_REQUIRE_MSG(alpha > 0.0 && alpha < 1.0, "KS significance out of (0,1)");
+  NUBB_REQUIRE_MSG(n >= 1 && m >= 1, "KS samples must be non-empty");
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
+double normal_z(double confidence) {
+  if (confidence == 0.90) return 1.6449;
+  if (confidence == 0.95) return 1.9600;
+  if (confidence == 0.99) return 2.5758;
+  if (confidence == 0.9999) return 3.8906;
+  NUBB_REQUIRE_MSG(false, "unsupported confidence level (use 0.90/0.95/0.99/0.9999)");
+  return 0.0;  // unreachable
+}
+
+}  // namespace nubb

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics for Monte-Carlo aggregation.
+///
+/// `RunningStats` implements Welford/Chan's numerically stable online
+/// mean/variance with an O(1) merge, which makes it a commutative monoid -
+/// exactly what the parallel experiment driver needs to produce results
+/// independent of the thread schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Online mean / variance / min / max with merge support.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Fold one observation in.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (Chan et al. parallel variance update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 observations).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double std_error() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the normal-approximation confidence interval at the given
+  /// two-sided confidence level (supported: 0.90, 0.95, 0.99).
+  double ci_half_width(double confidence = 0.95) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Immutable summary snapshot, convenient for table rows.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double std_error = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Summary from(const RunningStats& s);
+  std::string to_string() const;
+
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci_half_width_95() const { return 1.96 * std_error; }
+};
+
+/// Exact sample quantile (linear interpolation between order statistics,
+/// the "R-7" definition used by numpy's default). Sorts a copy: O(n log n).
+/// \pre values non-empty, 0 <= q <= 1.
+double quantile(std::vector<double> values, double q);
+
+/// Pearson chi-square goodness-of-fit statistic of observed counts against
+/// expected probabilities. \pre sizes match; expected probabilities sum ~1.
+double chi_square_statistic(const std::vector<std::uint64_t>& observed,
+                            const std::vector<double>& expected_probability);
+
+/// Conservative upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at significance ~1e-4, via the Wilson-Hilferty
+/// cube-root normal approximation. Used by statistical tests to pick
+/// thresholds that practically never false-alarm under H0.
+double chi_square_critical_1e4(std::size_t dof);
+
+/// z-value for a two-sided normal confidence level (0.90/0.95/0.99/0.9999).
+double normal_z(double confidence);
+
+/// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|.
+/// Sorts copies; O((n+m) log(n+m)). \pre both samples non-empty.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Rejection threshold for the two-sample KS test at significance `alpha`
+/// (asymptotic Smirnov approximation): sqrt(-ln(alpha/2)/2 * (n+m)/(n*m)).
+/// Statistical tests in this repo use alpha = 1e-3 or smaller so they
+/// practically never false-alarm. \pre 0 < alpha < 1; n, m >= 1.
+double ks_critical(double alpha, std::size_t n, std::size_t m);
+
+}  // namespace nubb

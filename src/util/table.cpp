@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    NUBB_REQUIRE_MSG(cells.size() == header_.size(), "row width does not match table header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::num(std::int64_t v) { return std::to_string(v); }
+
+std::string TextTable::render() const {
+  // Column widths across header + all rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&widths](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i])) << row[i];
+    }
+    os << " |\n";
+  };
+
+  std::size_t total = 1;
+  for (const auto w : widths) total += w + 3;
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  const std::string rule(total, '-');
+  os << rule << "\n";
+  if (!header_.empty()) {
+    render_row(os, header_);
+    os << rule << "\n";
+  }
+  for (const auto& row : rows_) render_row(os, row);
+  os << rule << "\n";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) { return os << t.render(); }
+
+}  // namespace nubb

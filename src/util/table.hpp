@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width ASCII table rendering for the benchmark harness.
+///
+/// Every figure-reproduction binary prints its series through this class so
+/// the terminal output lines up and the same rows can be diffed between runs.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nubb {
+
+/// Column-aligned table with a title, a header row and string cells.
+/// Numeric convenience overloads format with a configurable precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Set the header; defines the column count for subsequent rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row. \pre size matches the header if one was set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with fixed precision (shared by benches for uniformity).
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment, title and separator rules.
+  std::string render() const;
+
+  /// Render straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nubb

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool used by the Monte-Carlo experiment driver.
+///
+/// Deliberately simple: a single mutex-protected FIFO queue is plenty for
+/// our workload shape (few, coarse-grained replication batches), and keeps
+/// the code auditable. Determinism of results is guaranteed one level up by
+/// seeding each replication independently of which worker runs it.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nubb {
+
+/// Fixed set of workers draining a FIFO task queue. Destruction joins all
+/// workers after finishing queued tasks.
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 means std::thread::hardware_concurrency()
+  ///        (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion/result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for the experiment driver (lazily constructed).
+/// Bench binaries can pass their own pool instead; this is a convenience for
+/// examples and tests.
+ThreadPool& global_thread_pool();
+
+}  // namespace nubb

@@ -1,0 +1,95 @@
+#include "baselines/capacity_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/nubb.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(CapacityGreedyTest, ConservesBalls) {
+  const auto caps = two_class_capacities(10, 1, 10, 4);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(1);
+  const auto balls = capacity_greedy_loads(sampler, caps, 200, 2, rng);
+  EXPECT_EQ(std::accumulate(balls.begin(), balls.end(), std::uint64_t{0}), 200u);
+}
+
+TEST(CapacityGreedyTest, AlwaysPicksTheBiggerCandidate) {
+  // Two bins with caps 1 and 100; every tuple containing bin 1 sends the
+  // ball there. P[tuple == (0,0)] with proportional sampling = (1/101)^2,
+  // so over 1000 balls bin 0 gets ~0.1 balls.
+  const std::vector<std::uint64_t> caps = {1, 100};
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(2);
+  const auto balls = capacity_greedy_loads(sampler, caps, 1000, 2, rng);
+  EXPECT_LE(balls[0], 3u);
+  EXPECT_GE(balls[1], 997u);
+}
+
+TEST(CapacityGreedyTest, EqualCapacitiesReduceToUniformTieChoice) {
+  const auto caps = uniform_capacities(8, 3);
+  const BinSampler sampler = BinSampler::uniform(8);
+  Xoshiro256StarStar rng(3);
+  const auto balls = capacity_greedy_loads(sampler, caps, 8000, 2, rng);
+  for (const auto b : balls) {
+    EXPECT_NEAR(static_cast<double>(b), 1000.0, 200.0);  // ~5 sigma-ish band
+  }
+}
+
+TEST(CapacityGreedyTest, MaxLoadConvenienceMatchesVector) {
+  const auto caps = two_class_capacities(10, 1, 5, 8);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar a(4);
+  Xoshiro256StarStar b(4);
+  const auto balls = capacity_greedy_loads(sampler, caps, 100, 2, a);
+  Load max{0, 1};
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    const Load l{balls[i], caps[i]};
+    if (max < l) max = l;
+  }
+  EXPECT_DOUBLE_EQ(capacity_greedy_max_load(sampler, caps, 100, 2, b), max.value());
+}
+
+TEST(CapacityGreedyTest, LoadBlindnessLosesToAlgorithm1WhenBigBinsAreScarce) {
+  // 5% big bins: capacity-greedy funnels nearly everything into them and
+  // overloads them; Algorithm 1 must be clearly better.
+  const auto caps = two_class_capacities(950, 1, 50, 10);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  const std::uint64_t m = 950 + 500;
+
+  RunningStats greedy_cap;
+  RunningStats algorithm1;
+  for (int r = 0; r < 40; ++r) {
+    Xoshiro256StarStar rng_a(seed_for_replication(100, static_cast<std::uint64_t>(r)));
+    greedy_cap.add(capacity_greedy_max_load(sampler, caps, m, 2, rng_a));
+
+    BinArray bins(caps);
+    Xoshiro256StarStar rng_b(seed_for_replication(200, static_cast<std::uint64_t>(r)));
+    GameConfig cfg;
+    cfg.balls = m;
+    play_game(bins, sampler, cfg, rng_b);
+    algorithm1.add(bins.max_load().value());
+  }
+  EXPECT_GT(greedy_cap.mean(), algorithm1.mean() + 1.0);
+}
+
+TEST(CapacityGreedyTest, RejectsBadArguments) {
+  const std::vector<std::uint64_t> caps = {1, 2};
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(5);
+  EXPECT_THROW(capacity_greedy_loads(sampler, caps, 10, 0, rng), PreconditionError);
+  const BinSampler mismatched = BinSampler::uniform(3);
+  EXPECT_THROW(capacity_greedy_loads(mismatched, caps, 10, 2, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

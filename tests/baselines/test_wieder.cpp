@@ -1,0 +1,89 @@
+#include "baselines/wieder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(LinearSkewTest, ZeroSkewIsUniform) {
+  const auto w = linear_skew_probabilities(5, 0.0);
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(LinearSkewTest, SkewOneDoublesTheTop) {
+  const auto w = linear_skew_probabilities(11, 1.0);
+  EXPECT_DOUBLE_EQ(w.front(), 1.0);
+  EXPECT_DOUBLE_EQ(w.back(), 2.0);
+  // Monotone in between.
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i], w[i - 1]);
+}
+
+TEST(LinearSkewTest, SingleBinIsWellDefined) {
+  const auto w = linear_skew_probabilities(1, 5.0);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(LinearSkewTest, RejectsNegativeSkew) {
+  EXPECT_THROW(linear_skew_probabilities(4, -0.5), PreconditionError);
+}
+
+TEST(WiederGapTraceTest, TraceHasExpectedLength) {
+  Xoshiro256StarStar rng(1);
+  const auto probs = linear_skew_probabilities(32, 1.0);
+  const auto trace = wieder_gap_trace(probs, 320, 32, 2, rng);
+  EXPECT_EQ(trace.size(), 10u);
+}
+
+TEST(WiederGapTraceTest, FinalPartialCheckpointIncluded) {
+  Xoshiro256StarStar rng(2);
+  const auto probs = linear_skew_probabilities(8, 0.0);
+  const auto trace = wieder_gap_trace(probs, 25, 10, 2, rng);
+  EXPECT_EQ(trace.size(), 3u);  // 10, 20, 25
+}
+
+TEST(WiederGapTraceTest, GapsAreNonNegative) {
+  Xoshiro256StarStar rng(3);
+  const auto probs = linear_skew_probabilities(64, 2.0);
+  for (const double g : wieder_gap_trace(probs, 6400, 64, 2, rng)) {
+    EXPECT_GE(g, -1e-9);
+  }
+}
+
+TEST(WiederGapTraceTest, SkewMakesTheGapGrowWithM) {
+  // Wieder's phenomenon: with skewed probabilities and fixed d the gap
+  // grows in m; with uniform probabilities it stays ~flat. Compare the
+  // trace's late-vs-early averages across replications.
+  constexpr std::size_t kN = 128;
+  constexpr std::uint64_t kBalls = 128 * 200;
+  constexpr std::uint64_t kInterval = 128 * 10;
+  constexpr int kReps = 10;
+
+  auto growth = [&](double skew, std::uint64_t seed) {
+    RunningStats delta;
+    for (int r = 0; r < kReps; ++r) {
+      Xoshiro256StarStar rng(seed + static_cast<std::uint64_t>(r));
+      const auto trace =
+          wieder_gap_trace(linear_skew_probabilities(kN, skew), kBalls, kInterval, 2, rng);
+      delta.add(trace.back() - trace.front());
+    }
+    return delta.mean();
+  };
+
+  const double uniform_growth = growth(0.0, 100);
+  const double skewed_growth = growth(3.0, 200);
+  EXPECT_GT(skewed_growth, uniform_growth + 1.0);
+}
+
+TEST(WiederGapTraceTest, RejectsBadArguments) {
+  Xoshiro256StarStar rng(4);
+  const auto probs = linear_skew_probabilities(4, 0.0);
+  EXPECT_THROW(wieder_gap_trace(probs, 10, 0, 2, rng), PreconditionError);
+  EXPECT_THROW(wieder_gap_trace(probs, 10, 5, 0, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

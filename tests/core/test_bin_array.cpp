@@ -1,0 +1,110 @@
+#include "core/bin_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(BinArrayTest, ConstructionComputesTotals) {
+  const BinArray bins({1, 2, 3, 4});
+  EXPECT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins.total_capacity(), 10u);
+  EXPECT_EQ(bins.total_balls(), 0u);
+  EXPECT_EQ(bins.capacity(2), 3u);
+  EXPECT_EQ(bins.balls(2), 0u);
+}
+
+TEST(BinArrayTest, RejectsInvalidCapacities) {
+  EXPECT_THROW(BinArray({}), PreconditionError);
+  EXPECT_THROW(BinArray({1, 0, 2}), PreconditionError);
+}
+
+TEST(BinArrayTest, AddBallUpdatesCountsAndLoads) {
+  BinArray bins({2, 4});
+  bins.add_ball(0);
+  bins.add_ball(0);
+  bins.add_ball(1);
+  EXPECT_EQ(bins.balls(0), 2u);
+  EXPECT_EQ(bins.balls(1), 1u);
+  EXPECT_EQ(bins.total_balls(), 3u);
+  EXPECT_DOUBLE_EQ(bins.load_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(bins.load_value(1), 0.25);
+  EXPECT_DOUBLE_EQ(bins.average_load(), 0.5);
+}
+
+TEST(BinArrayTest, OnlineMaxLoadTracksScanMax) {
+  BinArray bins({1, 2, 5, 10});
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 500; ++i) {
+    bins.add_ball(static_cast<std::size_t>(rng.bounded(bins.size())));
+    ASSERT_EQ(bins.max_load(), scan_max_load(bins)) << "diverged after ball " << i;
+  }
+}
+
+TEST(BinArrayTest, ArgmaxPointsAtAMaximallyLoadedBin) {
+  BinArray bins({1, 1, 1});
+  bins.add_ball(1);
+  bins.add_ball(1);
+  bins.add_ball(2);
+  EXPECT_EQ(bins.argmax_bin(), 1u);
+  EXPECT_EQ(bins.load(bins.argmax_bin()), bins.max_load());
+}
+
+TEST(BinArrayTest, MaxLoadIsMonotoneNonDecreasing) {
+  BinArray bins({3, 1, 4});
+  Xoshiro256StarStar rng(5);
+  Load previous{0, 1};
+  for (int i = 0; i < 200; ++i) {
+    bins.add_ball(static_cast<std::size_t>(rng.bounded(bins.size())));
+    ASSERT_GE(bins.max_load(), previous);
+    previous = bins.max_load();
+  }
+}
+
+TEST(BinArrayTest, ClearResetsBallsKeepsCapacities) {
+  BinArray bins({2, 3});
+  bins.add_ball(0);
+  bins.add_ball(1);
+  bins.clear();
+  EXPECT_EQ(bins.total_balls(), 0u);
+  EXPECT_EQ(bins.balls(0), 0u);
+  EXPECT_EQ(bins.total_capacity(), 5u);
+  EXPECT_EQ(bins.max_load(), (Load{0, 1}));
+}
+
+TEST(BinArrayTest, LoadValuesMatchPerBinQueries) {
+  BinArray bins({1, 2, 4});
+  bins.add_ball(0);
+  bins.add_ball(2);
+  const auto values = bins.load_values();
+  ASSERT_EQ(values.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(values[i], bins.load_value(i));
+}
+
+TEST(BinArrayTest, CapacityAtLeastSplitsBigAndSmall) {
+  const BinArray bins({1, 1, 5, 10, 3});
+  EXPECT_EQ(bins.capacity_at_least(1), 20u);   // everything
+  EXPECT_EQ(bins.capacity_at_least(3), 18u);   // 5 + 10 + 3
+  EXPECT_EQ(bins.capacity_at_least(5), 15u);   // 5 + 10
+  EXPECT_EQ(bins.capacity_at_least(11), 0u);   // none
+}
+
+TEST(BinArrayTest, AverageLoadReachesOneWhenBallsEqualCapacity) {
+  BinArray bins({2, 3, 5});
+  for (std::uint64_t i = 0; i < bins.total_capacity(); ++i) bins.add_ball(i % bins.size());
+  EXPECT_DOUBLE_EQ(bins.average_load(), 1.0);
+}
+
+TEST(BinArrayTest, SingleBinDegenerateCase) {
+  BinArray bins({7});
+  for (int i = 0; i < 14; ++i) bins.add_ball(0);
+  EXPECT_DOUBLE_EQ(bins.max_load().value(), 2.0);
+  EXPECT_EQ(bins.argmax_bin(), 0u);
+}
+
+}  // namespace
+}  // namespace nubb

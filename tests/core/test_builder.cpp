@@ -1,0 +1,125 @@
+#include "core/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(BuilderTest, UniformCapacities) {
+  const auto caps = uniform_capacities(5, 3);
+  ASSERT_EQ(caps.size(), 5u);
+  for (const auto c : caps) EXPECT_EQ(c, 3u);
+}
+
+TEST(BuilderTest, UniformRejectsInvalid) {
+  EXPECT_THROW(uniform_capacities(0, 1), PreconditionError);
+  EXPECT_THROW(uniform_capacities(1, 0), PreconditionError);
+}
+
+TEST(BuilderTest, TwoClassLayout) {
+  const auto caps = two_class_capacities(3, 1, 2, 10);
+  EXPECT_EQ(caps, (std::vector<std::uint64_t>{1, 1, 1, 10, 10}));
+}
+
+TEST(BuilderTest, TwoClassAllowsEmptyClasses) {
+  EXPECT_EQ(two_class_capacities(0, 1, 2, 10), (std::vector<std::uint64_t>{10, 10}));
+  EXPECT_EQ(two_class_capacities(2, 1, 0, 10), (std::vector<std::uint64_t>{1, 1}));
+  EXPECT_THROW(two_class_capacities(0, 1, 0, 10), PreconditionError);
+}
+
+TEST(BuilderTest, BinomialCapacitiesStayInSupport) {
+  Xoshiro256StarStar rng(123);
+  const auto caps = binomial_capacities(10000, 4.5, rng);
+  ASSERT_EQ(caps.size(), 10000u);
+  for (const auto c : caps) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 8u);
+  }
+}
+
+TEST(BuilderTest, BinomialCapacitiesHitTargetMean) {
+  Xoshiro256StarStar rng(7);
+  for (const double mean : {1.0, 2.0, 4.0, 8.0}) {
+    const auto caps = binomial_capacities(20000, mean, rng);
+    RunningStats stats;
+    for (const auto c : caps) stats.add(static_cast<double>(c));
+    // Var of 1+Bin(7,p) is at most 7/4; 5-sigma band on 20000 samples.
+    EXPECT_NEAR(stats.mean(), mean, 5.0 * std::sqrt(1.75 / 20000.0) + 1e-9) << mean;
+  }
+}
+
+TEST(BuilderTest, BinomialExtremesAreDeterministic) {
+  Xoshiro256StarStar rng(9);
+  for (const auto c : binomial_capacities(100, 1.0, rng)) EXPECT_EQ(c, 1u);
+  for (const auto c : binomial_capacities(100, 8.0, rng)) EXPECT_EQ(c, 8u);
+}
+
+TEST(BuilderTest, BinomialRejectsOutOfRangeMean) {
+  Xoshiro256StarStar rng(9);
+  EXPECT_THROW(binomial_capacities(10, 0.5, rng), PreconditionError);
+  EXPECT_THROW(binomial_capacities(10, 8.5, rng), PreconditionError);
+}
+
+TEST(BuilderTest, ZipfCapacitiesStayInSupport) {
+  Xoshiro256StarStar rng(21);
+  const auto caps = zipf_capacities(5000, 1.5, 16, rng);
+  ASSERT_EQ(caps.size(), 5000u);
+  for (const auto c : caps) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 16u);
+  }
+}
+
+TEST(BuilderTest, ZipfAlphaZeroIsUniformOverSizes) {
+  Xoshiro256StarStar rng(22);
+  const auto caps = zipf_capacities(80000, 0.0, 8, rng);
+  std::vector<std::uint64_t> counts(8, 0);
+  for (const auto c : caps) ++counts[c - 1];
+  const double stat = chi_square_statistic(counts, std::vector<double>(8, 0.125));
+  EXPECT_LT(stat, chi_square_critical_1e4(7));
+}
+
+TEST(BuilderTest, ZipfLargerAlphaFavoursSmallCapacities) {
+  Xoshiro256StarStar rng(23);
+  auto mean_of = [&rng](double alpha) {
+    const auto caps = zipf_capacities(20000, alpha, 32, rng);
+    RunningStats s;
+    for (const auto c : caps) s.add(static_cast<double>(c));
+    return s.mean();
+  };
+  const double flat = mean_of(0.0);
+  const double mild = mean_of(1.0);
+  const double steep = mean_of(2.5);
+  EXPECT_GT(flat, mild);
+  EXPECT_GT(mild, steep);
+  EXPECT_LT(steep, 2.5);  // heavily concentrated near 1
+}
+
+TEST(BuilderTest, ZipfRejectsBadParameters) {
+  Xoshiro256StarStar rng(24);
+  EXPECT_THROW(zipf_capacities(0, 1.0, 8, rng), PreconditionError);
+  EXPECT_THROW(zipf_capacities(10, -0.5, 8, rng), PreconditionError);
+  EXPECT_THROW(zipf_capacities(10, 1.0, 0, rng), PreconditionError);
+}
+
+TEST(BuilderTest, FromClassesConcatenatesInOrder) {
+  const auto caps = from_classes({{2, 1}, {1, 5}, {3, 2}});
+  EXPECT_EQ(caps, (std::vector<std::uint64_t>{1, 1, 5, 2, 2, 2}));
+}
+
+TEST(BuilderTest, FromClassesSkipsEmptyAndValidates) {
+  const auto caps = from_classes({{0, 9}, {2, 3}});
+  EXPECT_EQ(caps, (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_THROW(from_classes({{0, 1}}), PreconditionError);
+  EXPECT_THROW(from_classes({{1, 0}}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

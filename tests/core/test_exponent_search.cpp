@@ -1,0 +1,101 @@
+#include "core/exponent_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(ParabolicArgminTest, ExactOnAParabola) {
+  // y = (x - 1.7)^2 + 3.
+  auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 3.0; };
+  const double argmin = parabolic_argmin(1.0, f(1.0), 2.0, f(2.0), 3.0, f(3.0));
+  EXPECT_NEAR(argmin, 1.7, 1e-12);
+}
+
+TEST(ParabolicArgminTest, AsymmetricSpacingStillExact) {
+  auto f = [](double x) { return 2.0 * (x - 0.4) * (x - 0.4); };
+  const double argmin = parabolic_argmin(0.0, f(0.0), 0.3, f(0.3), 1.0, f(1.0));
+  EXPECT_NEAR(argmin, 0.4, 1e-12);
+}
+
+TEST(ParabolicArgminTest, CollinearFallsBackToMiddle) {
+  EXPECT_DOUBLE_EQ(parabolic_argmin(0.0, 1.0, 1.0, 2.0, 2.0, 3.0), 1.0);
+}
+
+TEST(SweepExponentTest, GridIsCorrect) {
+  const auto caps = two_class_capacities(8, 1, 8, 4);
+  ExperimentConfig exp;
+  exp.replications = 20;
+  exp.base_seed = 11;
+  const auto sweep = sweep_exponent(caps, 1.0, 2.0, 0.5, GameConfig{}, exp);
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.points[0].exponent, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.points[1].exponent, 1.5);
+  EXPECT_DOUBLE_EQ(sweep.points[2].exponent, 2.0);
+}
+
+TEST(SweepExponentTest, BestPointIsGridMinimum) {
+  const auto caps = two_class_capacities(16, 1, 16, 3);
+  ExperimentConfig exp;
+  exp.replications = 30;
+  exp.base_seed = 12;
+  const auto sweep = sweep_exponent(caps, 0.5, 2.5, 0.5, GameConfig{}, exp);
+  double best = 1e18;
+  double best_t = 0.0;
+  for (const auto& p : sweep.points) {
+    if (p.mean_max_load < best) {
+      best = p.mean_max_load;
+      best_t = p.exponent;
+    }
+  }
+  EXPECT_DOUBLE_EQ(sweep.best_exponent, best_t);
+  EXPECT_DOUBLE_EQ(sweep.best_mean_max_load, best);
+}
+
+TEST(SweepExponentTest, RefinedExponentStaysBracketed) {
+  const auto caps = two_class_capacities(16, 1, 16, 3);
+  ExperimentConfig exp;
+  exp.replications = 30;
+  exp.base_seed = 13;
+  const auto sweep = sweep_exponent(caps, 0.0, 3.0, 0.5, GameConfig{}, exp);
+  EXPECT_GE(sweep.refined_exponent, 0.0);
+  EXPECT_LE(sweep.refined_exponent, 3.0);
+}
+
+TEST(SweepExponentTest, BoundaryMinimumFallsBackToGridPoint) {
+  // With a single grid point the refinement must equal it.
+  const auto caps = two_class_capacities(4, 1, 4, 2);
+  ExperimentConfig exp;
+  exp.replications = 10;
+  exp.base_seed = 14;
+  const auto sweep = sweep_exponent(caps, 1.0, 1.0, 0.5, GameConfig{}, exp);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep.refined_exponent, 1.0);
+}
+
+TEST(SweepExponentTest, SweepIsDeterministic) {
+  const auto caps = two_class_capacities(8, 1, 8, 5);
+  ExperimentConfig exp;
+  exp.replications = 20;
+  exp.base_seed = 15;
+  const auto a = sweep_exponent(caps, 1.0, 2.0, 0.25, GameConfig{}, exp);
+  const auto b = sweep_exponent(caps, 1.0, 2.0, 0.25, GameConfig{}, exp);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].mean_max_load, b.points[i].mean_max_load);
+  }
+}
+
+TEST(SweepExponentTest, RejectsBadGrid) {
+  const auto caps = uniform_capacities(4, 1);
+  ExperimentConfig exp;
+  exp.replications = 5;
+  EXPECT_THROW(sweep_exponent(caps, 2.0, 1.0, 0.5, GameConfig{}, exp), PreconditionError);
+  EXPECT_THROW(sweep_exponent(caps, 1.0, 2.0, 0.0, GameConfig{}, exp), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

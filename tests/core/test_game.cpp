@@ -1,0 +1,215 @@
+#include "core/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(GameTest, BallConservation) {
+  BinArray bins({1, 2, 3, 4});
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), bins.capacities());
+  Xoshiro256StarStar rng(1);
+  GameConfig cfg;
+  cfg.balls = 500;
+  play_game(bins, sampler, cfg, rng);
+  EXPECT_EQ(bins.total_balls(), 500u);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) sum += bins.balls(i);
+  EXPECT_EQ(sum, 500u);
+}
+
+TEST(GameTest, DefaultBallCountIsTotalCapacity) {
+  BinArray bins({5, 5, 10});
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), bins.capacities());
+  Xoshiro256StarStar rng(2);
+  const GameResult result = play_game(bins, sampler, GameConfig{}, rng);
+  EXPECT_EQ(result.balls_thrown, 20u);
+  EXPECT_EQ(bins.total_balls(), 20u);
+  EXPECT_DOUBLE_EQ(bins.average_load(), 1.0);
+}
+
+TEST(GameTest, ResultMaxLoadMatchesScan) {
+  BinArray bins(uniform_capacities(50, 2));
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), bins.capacities());
+  Xoshiro256StarStar rng(3);
+  const GameResult result = play_game(bins, sampler, GameConfig{}, rng);
+  EXPECT_EQ(result.max_load, scan_max_load(bins));
+  EXPECT_DOUBLE_EQ(result.max_load_value(), result.max_load.value());
+  EXPECT_EQ(bins.load(result.argmax_bin), result.max_load);
+}
+
+TEST(GameTest, CheckpointsFireAtExpectedCadence) {
+  BinArray bins({10, 10});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(4);
+  GameConfig cfg;
+  cfg.balls = 25;
+  std::vector<std::uint64_t> seen;
+  play_game(bins, sampler, cfg, rng, /*checkpoint_interval=*/10,
+            [&seen](const GameCheckpoint& cp, const BinArray&) {
+              seen.push_back(cp.balls_thrown);
+            });
+  // 10, 20, and the final partial at 25.
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 25}));
+}
+
+TEST(GameTest, NoDuplicateFinalCheckpointWhenAligned) {
+  BinArray bins({10, 10});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(4);
+  GameConfig cfg;
+  cfg.balls = 30;
+  std::vector<std::uint64_t> seen;
+  play_game(bins, sampler, cfg, rng, 10,
+            [&seen](const GameCheckpoint& cp, const BinArray&) {
+              seen.push_back(cp.balls_thrown);
+            });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(GameTest, CheckpointAverageAndMaxAreConsistent) {
+  BinArray bins({2, 2, 2, 2});
+  const BinSampler sampler = BinSampler::uniform(4);
+  Xoshiro256StarStar rng(5);
+  GameConfig cfg;
+  cfg.balls = 40;
+  play_game(bins, sampler, cfg, rng, 8,
+            [](const GameCheckpoint& cp, const BinArray& state) {
+              EXPECT_EQ(cp.balls_thrown, state.total_balls());
+              EXPECT_DOUBLE_EQ(cp.average_load, state.average_load());
+              EXPECT_GE(cp.max_load.value(), cp.average_load);
+            });
+}
+
+TEST(GameTest, PlaceOneBallReturnsDestination) {
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(6);
+  GameConfig cfg;
+  const std::size_t dest = place_one_ball(bins, sampler, cfg, rng);
+  EXPECT_LT(dest, 2u);
+  EXPECT_EQ(bins.balls(dest), 1u);
+  EXPECT_EQ(bins.total_balls(), 1u);
+}
+
+TEST(GameTest, DistinctChoicesRequireEnoughBins) {
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(7);
+  GameConfig cfg;
+  cfg.choices = 3;
+  cfg.distinct_choices = true;
+  EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
+}
+
+TEST(GameTest, DistinctChoicesWithFullCoverageBalancePerfectly) {
+  // d = n distinct choices means every ball sees all bins, so greedy keeps
+  // the loads within 1 ball of each other at all times.
+  BinArray bins(uniform_capacities(4, 1));
+  const BinSampler sampler = BinSampler::uniform(4);
+  Xoshiro256StarStar rng(8);
+  GameConfig cfg;
+  cfg.choices = 4;
+  cfg.distinct_choices = true;
+  cfg.balls = 40;
+  play_game(bins, sampler, cfg, rng);
+  for (std::size_t i = 0; i < bins.size(); ++i) EXPECT_EQ(bins.balls(i), 10u);
+}
+
+TEST(GameTest, MoreChoicesNeverWorsenBalanceOnAverage) {
+  // Statistical sanity: mean max load with d=4 <= mean max load with d=1
+  // on the same workload (power of choices).
+  const auto caps = uniform_capacities(64, 1);
+  auto mean_max = [&caps](std::uint32_t d, std::uint64_t seed) {
+    double total = 0.0;
+    constexpr int kReps = 200;
+    for (int r = 0; r < kReps; ++r) {
+      BinArray bins(caps);
+      const BinSampler sampler = BinSampler::uniform(caps.size());
+      Xoshiro256StarStar rng(seed + static_cast<std::uint64_t>(r));
+      GameConfig cfg;
+      cfg.choices = d;
+      play_game(bins, sampler, cfg, rng);
+      total += bins.max_load().value();
+    }
+    return total / kReps;
+  };
+  EXPECT_LT(mean_max(4, 100), mean_max(1, 200));
+}
+
+TEST(GameTest, ZeroChoicesRejected) {
+  BinArray bins({1});
+  const BinSampler sampler = BinSampler::uniform(1);
+  Xoshiro256StarStar rng(9);
+  GameConfig cfg;
+  cfg.choices = 0;
+  EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
+}
+
+TEST(GameTest, SamplerSizeMismatchRejected) {
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(3);
+  Xoshiro256StarStar rng(10);
+  GameConfig cfg;
+  EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
+}
+
+TEST(GameTest, ExtremeCapacityRatiosStayExact) {
+  // One bin of capacity 2^40 next to unit bins: the exact rational
+  // comparisons must keep working (the products reach ~2^80, inside the
+  // 128-bit headroom), and the giant bin must soak up essentially all
+  // balls while its load stays ~m/2^40.
+  const std::uint64_t giant = 1ULL << 40;
+  BinArray bins({1, 1, giant});
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), bins.capacities());
+  Xoshiro256StarStar rng(90);
+  GameConfig cfg;
+  cfg.balls = 10000;
+  play_game(bins, sampler, cfg, rng);
+  EXPECT_EQ(bins.total_balls(), 10000u);
+  EXPECT_GE(bins.balls(2), 9990u);  // the giant bin takes nearly everything
+  EXPECT_EQ(bins.max_load(), scan_max_load(bins));
+}
+
+TEST(GameTest, ManyChoicesUpToTheSupportedLimit) {
+  BinArray bins(uniform_capacities(128, 1));
+  const BinSampler sampler = BinSampler::uniform(128);
+  Xoshiro256StarStar rng(91);
+  GameConfig cfg;
+  cfg.choices = 64;  // the documented maximum
+  cfg.balls = 128;
+  play_game(bins, sampler, cfg, rng);
+  EXPECT_EQ(bins.total_balls(), 128u);
+  // With 64 choices per ball the allocation is near-perfect.
+  EXPECT_LE(bins.max_load().value(), 2.0);
+
+  cfg.choices = 65;
+  EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
+}
+
+TEST(GameTest, GamesComposeIncrementally) {
+  // Two successive half-games must conserve balls across calls.
+  BinArray bins({4, 4});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(11);
+  GameConfig cfg;
+  cfg.balls = 4;
+  play_game(bins, sampler, cfg, rng);
+  play_game(bins, sampler, cfg, rng);
+  EXPECT_EQ(bins.total_balls(), 8u);
+  EXPECT_DOUBLE_EQ(bins.average_load(), 1.0);
+}
+
+}  // namespace
+}  // namespace nubb

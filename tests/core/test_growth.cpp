@@ -1,0 +1,96 @@
+#include "core/growth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(GrowthModelTest, ConstantBatches) {
+  const auto m = GrowthModel::constant(2);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(m.batch_capacity(i), 2u);
+}
+
+TEST(GrowthModelTest, LinearBatches) {
+  const auto m = GrowthModel::linear(3.0, 2);
+  EXPECT_EQ(m.batch_capacity(0), 2u);
+  EXPECT_EQ(m.batch_capacity(1), 5u);
+  EXPECT_EQ(m.batch_capacity(4), 14u);
+}
+
+TEST(GrowthModelTest, ExponentialBatches) {
+  const auto m = GrowthModel::exponential(2.0, 2);
+  EXPECT_EQ(m.batch_capacity(0), 2u);
+  EXPECT_EQ(m.batch_capacity(1), 4u);
+  EXPECT_EQ(m.batch_capacity(5), 64u);
+}
+
+TEST(GrowthModelTest, ExponentialRoundsFractionalFactors) {
+  const auto m = GrowthModel::exponential(1.1, 2);
+  EXPECT_EQ(m.batch_capacity(0), 2u);
+  // 2 * 1.1^5 = 3.22... -> 3
+  EXPECT_EQ(m.batch_capacity(5), 3u);
+}
+
+TEST(GrowthModelTest, CapacityLimitClamps) {
+  auto m = GrowthModel::exponential(2.0, 2);
+  m.capacity_limit = 16;
+  EXPECT_EQ(m.batch_capacity(2), 8u);
+  EXPECT_EQ(m.batch_capacity(3), 16u);
+  EXPECT_EQ(m.batch_capacity(10), 16u);
+}
+
+TEST(GrowthModelTest, CapacityNeverBelowOne) {
+  const auto m = GrowthModel::constant(1);
+  EXPECT_EQ(m.batch_capacity(0), 1u);
+}
+
+TEST(GrowthModelTest, InvalidParametersThrow) {
+  EXPECT_THROW(GrowthModel::linear(-1.0), PreconditionError);
+  EXPECT_THROW(GrowthModel::exponential(0.9), PreconditionError);
+}
+
+TEST(GrowthCapacitiesTest, PaperLayoutFirstBatchOfTwo) {
+  // Section 4.3: start at 2 disks, add 20 per step. At 42 disks there are
+  // 3 generations: 2 disks of batch 0, 20 of batch 1, 20 of batch 2.
+  const auto caps = growth_capacities(42, 2, 20, GrowthModel::linear(1.0, 2));
+  ASSERT_EQ(caps.size(), 42u);
+  EXPECT_EQ(caps[0], 2u);
+  EXPECT_EQ(caps[1], 2u);
+  EXPECT_EQ(caps[2], 3u);   // batch 1 = 2 + 1*1
+  EXPECT_EQ(caps[21], 3u);  // last disk of batch 1
+  EXPECT_EQ(caps[22], 4u);  // batch 2 begins
+  EXPECT_EQ(caps[41], 4u);
+}
+
+TEST(GrowthCapacitiesTest, PartialLastBatch) {
+  const auto caps = growth_capacities(25, 2, 20, GrowthModel::linear(2.0, 2));
+  ASSERT_EQ(caps.size(), 25u);
+  // disks 22..24 belong to batch 2 (capacity 2 + 2*2 = 6).
+  EXPECT_EQ(caps[22], 6u);
+  EXPECT_EQ(caps[24], 6u);
+}
+
+TEST(GrowthCapacitiesTest, BaselineTotalCapacity) {
+  const auto caps = growth_capacities(100, 2, 20, GrowthModel::constant(2));
+  const auto total = std::accumulate(caps.begin(), caps.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(GrowthCapacitiesTest, ExponentialDominatesLinearEventually) {
+  const auto lin = growth_capacities(1000, 2, 20, GrowthModel::linear(6.0, 2));
+  const auto exp = growth_capacities(1000, 2, 20, GrowthModel::exponential(1.4, 2));
+  EXPECT_GT(exp.back(), lin.back());
+}
+
+TEST(GrowthCapacitiesTest, RejectsInvalidArguments) {
+  EXPECT_THROW(growth_capacities(0, 2, 20, GrowthModel::constant(2)), PreconditionError);
+  EXPECT_THROW(growth_capacities(10, 0, 20, GrowthModel::constant(2)), PreconditionError);
+  EXPECT_THROW(growth_capacities(10, 2, 0, GrowthModel::constant(2)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

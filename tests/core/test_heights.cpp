@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/nubb.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(BallHeightsTest, OneHeightPerBall) {
+  BinArray bins(uniform_capacities(16, 2));
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), bins.capacities());
+  Xoshiro256StarStar rng(1);
+  const auto heights = play_game_heights(bins, sampler, GameConfig{}, rng);
+  EXPECT_EQ(heights.size(), 32u);
+  EXPECT_EQ(bins.total_balls(), 32u);
+}
+
+TEST(BallHeightsTest, MaxHeightEqualsFinalMaxLoad) {
+  // The running maximum moves only at allocations, to exactly that ball's
+  // height — so max(heights) must equal the final maximum load.
+  const auto caps = two_class_capacities(50, 1, 10, 8);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(7, rep));
+    const auto heights = play_game_heights(bins, sampler, GameConfig{}, rng);
+    const double max_height = *std::max_element(heights.begin(), heights.end());
+    EXPECT_DOUBLE_EQ(max_height, bins.max_load().value());
+  }
+}
+
+TEST(BallHeightsTest, HeightsArePositiveAndBoundedByFinalMax) {
+  BinArray bins(uniform_capacities(64, 1));
+  const BinSampler sampler = BinSampler::uniform(64);
+  Xoshiro256StarStar rng(2);
+  const auto heights = play_game_heights(bins, sampler, GameConfig{}, rng);
+  const double final_max = bins.max_load().value();
+  for (const double h : heights) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, final_max);
+  }
+}
+
+TEST(BallHeightsTest, FirstBallHeightIsOneOverItsBinCapacity) {
+  const std::vector<std::uint64_t> caps = {1, 4};
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  for (std::uint64_t rep = 0; rep < 20; ++rep) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(3, rep));
+    GameConfig cfg;
+    cfg.balls = 1;
+    const auto heights = play_game_heights(bins, sampler, cfg, rng);
+    ASSERT_EQ(heights.size(), 1u);
+    // The ball landed somewhere; its height is 1/capacity of that bin.
+    const bool in_small = bins.balls(0) == 1;
+    EXPECT_DOUBLE_EQ(heights[0], in_small ? 1.0 : 0.25);
+  }
+}
+
+TEST(BallHeightsTest, BigBinBallsHaveConstantHeight) {
+  // Observation 1's second part: no ball with a big bin among its choices
+  // ends at height > 4 — in practice big-bin heights stay near ~1.2.
+  const auto caps = two_class_capacities(400, 1, 100, 50);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(4, rep));
+    const auto heights = play_game_heights(bins, sampler, GameConfig{}, rng);
+    // Recover each ball's destination class from heights being k/50 vs k/1:
+    // heights with fractional part are big-bin heights (capacity 50).
+    for (const double h : heights) {
+      const bool fractional = h != std::floor(h);
+      if (fractional) {
+        EXPECT_LE(h, 4.0) << "big-bin ball height exceeded Observation 1's cap";
+      }
+    }
+  }
+}
+
+TEST(BallHeightsTest, HeightsAreNonDecreasingPerBin) {
+  // Within one bin, successive heights increase by exactly 1/capacity; the
+  // sorted multiset of heights restricted to a bin must be k/c for k=1..m_i.
+  const std::vector<std::uint64_t> caps = {3};
+  const BinSampler sampler = BinSampler::uniform(1);
+  BinArray bins(caps);
+  Xoshiro256StarStar rng(5);
+  GameConfig cfg;
+  cfg.balls = 6;
+  const auto heights = play_game_heights(bins, sampler, cfg, rng);
+  const std::vector<double> expected = {1.0 / 3, 2.0 / 3, 1.0, 4.0 / 3, 5.0 / 3, 2.0};
+  ASSERT_EQ(heights.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(heights[i], expected[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace nubb

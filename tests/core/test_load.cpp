@@ -1,0 +1,82 @@
+#include "core/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nubb {
+namespace {
+
+TEST(LoadTest, ValueIsBallsOverCapacity) {
+  EXPECT_DOUBLE_EQ((Load{3, 2}.value()), 1.5);
+  EXPECT_DOUBLE_EQ((Load{0, 7}.value()), 0.0);
+  EXPECT_DOUBLE_EQ((Load{10, 1}.value()), 10.0);
+}
+
+TEST(LoadTest, ExactEqualityAcrossDenominators) {
+  // 2/1 == 4/2 == 8/4: same rational value, different representations.
+  EXPECT_EQ((Load{2, 1}), (Load{4, 2}));
+  EXPECT_EQ((Load{4, 2}), (Load{8, 4}));
+  EXPECT_EQ((Load{0, 1}), (Load{0, 100}));
+}
+
+TEST(LoadTest, StrictOrderingIsExact) {
+  EXPECT_LT((Load{1, 2}), (Load{2, 3}));   // 0.5 < 0.666
+  EXPECT_GT((Load{5, 3}), (Load{3, 2}));   // 1.666 > 1.5
+  EXPECT_LT((Load{0, 5}), (Load{1, 100}));
+}
+
+TEST(LoadTest, OrderingBeyondDoublePrecision) {
+  // (2^60 + 1) / 2^60 vs 1: indistinguishable as doubles, distinct as
+  // rationals. This is exactly the class of tie the protocol must not
+  // misjudge.
+  const std::uint64_t big = 1ULL << 60;
+  EXPECT_GT((Load{big + 1, big}), (Load{1, 1}));
+  EXPECT_EQ((Load{big, big}), (Load{1, 1}));
+  EXPECT_DOUBLE_EQ((Load{big + 1, big}.value()), 1.0);  // double collapses it
+}
+
+TEST(LoadTest, AfterOneMore) {
+  const Load l{3, 4};
+  const Load next = l.after_one_more();
+  EXPECT_EQ(next.balls, 4u);
+  EXPECT_EQ(next.capacity, 4u);
+  EXPECT_GT(next, l);
+}
+
+TEST(LoadTest, OrderingIsTransitiveOnSweep) {
+  // Enumerate a grid of rationals and verify consistency with double
+  // comparison where doubles are exact, plus transitivity.
+  std::vector<Load> loads;
+  for (std::uint64_t b = 0; b <= 8; ++b) {
+    for (std::uint64_t c = 1; c <= 8; ++c) loads.push_back(Load{b, c});
+  }
+  for (const auto& a : loads) {
+    for (const auto& b : loads) {
+      // Agreement with exact double arithmetic (all values here are exact
+      // in double precision since numerators/denominators are tiny).
+      const auto ord = a <=> b;
+      if (a.value() < b.value()) {
+        EXPECT_EQ(ord, std::strong_ordering::less);
+      }
+      if (a.value() > b.value()) {
+        EXPECT_EQ(ord, std::strong_ordering::greater);
+      }
+      for (const auto& c : loads) {
+        if (a <= b && b <= c) {
+          EXPECT_LE(a, c);
+        }
+      }
+    }
+  }
+}
+
+TEST(LoadTest, DefaultIsZeroOverOne) {
+  const Load l;
+  EXPECT_EQ(l.balls, 0u);
+  EXPECT_EQ(l.capacity, 1u);
+  EXPECT_DOUBLE_EQ(l.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace nubb

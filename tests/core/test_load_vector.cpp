@@ -1,0 +1,148 @@
+#include "core/load_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+BinArray make_bins(std::vector<std::uint64_t> caps, const std::vector<std::uint64_t>& balls) {
+  BinArray bins(std::move(caps));
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    for (std::uint64_t b = 0; b < balls[i]; ++b) bins.add_ball(i);
+  }
+  return bins;
+}
+
+TEST(NormalizedLoadVectorTest, SortsDescending) {
+  const BinArray bins = make_bins({1, 2, 4}, {1, 4, 2});
+  // loads: 1, 2, 0.5
+  const auto v = normalized_load_vector(bins);
+  EXPECT_EQ(v, (std::vector<double>{2.0, 1.0, 0.5}));
+}
+
+TEST(SlotLoadVectorTest, RoundRobinFill) {
+  // Bin of capacity 4 with 6 balls: first 2 slots hold 2, remaining hold 1.
+  const BinArray bins = make_bins({4}, {6});
+  const auto slots = slot_load_vector(bins);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0].balls, 2u);
+  EXPECT_EQ(slots[1].balls, 2u);
+  EXPECT_EQ(slots[2].balls, 1u);
+  EXPECT_EQ(slots[3].balls, 1u);
+  for (const auto& s : slots) EXPECT_EQ(s.bin, 0u);
+}
+
+TEST(SlotLoadVectorTest, SlotCountEqualsTotalCapacity) {
+  const BinArray bins = make_bins({1, 3, 5}, {2, 0, 7});
+  EXPECT_EQ(slot_load_vector(bins).size(), 9u);
+}
+
+TEST(SlotLoadVectorTest, SlotBallsSumToBinBalls) {
+  const BinArray bins = make_bins({3, 4, 7}, {5, 9, 13});
+  const auto slots = slot_load_vector(bins);
+  std::vector<std::uint64_t> per_bin(3, 0);
+  for (const auto& s : slots) per_bin[s.bin] += s.balls;
+  EXPECT_EQ(per_bin[0], 5u);
+  EXPECT_EQ(per_bin[1], 9u);
+  EXPECT_EQ(per_bin[2], 13u);
+}
+
+TEST(NormalizedSlotVectorTest, PaperExampleFromSection2) {
+  // Paper: bins a and b with 4 slots each and loads 2.5 and 2.75 (10 and 11
+  // balls). Normalised slot load vector is 3,3,3,3,3,2,2,2 owned by
+  // b,b,b,a,a,b,a,a.
+  const BinArray bins = make_bins({4, 4}, {10, 11});  // a = bin 0, b = bin 1
+  const auto counts = normalized_slot_load_vector(bins);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{3, 3, 3, 3, 3, 2, 2, 2}));
+
+  // Verify the tie rule on owners too (re-derive with owners).
+  auto slots = slot_load_vector(bins);
+  std::stable_sort(slots.begin(), slots.end(), [&bins](const Slot& x, const Slot& y) {
+    if (x.balls != y.balls) return x.balls > y.balls;
+    return bins.load(y.bin) < bins.load(x.bin);
+  });
+  const std::vector<std::uint32_t> expected_owners = {1, 1, 1, 0, 0, 1, 0, 0};
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].bin, expected_owners[i]) << "slot " << i;
+  }
+}
+
+TEST(NormalizedSlotVectorTest, EmptyBinsGiveAllZero) {
+  const BinArray bins = make_bins({2, 3}, {0, 0});
+  const auto counts = normalized_slot_load_vector(bins);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>(5, 0)));
+}
+
+TEST(NormalizedSlotVectorTest, IsNonIncreasing) {
+  const BinArray bins = make_bins({1, 2, 3, 4, 5}, {3, 1, 7, 2, 9});
+  const auto counts = normalized_slot_load_vector(bins);
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i - 1], counts[i]);
+  }
+}
+
+// --- majorisation ---------------------------------------------------------------
+
+TEST(MajorizationTest, ReflexiveOnAnyVector) {
+  const std::vector<std::uint64_t> v = {5, 3, 3, 1};
+  EXPECT_TRUE(majorizes(v, v));
+}
+
+TEST(MajorizationTest, OrderInsensitiveToInputPermutation) {
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{1, 5, 3}, std::vector<std::uint64_t>{3, 3, 3}));
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{5, 3, 1}, std::vector<std::uint64_t>{3, 3, 3}));
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{3, 3, 3}, std::vector<std::uint64_t>{1, 5, 3}));
+}
+
+TEST(MajorizationTest, ClassicExamples) {
+  // (4,0) majorises (3,1) majorises (2,2); never the reverse.
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{4, 0}, std::vector<std::uint64_t>{3, 1}));
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{3, 1}, std::vector<std::uint64_t>{2, 2}));
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{4, 0}, std::vector<std::uint64_t>{2, 2}));
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{2, 2}, std::vector<std::uint64_t>{3, 1}));
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{3, 1}, std::vector<std::uint64_t>{4, 0}));
+}
+
+TEST(MajorizationTest, IncomparableVectorsExist) {
+  // (3,3,0) vs (4,1,1): prefix sums 3,6,6 vs 4,5,6 — neither dominates.
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{3, 3, 0}, std::vector<std::uint64_t>{4, 1, 1}));
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{4, 1, 1}, std::vector<std::uint64_t>{3, 3, 0}));
+}
+
+TEST(MajorizationTest, RequiresEqualTotalOnlyForMutualDomination) {
+  // Vectors with larger total trivially majorise smaller-total ones of the
+  // same length; the definition only checks prefix-sum dominance.
+  EXPECT_TRUE(majorizes(std::vector<std::uint64_t>{5, 5}, std::vector<std::uint64_t>{1, 1}));
+  EXPECT_FALSE(majorizes(std::vector<std::uint64_t>{1, 1}, std::vector<std::uint64_t>{5, 5}));
+}
+
+TEST(MajorizationTest, DoubleOverloadWorks) {
+  EXPECT_TRUE(majorizes(std::vector<double>{2.5, 0.5}, std::vector<double>{1.5, 1.5}));
+  EXPECT_FALSE(majorizes(std::vector<double>{1.5, 1.5}, std::vector<double>{2.5, 0.5}));
+}
+
+TEST(MajorizationTest, LengthMismatchThrows) {
+  EXPECT_THROW(majorizes(std::vector<std::uint64_t>{1}, std::vector<std::uint64_t>{1, 2}),
+               PreconditionError);
+}
+
+TEST(MajorizationTest, TransitivityOnSweep) {
+  const std::vector<std::vector<std::uint64_t>> vs = {
+      {4, 0, 0}, {3, 1, 0}, {2, 2, 0}, {2, 1, 1}, {4, 1, 1}, {3, 3, 0}};
+  for (const auto& a : vs) {
+    for (const auto& b : vs) {
+      for (const auto& c : vs) {
+        if (majorizes(a, b) && majorizes(b, c)) {
+          EXPECT_TRUE(majorizes(a, c));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,75 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nubb {
+namespace {
+
+BinArray make_bins(std::vector<std::uint64_t> caps, const std::vector<std::uint64_t>& balls) {
+  BinArray bins(std::move(caps));
+  for (std::size_t i = 0; i < balls.size(); ++i) {
+    for (std::uint64_t b = 0; b < balls[i]; ++b) bins.add_ball(i);
+  }
+  return bins;
+}
+
+TEST(MetricsTest, SortedLoadProfileDescends) {
+  const BinArray bins = make_bins({1, 2, 4}, {1, 4, 2});
+  EXPECT_EQ(sorted_load_profile(bins), (std::vector<double>{2.0, 1.0, 0.5}));
+}
+
+TEST(MetricsTest, ClassProfileFiltersByCapacity) {
+  const BinArray bins = make_bins({1, 8, 1, 8}, {2, 8, 0, 16});
+  EXPECT_EQ(sorted_class_profile(bins, 1), (std::vector<double>{2.0, 0.0}));
+  EXPECT_EQ(sorted_class_profile(bins, 8), (std::vector<double>{2.0, 1.0}));
+  EXPECT_TRUE(sorted_class_profile(bins, 3).empty());
+}
+
+TEST(MetricsTest, ScanMaxLoadFindsExactMaximum) {
+  const BinArray bins = make_bins({2, 3}, {3, 4});
+  // loads 1.5 vs 4/3
+  EXPECT_EQ(scan_max_load(bins), (Load{3, 2}));
+}
+
+TEST(MetricsTest, CapacitiesAttainingMaxDetectsCrossClassTies) {
+  // cap-1 bin with 2 balls (load 2) and cap-4 bin with 8 balls (load 2):
+  // both classes attain the max.
+  const BinArray bins = make_bins({1, 4, 1}, {2, 8, 1});
+  EXPECT_EQ(capacities_attaining_max(bins), (std::vector<std::uint64_t>{1, 4}));
+}
+
+TEST(MetricsTest, CapacitiesAttainingMaxSingleWinner) {
+  const BinArray bins = make_bins({1, 4}, {3, 8});
+  EXPECT_EQ(capacities_attaining_max(bins), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(MetricsTest, CapacitiesAttainingMaxDeduplicates) {
+  // Two cap-1 bins both at the max: class 1 reported once.
+  const BinArray bins = make_bins({1, 1, 2}, {2, 2, 1});
+  EXPECT_EQ(capacities_attaining_max(bins), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(MetricsTest, LoadGapIsMaxMinusAverage) {
+  const BinArray bins = make_bins({1, 1}, {3, 1});
+  // max 3, avg 2
+  EXPECT_DOUBLE_EQ(load_gap(bins), 1.0);
+}
+
+TEST(MetricsTest, LoadGapZeroForPerfectBalance) {
+  const BinArray bins = make_bins({2, 2}, {2, 2});
+  EXPECT_DOUBLE_EQ(load_gap(bins), 0.0);
+}
+
+TEST(MetricsTest, DistinctCapacitiesSortedUnique) {
+  const BinArray bins = make_bins({8, 1, 8, 2, 1}, {0, 0, 0, 0, 0});
+  EXPECT_EQ(distinct_capacities(bins), (std::vector<std::uint64_t>{1, 2, 8}));
+}
+
+TEST(MetricsTest, EmptyArrayMaxIsZero) {
+  const BinArray bins = make_bins({5, 5}, {0, 0});
+  EXPECT_EQ(scan_max_load(bins).value(), 0.0);
+  EXPECT_EQ(capacities_attaining_max(bins), (std::vector<std::uint64_t>{5}));
+}
+
+}  // namespace
+}  // namespace nubb

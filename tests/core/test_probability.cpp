@@ -1,0 +1,101 @@
+#include "core/probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+const std::vector<std::uint64_t> kCaps = {1, 2, 4, 8};
+
+TEST(SelectionPolicyTest, UniformGivesEqualWeights) {
+  const auto w = SelectionPolicy::uniform().weights(kCaps);
+  ASSERT_EQ(w.size(), 4u);
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(SelectionPolicyTest, ProportionalMatchesCapacities) {
+  const auto w = SelectionPolicy::proportional_to_capacity().weights(kCaps);
+  for (std::size_t i = 0; i < kCaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], static_cast<double>(kCaps[i]));
+  }
+}
+
+TEST(SelectionPolicyTest, PowerGeneralisesBothEndpoints) {
+  // t = 0 reduces to uniform; t = 1 reduces to proportional.
+  const auto w0 = SelectionPolicy::capacity_power(0.0).weights(kCaps);
+  const auto w1 = SelectionPolicy::capacity_power(1.0).weights(kCaps);
+  for (std::size_t i = 0; i < kCaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w0[i], 1.0);
+    EXPECT_DOUBLE_EQ(w1[i], static_cast<double>(kCaps[i]));
+  }
+}
+
+TEST(SelectionPolicyTest, PowerExponentTwo) {
+  const auto w = SelectionPolicy::capacity_power(2.0).weights(kCaps);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+  EXPECT_DOUBLE_EQ(w[2], 16.0);
+  EXPECT_DOUBLE_EQ(w[3], 64.0);
+}
+
+TEST(SelectionPolicyTest, NegativeExponentInvertsPreference) {
+  const auto w = SelectionPolicy::capacity_power(-1.0).weights(kCaps);
+  EXPECT_GT(w[0], w[3]);  // small bins become more likely
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(SelectionPolicyTest, TopOnlyZeroesOutSmallBins) {
+  const auto w = SelectionPolicy::top_capacity_only(4).weights(kCaps);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 4.0);
+  EXPECT_DOUBLE_EQ(w[3], 8.0);
+}
+
+TEST(SelectionPolicyTest, TopOnlyWithNoQualifyingBinThrows) {
+  const auto policy = SelectionPolicy::top_capacity_only(100);
+  EXPECT_THROW(policy.weights(kCaps), PreconditionError);
+}
+
+TEST(SelectionPolicyTest, CustomWeightsPassThrough) {
+  const std::vector<double> custom = {0.4, 0.0, 0.1, 0.5};
+  const auto w = SelectionPolicy::custom(custom).weights(kCaps);
+  EXPECT_EQ(w, custom);
+}
+
+TEST(SelectionPolicyTest, CustomSizeMismatchThrows) {
+  const auto policy = SelectionPolicy::custom({1.0, 2.0});
+  EXPECT_THROW(policy.weights(kCaps), PreconditionError);
+}
+
+TEST(SelectionPolicyTest, InvalidConstructionsThrow) {
+  EXPECT_THROW(SelectionPolicy::capacity_power(std::nan("")), PreconditionError);
+  EXPECT_THROW(SelectionPolicy::top_capacity_only(0), PreconditionError);
+  EXPECT_THROW(SelectionPolicy::custom({}), PreconditionError);
+}
+
+TEST(SelectionPolicyTest, EmptyCapacityVectorThrows) {
+  EXPECT_THROW(SelectionPolicy::uniform().weights({}), PreconditionError);
+}
+
+TEST(SelectionPolicyTest, DescribeIsInformative) {
+  EXPECT_NE(SelectionPolicy::uniform().describe().find("uniform"), std::string::npos);
+  EXPECT_NE(SelectionPolicy::proportional_to_capacity().describe().find("proportional"),
+            std::string::npos);
+  EXPECT_NE(SelectionPolicy::capacity_power(2.1).describe().find("2.1"), std::string::npos);
+  EXPECT_NE(SelectionPolicy::top_capacity_only(5).describe().find("5"), std::string::npos);
+  EXPECT_NE(SelectionPolicy::custom({1.0}).describe().find("custom"), std::string::npos);
+}
+
+TEST(SelectionPolicyTest, KindAccessorsReflectFactories) {
+  EXPECT_EQ(SelectionPolicy::uniform().kind(), SelectionPolicy::Kind::kUniform);
+  EXPECT_EQ(SelectionPolicy::capacity_power(1.5).exponent(), 1.5);
+  EXPECT_EQ(SelectionPolicy::top_capacity_only(9).threshold(), 9u);
+}
+
+}  // namespace
+}  // namespace nubb

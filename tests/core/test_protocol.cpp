@@ -1,0 +1,166 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <array>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+Xoshiro256StarStar make_rng() { return Xoshiro256StarStar(1234); }
+
+TEST(ChooseDestinationTest, SingleCandidateIsChosen) {
+  BinArray bins({1, 1, 1});
+  auto rng = make_rng();
+  const std::array<std::size_t, 1> choices = {2};
+  EXPECT_EQ(choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng), 2u);
+}
+
+TEST(ChooseDestinationTest, StrictlyLeastPostAllocationLoadWins) {
+  BinArray bins({1, 1});
+  bins.add_ball(0);  // bin 0 would go to 2/1, bin 1 to 1/1
+  auto rng = make_rng();
+  const std::array<std::size_t, 2> choices = {0, 1};
+  for (const auto tb :
+       {TieBreak::kPreferLargerCapacity, TieBreak::kUniform, TieBreak::kFirstChoice}) {
+    EXPECT_EQ(choose_destination(bins, choices, tb, rng), 1u);
+  }
+}
+
+TEST(ChooseDestinationTest, PostAllocationLoadIsWhatMatters) {
+  // Bin 0: load 0/1, post-allocation 1/1 = 1.
+  // Bin 1: load 3/4, post-allocation 4/4 = 1.  => exact tie on post load!
+  // Algorithm 1 then prefers the larger capacity: bin 1.
+  BinArray bins({1, 4});
+  bins.add_ball(1);
+  bins.add_ball(1);
+  bins.add_ball(1);
+  auto rng = make_rng();
+  const std::array<std::size_t, 2> choices = {0, 1};
+  EXPECT_EQ(choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng), 1u);
+}
+
+TEST(ChooseDestinationTest, TiePrefersLargerCapacityDeterministically) {
+  // Both empty: post loads 1/1 vs 1/8; 1/8 is smaller, so no tie. Use equal
+  // loads instead: caps 2 and 8, balls 0 each -> post 1/2 vs 1/8, still no
+  // tie. A real tie needs equal post rationals: caps 2 and 8 with balls 1
+  // and 4 -> post 2/2 = 1 vs 5/8; no. Simplest: equal capacities are not a
+  // capacity tie-break... so craft: caps 1 and 2 with balls 1 and 3 ->
+  // post 2/1 = 2 vs 4/2 = 2. Tie! Larger capacity (2) must win every time.
+  BinArray bins({1, 2});
+  bins.add_ball(0);
+  bins.add_ball(1);
+  bins.add_ball(1);
+  bins.add_ball(1);
+  auto rng = make_rng();
+  const std::array<std::size_t, 2> choices = {0, 1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng), 1u);
+  }
+}
+
+TEST(ChooseDestinationTest, UniformTieBreakHitsAllTiedCandidates) {
+  BinArray bins({1, 1, 1});
+  auto rng = make_rng();
+  const std::array<std::size_t, 3> choices = {0, 1, 2};
+  std::array<int, 3> counts = {0, 0, 0};
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[choose_destination(bins, choices, TieBreak::kUniform, rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kTrials / 3.0, 6.0 * std::sqrt(kTrials / 3.0));
+  }
+}
+
+TEST(ChooseDestinationTest, PaperTieBreakIsUniformAmongEqualCapacityWinners) {
+  // Three equal-capacity empty bins: B_opt = all three, cmax filter keeps
+  // all, uniform choice among them.
+  BinArray bins({5, 5, 5});
+  auto rng = make_rng();
+  const std::array<std::size_t, 3> choices = {0, 1, 2};
+  std::array<int, 3> counts = {0, 0, 0};
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kTrials / 3.0, 6.0 * std::sqrt(kTrials / 3.0));
+  }
+}
+
+TEST(ChooseDestinationTest, FirstChoiceTieBreakIsDeterministic) {
+  BinArray bins({1, 1, 1});
+  auto rng = make_rng();
+  const std::array<std::size_t, 3> choices = {2, 0, 1};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(choose_destination(bins, choices, TieBreak::kFirstChoice, rng), 2u);
+  }
+}
+
+TEST(ChooseDestinationTest, DuplicateCandidatesDoNotGetDoubleWeight) {
+  // Choices {0, 0, 1} on empty equal bins: set semantics means bins 0 and 1
+  // each win with probability 1/2, not 2/3 vs 1/3.
+  BinArray bins({1, 1});
+  auto rng = make_rng();
+  const std::array<std::size_t, 3> choices = {0, 0, 1};
+  int zero = 0;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    zero += choose_destination(bins, choices, TieBreak::kUniform, rng) == 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / kTrials, 0.5, 0.015);
+}
+
+TEST(ChooseDestinationTest, AllDuplicatesCollapseToOneCandidate) {
+  BinArray bins({1, 1});
+  bins.add_ball(0);  // bin 0 clearly worse
+  auto rng = make_rng();
+  const std::array<std::size_t, 4> choices = {0, 0, 0, 0};
+  EXPECT_EQ(choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng), 0u);
+}
+
+TEST(ChooseDestinationTest, CapacityFilterAppliesOnlyWithinLoadTies) {
+  // Bin 0 (cap 1, empty): post 1. Bin 1 (cap 100, 199 balls): post 2.
+  // The huge bin must NOT be preferred — it loses on load.
+  BinArray bins({1, 100});
+  for (int i = 0; i < 199; ++i) bins.add_ball(1);
+  auto rng = make_rng();
+  const std::array<std::size_t, 2> choices = {0, 1};
+  EXPECT_EQ(choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng), 0u);
+}
+
+TEST(ChooseDestinationTest, ThreeWayTieMixedCapacities) {
+  // Caps {1, 2, 2}, balls {1, 3, 3}: post loads 2, 2, 2 — all tie.
+  // Paper rule keeps the two capacity-2 bins, uniform between them.
+  BinArray bins({1, 2, 2});
+  bins.add_ball(0);
+  for (int i = 0; i < 3; ++i) bins.add_ball(1);
+  for (int i = 0; i < 3; ++i) bins.add_ball(2);
+  auto rng = make_rng();
+  const std::array<std::size_t, 3> choices = {0, 1, 2};
+  std::array<int, 3> counts = {0, 0, 0};
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[choose_destination(bins, choices, TieBreak::kPreferLargerCapacity, rng)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[1], kTrials / 2.0, 6.0 * std::sqrt(kTrials / 2.0));
+  EXPECT_NEAR(counts[2], kTrials / 2.0, 6.0 * std::sqrt(kTrials / 2.0));
+}
+
+TEST(ChooseDestinationTest, PreconditionsAreEnforced) {
+  BinArray bins({1, 1});
+  auto rng = make_rng();
+  EXPECT_THROW(choose_destination(bins, {}, TieBreak::kUniform, rng), PreconditionError);
+  const std::array<std::size_t, 1> bad = {5};
+  EXPECT_THROW(choose_destination(bins, bad, TieBreak::kUniform, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

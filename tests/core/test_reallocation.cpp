@@ -1,0 +1,182 @@
+#include "core/reallocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+// --- BinArray growth/removal primitives -----------------------------------------
+
+TEST(BinArrayGrowthTest, RemoveBallUpdatesAccounting) {
+  BinArray bins({1, 2});
+  bins.add_ball(0);
+  bins.add_ball(1);
+  bins.remove_ball(0);
+  EXPECT_EQ(bins.balls(0), 0u);
+  EXPECT_EQ(bins.total_balls(), 1u);
+}
+
+TEST(BinArrayGrowthTest, RemoveBallRecomputesMax) {
+  BinArray bins({1, 1});
+  bins.add_ball(0);
+  bins.add_ball(0);
+  bins.add_ball(1);
+  EXPECT_EQ(bins.max_load(), (Load{2, 1}));
+  bins.remove_ball(0);
+  EXPECT_EQ(bins.max_load(), (Load{1, 1}));
+  EXPECT_EQ(bins.max_load(), scan_max_load(bins));
+}
+
+TEST(BinArrayGrowthTest, RemoveBallKeepsMaxWhenTied) {
+  BinArray bins({1, 1});
+  bins.add_ball(0);
+  bins.add_ball(0);
+  bins.add_ball(1);
+  bins.add_ball(1);  // both at 2
+  bins.remove_ball(0);
+  EXPECT_EQ(bins.max_load(), (Load{2, 1}));  // bin 1 still attains it
+}
+
+TEST(BinArrayGrowthTest, RemoveFromEmptyBinThrows) {
+  BinArray bins({1});
+  EXPECT_THROW(bins.remove_ball(0), PreconditionError);
+}
+
+TEST(BinArrayGrowthTest, AppendBinsGrowsCapacityOnly) {
+  BinArray bins({2, 2});
+  bins.add_ball(0);
+  bins.append_bins({4, 8});
+  EXPECT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins.total_capacity(), 16u);
+  EXPECT_EQ(bins.total_balls(), 1u);
+  EXPECT_EQ(bins.balls(2), 0u);
+  EXPECT_EQ(bins.capacity(3), 8u);
+  EXPECT_EQ(bins.max_load(), (Load{1, 2}));
+  EXPECT_THROW(bins.append_bins({0}), PreconditionError);
+}
+
+// --- rebalance ------------------------------------------------------------------
+
+TEST(RebalanceTest, ReducesMaxLoadTowardsTarget) {
+  // Build a pathological state: all balls in one bin.
+  BinArray bins(uniform_capacities(16, 1));
+  for (int i = 0; i < 16; ++i) bins.add_ball(0);
+  const BinSampler sampler = BinSampler::uniform(16);
+  Xoshiro256StarStar rng(1);
+
+  const RebalanceResult r = rebalance(bins, sampler, GameConfig{}, /*target=*/2.0,
+                                      /*max_moves=*/1000, rng);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LE(bins.max_load().value(), 2.0);
+  EXPECT_EQ(bins.total_balls(), 16u);  // migration conserves balls
+  EXPECT_GE(r.moves, 10u);             // most balls had to move
+}
+
+TEST(RebalanceTest, RespectsTheMoveBudget) {
+  BinArray bins(uniform_capacities(8, 1));
+  for (int i = 0; i < 32; ++i) bins.add_ball(0);
+  const BinSampler sampler = BinSampler::uniform(8);
+  Xoshiro256StarStar rng(2);
+  const RebalanceResult r = rebalance(bins, sampler, GameConfig{}, 1.0, /*max_moves=*/3, rng);
+  EXPECT_LE(r.moves, 3u);
+  EXPECT_FALSE(r.reached_target);
+  EXPECT_EQ(bins.total_balls(), 32u);
+}
+
+TEST(RebalanceTest, NoopWhenAlreadyBalanced) {
+  BinArray bins(uniform_capacities(4, 1));
+  for (std::size_t i = 0; i < 4; ++i) bins.add_ball(i);
+  const BinSampler sampler = BinSampler::uniform(4);
+  Xoshiro256StarStar rng(3);
+  const RebalanceResult r = rebalance(bins, sampler, GameConfig{}, 1.5, 100, rng);
+  EXPECT_EQ(r.moves, 0u);
+  EXPECT_TRUE(r.reached_target);
+}
+
+TEST(RebalanceTest, UnreachableTargetTerminates) {
+  // One bin: every re-placement lands back in the source; the pass must
+  // give up instead of looping forever.
+  BinArray bins({1});
+  bins.add_ball(0);
+  bins.add_ball(0);
+  const BinSampler sampler = BinSampler::uniform(1);
+  Xoshiro256StarStar rng(4);
+  const RebalanceResult r = rebalance(bins, sampler, GameConfig{}, 1.0, 100, rng);
+  EXPECT_FALSE(r.reached_target);
+  EXPECT_EQ(r.moves, 0u);
+  EXPECT_GE(r.failed_moves, 1u);
+  EXPECT_EQ(bins.total_balls(), 2u);
+}
+
+TEST(RebalanceTest, RejectsBadArguments) {
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(5);
+  EXPECT_THROW(rebalance(bins, sampler, GameConfig{}, 0.0, 10, rng), PreconditionError);
+  const BinSampler mismatched = BinSampler::uniform(3);
+  EXPECT_THROW(rebalance(bins, mismatched, GameConfig{}, 1.0, 10, rng), PreconditionError);
+}
+
+// --- incremental growth -----------------------------------------------------------
+
+TEST(IncrementalGrowthTest, MaintainsBallsEqualCapacity) {
+  Xoshiro256StarStar rng(6);
+  const auto steps = simulate_incremental_growth(
+      GrowthModel::linear(2.0, 2), /*total_disks=*/102, /*first_batch=*/2,
+      /*batch_size=*/20, /*disks_per_step=*/20,
+      SelectionPolicy::proportional_to_capacity(), GameConfig{},
+      /*rebalance_target_gap=*/-1.0, /*max_moves_per_step=*/0, rng);
+  ASSERT_EQ(steps.size(), 6u);  // 2, 22, 42, 62, 82, 102
+  EXPECT_EQ(steps.front().disks, 2u);
+  EXPECT_EQ(steps.back().disks, 102u);
+  for (const auto& s : steps) {
+    EXPECT_GE(s.incremental_max_load, 1.0);       // m = C at every step
+    EXPECT_EQ(s.rebalanced_max_load, s.incremental_max_load);  // disabled
+    EXPECT_EQ(s.moves, 0u);
+  }
+}
+
+TEST(IncrementalGrowthTest, RebalancePassImprovesOrMatches) {
+  Xoshiro256StarStar rng_a(7);
+  Xoshiro256StarStar rng_b(7);
+  const auto plain = simulate_incremental_growth(
+      GrowthModel::linear(4.0, 2), 202, 2, 20, 40,
+      SelectionPolicy::proportional_to_capacity(), GameConfig{}, -1.0, 0, rng_a);
+  const auto balanced = simulate_incremental_growth(
+      GrowthModel::linear(4.0, 2), 202, 2, 20, 40,
+      SelectionPolicy::proportional_to_capacity(), GameConfig{},
+      /*rebalance_target_gap=*/0.25, /*max_moves_per_step=*/10000, rng_b);
+  ASSERT_EQ(plain.size(), balanced.size());
+  for (std::size_t i = 0; i < balanced.size(); ++i) {
+    EXPECT_LE(balanced[i].rebalanced_max_load, balanced[i].incremental_max_load + 1e-12);
+  }
+}
+
+TEST(IncrementalGrowthTest, CapacityMatchesGrowthModel) {
+  Xoshiro256StarStar rng(8);
+  const auto steps = simulate_incremental_growth(
+      GrowthModel::constant(3), 42, 2, 20, 20,
+      SelectionPolicy::proportional_to_capacity(), GameConfig{}, -1.0, 0, rng);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].total_capacity, 6u);    // 2 disks * 3
+  EXPECT_EQ(steps[1].total_capacity, 66u);   // 22 disks * 3
+  EXPECT_EQ(steps[2].total_capacity, 126u);  // 42 disks * 3
+}
+
+TEST(IncrementalGrowthTest, RejectsBadArguments) {
+  Xoshiro256StarStar rng(9);
+  EXPECT_THROW(simulate_incremental_growth(GrowthModel::constant(2), 10, 2, 20, 0,
+                                           SelectionPolicy::proportional_to_capacity(),
+                                           GameConfig{}, -1.0, 0, rng),
+               PreconditionError);
+  EXPECT_THROW(simulate_incremental_growth(GrowthModel::constant(2), 1, 2, 20, 1,
+                                           SelectionPolicy::proportional_to_capacity(),
+                                           GameConfig{}, -1.0, 0, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

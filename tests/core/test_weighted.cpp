@@ -1,0 +1,208 @@
+#include "core/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(WeightedBinArrayTest, ConstructionAndAccounting) {
+  WeightedBinArray bins({1, 2, 4});
+  EXPECT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins.total_capacity(), 7u);
+  bins.add_weight(1, 3);
+  bins.add_weight(2, 2);
+  EXPECT_EQ(bins.weight(1), 3u);
+  EXPECT_EQ(bins.total_weight(), 5u);
+  EXPECT_DOUBLE_EQ(bins.load_value(1), 1.5);
+  EXPECT_DOUBLE_EQ(bins.load_value(2), 0.5);
+  EXPECT_NEAR(bins.average_load(), 5.0 / 7.0, 1e-12);
+}
+
+TEST(WeightedBinArrayTest, MaxTrackingIsExact) {
+  WeightedBinArray bins({2, 3});
+  bins.add_weight(0, 3);  // 1.5
+  EXPECT_EQ(bins.max_load(), (Load{3, 2}));
+  bins.add_weight(1, 5);  // 5/3 > 1.5
+  EXPECT_EQ(bins.max_load(), (Load{5, 3}));
+  EXPECT_EQ(bins.argmax_bin(), 1u);
+}
+
+TEST(WeightedBinArrayTest, ClearAndPreconditions) {
+  WeightedBinArray bins({2});
+  bins.add_weight(0, 4);
+  bins.clear();
+  EXPECT_EQ(bins.total_weight(), 0u);
+  EXPECT_EQ(bins.max_load(), (Load{0, 1}));
+  EXPECT_THROW(bins.add_weight(0, 0), PreconditionError);
+  EXPECT_THROW(WeightedBinArray({}), PreconditionError);
+  EXPECT_THROW(WeightedBinArray({0}), PreconditionError);
+}
+
+// --- BallSizeModel ------------------------------------------------------------
+
+TEST(BallSizeModelTest, ConstantAlwaysSame) {
+  const auto model = BallSizeModel::constant(5);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 5u);
+  EXPECT_DOUBLE_EQ(model.mean(), 5.0);
+}
+
+TEST(BallSizeModelTest, UniformRangeRespectsBoundsAndMean) {
+  const auto model = BallSizeModel::uniform_range(2, 6);
+  Xoshiro256StarStar rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const auto s = model.sample(rng);
+    ASSERT_GE(s, 2u);
+    ASSERT_LE(s, 6u);
+    stats.add(static_cast<double>(s));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+  EXPECT_DOUBLE_EQ(model.mean(), 4.0);
+}
+
+TEST(BallSizeModelTest, GeometricIsTruncatedAndHeavyTailed) {
+  const auto model = BallSizeModel::shifted_geometric(0.5, 8);
+  Xoshiro256StarStar rng(3);
+  bool saw_big = false;
+  for (int i = 0; i < 50000; ++i) {
+    const auto s = model.sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 8u);
+    saw_big |= s >= 4;
+  }
+  EXPECT_TRUE(saw_big);
+  EXPECT_DOUBLE_EQ(model.mean(), 2.0);
+}
+
+TEST(BallSizeModelTest, RejectsInvalidParameters) {
+  EXPECT_THROW(BallSizeModel::constant(0), PreconditionError);
+  EXPECT_THROW(BallSizeModel::uniform_range(0, 3), PreconditionError);
+  EXPECT_THROW(BallSizeModel::uniform_range(4, 3), PreconditionError);
+  EXPECT_THROW(BallSizeModel::shifted_geometric(0.0, 4), PreconditionError);
+  EXPECT_THROW(BallSizeModel::shifted_geometric(0.5, 0), PreconditionError);
+}
+
+// --- weighted protocol -----------------------------------------------------------
+
+TEST(WeightedProtocolTest, UnitWeightsReduceToTheCoreGame) {
+  // With all ball weights 1 the weighted protocol must consume the same RNG
+  // stream and produce the same allocation as the core game.
+  const auto caps = two_class_capacities(20, 1, 10, 4);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    const std::uint64_t seed = seed_for_replication(808, rep);
+
+    WeightedBinArray wbins(caps);
+    Xoshiro256StarStar w_rng(seed);
+    GameConfig cfg;
+    cfg.balls = 60;
+    play_weighted_game(wbins, sampler, BallSizeModel::constant(1), cfg, w_rng);
+
+    BinArray bins(caps);
+    Xoshiro256StarStar c_rng(seed);
+    play_game(bins, sampler, cfg, c_rng);
+
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      ASSERT_EQ(wbins.weight(i), bins.balls(i)) << "bin " << i;
+    }
+  }
+}
+
+TEST(WeightedProtocolTest, WeightConservation) {
+  const auto caps = uniform_capacities(16, 2);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  WeightedBinArray bins(caps);
+  Xoshiro256StarStar rng(11);
+  GameConfig cfg;
+  cfg.balls = 100;
+  const auto result =
+      play_weighted_game(bins, sampler, BallSizeModel::uniform_range(1, 4), cfg, rng);
+  EXPECT_EQ(result.balls_thrown, 100u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) total += bins.weight(i);
+  EXPECT_EQ(total, bins.total_weight());
+  EXPECT_EQ(total, result.total_weight);
+  EXPECT_GE(total, 100u);
+  EXPECT_LE(total, 400u);
+}
+
+TEST(WeightedProtocolTest, DefaultBallCountTargetsAverageLoadOne) {
+  const auto caps = uniform_capacities(32, 4);  // C = 128
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  WeightedBinArray bins(caps);
+  Xoshiro256StarStar rng(12);
+  const auto result =
+      play_weighted_game(bins, sampler, BallSizeModel::constant(2), GameConfig{}, rng);
+  EXPECT_EQ(result.balls_thrown, 64u);  // C / mean = 128 / 2
+  EXPECT_DOUBLE_EQ(bins.average_load(), 1.0);
+}
+
+TEST(WeightedProtocolTest, HeavyBallMinimisesPostAllocationLoad) {
+  // Bin 0: cap 1, weight 0 (post for w=4: 4). Bin 1: cap 8, weight 20
+  // (post: 3). The heavy ball must go to bin 1 despite its higher current
+  // load.
+  WeightedBinArray bins({1, 8});
+  bins.add_weight(1, 20);
+  const BinSampler sampler = BinSampler::uniform(2);
+  // Force both candidates via distinct choices on 2 bins.
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;
+  Xoshiro256StarStar rng(13);
+  const std::size_t dest = place_one_weighted_ball(bins, sampler, 4, cfg, rng);
+  EXPECT_EQ(dest, 1u);
+}
+
+TEST(WeightedProtocolTest, TieBreakPrefersLargerCapacity) {
+  // caps {1, 2}, weights {1, 3}: post for w=1 -> 2/1 vs 4/2 = exact tie;
+  // Algorithm 1 picks the capacity-2 bin.
+  WeightedBinArray bins({1, 2});
+  bins.add_weight(0, 1);
+  bins.add_weight(1, 3);
+  const BinSampler sampler = BinSampler::uniform(2);
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;
+  Xoshiro256StarStar rng(14);
+  for (int i = 0; i < 20; ++i) {
+    WeightedBinArray copy = bins;
+    EXPECT_EQ(place_one_weighted_ball(copy, sampler, 1, cfg, rng), 1u);
+  }
+}
+
+TEST(WeightedProtocolTest, VarianceInSizesRaisesMaxLoadModerately) {
+  // Same expected total weight; mixed sizes should cost only a little.
+  const auto caps = uniform_capacities(256, 4);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+
+  auto mean_max = [&](const BallSizeModel& model, std::uint64_t seed) {
+    RunningStats stats;
+    for (int r = 0; r < 100; ++r) {
+      WeightedBinArray bins(caps);
+      Xoshiro256StarStar rng(seed_for_replication(seed, static_cast<std::uint64_t>(r)));
+      play_weighted_game(bins, sampler, model, GameConfig{}, rng);
+      stats.add(bins.max_load().value());
+    }
+    return stats.mean();
+  };
+
+  const double unit_like = mean_max(BallSizeModel::constant(2), 21);
+  const double mixed = mean_max(BallSizeModel::uniform_range(1, 3), 22);
+  EXPECT_GE(mixed, unit_like - 0.05);       // variance never helps
+  EXPECT_LT(mixed, unit_like + 0.5);        // ...but the protocol absorbs it
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,127 @@
+/// Cross-validation between the core protocol and the independently written
+/// baselines. On the configurations where the processes coincide
+/// mathematically, the implementations are constructed to consume identical
+/// RNG streams — so the allocations must be *bit-identical*, not merely
+/// statistically close.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/consistent_hashing.hpp"
+#include "baselines/greedy_uniform.hpp"
+#include "baselines/single_choice.hpp"
+#include "core/nubb.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(BaselineEquivalence, CoreOnUnitBinsIsExactlyGreedyUniform) {
+  // Unit capacities + uniform sampler + uniform tie-break == Azar's
+  // Greedy[d], draw for draw.
+  constexpr std::size_t kN = 200;
+  constexpr std::uint64_t kM = 600;
+  for (const std::uint32_t d : {1u, 2u, 3u}) {
+    for (std::uint64_t rep = 0; rep < 5; ++rep) {
+      const std::uint64_t seed = seed_for_replication(20250610 + d, rep);
+
+      BinArray bins(uniform_capacities(kN, 1));
+      const BinSampler sampler = BinSampler::uniform(kN);
+      GameConfig cfg;
+      cfg.choices = d;
+      cfg.tie_break = TieBreak::kUniform;
+      cfg.balls = kM;
+      Xoshiro256StarStar core_rng(seed);
+      play_game(bins, sampler, cfg, core_rng);
+
+      Xoshiro256StarStar base_rng(seed);
+      const auto baseline = greedy_uniform_loads(kN, kM, d, base_rng);
+
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(bins.balls(i), baseline[i]) << "bin " << i << " d " << d << " rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(BaselineEquivalence, CoreWithOneChoiceIsExactlySingleChoice) {
+  const std::vector<std::uint64_t> caps = {1, 3, 5, 7};
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  constexpr std::uint64_t kM = 400;
+
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    const std::uint64_t seed = seed_for_replication(77, rep);
+
+    BinArray bins(caps);
+    GameConfig cfg;
+    cfg.choices = 1;
+    cfg.balls = kM;
+    Xoshiro256StarStar core_rng(seed);
+    play_game(bins, sampler, cfg, core_rng);
+
+    Xoshiro256StarStar base_rng(seed);
+    const auto baseline = single_choice_loads(sampler, kM, base_rng);
+
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      ASSERT_EQ(bins.balls(i), baseline[i]) << "bin " << i;
+    }
+  }
+}
+
+TEST(BaselineEquivalence, RingGameMatchesCoreWithArcWeights) {
+  // The consistent-hashing game is the core game on unit-capacity bins with
+  // arc-length selection probabilities (up to the point-to-owner mapping vs
+  // alias sampling, which are different RNG streams — so compare means).
+  constexpr std::size_t kPeers = 128;
+  constexpr std::uint64_t kM = 128;
+  constexpr int kReps = 120;
+
+  Xoshiro256StarStar ring_rng(31415);
+  const ConsistentHashRing ring(kPeers, ring_rng);
+  const auto arcs = ring.arc_lengths();
+
+  RunningStats via_ring;
+  for (int r = 0; r < kReps; ++r) {
+    Xoshiro256StarStar rng(seed_for_replication(1, static_cast<std::uint64_t>(r)));
+    via_ring.add(static_cast<double>(ring_game_max(ring, kM, 2, rng)));
+  }
+
+  const auto caps = uniform_capacities(kPeers, 1);
+  const BinSampler sampler = BinSampler::from_policy(SelectionPolicy::custom(arcs), caps);
+  RunningStats via_core;
+  for (int r = 0; r < kReps; ++r) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(2, static_cast<std::uint64_t>(r)));
+    GameConfig cfg;
+    cfg.tie_break = TieBreak::kUniform;
+    cfg.balls = kM;
+    play_game(bins, sampler, cfg, rng);
+    via_core.add(static_cast<double>(bins.max_load().balls));
+  }
+
+  const double noise = 4.0 * (via_ring.std_error() + via_core.std_error());
+  EXPECT_NEAR(via_ring.mean(), via_core.mean(), noise + 0.05);
+}
+
+TEST(BaselineEquivalence, UniformPolicyMatchesUniformSampler) {
+  // SelectionPolicy::uniform over heterogeneous bins must behave exactly as
+  // BinSampler::uniform (fast path): both are bounded(n) draws.
+  const auto caps = two_class_capacities(10, 1, 10, 9);
+  const std::uint64_t seed = 404;
+
+  BinArray via_policy(caps);
+  Xoshiro256StarStar rng_a(seed);
+  play_game(via_policy, BinSampler::from_policy(SelectionPolicy::uniform(), caps),
+            GameConfig{}, rng_a);
+
+  BinArray via_fast_path(caps);
+  Xoshiro256StarStar rng_b(seed);
+  play_game(via_fast_path, BinSampler::uniform(caps.size()), GameConfig{}, rng_b);
+
+  EXPECT_EQ(via_policy.ball_counts(), via_fast_path.ball_counts());
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,93 @@
+/// Reproducibility guarantees of the experiment layer: results depend only
+/// on (configuration, base seed) — never on thread counts, pool identity or
+/// call ordering.
+
+#include <gtest/gtest.h>
+
+#include "core/nubb.hpp"
+
+namespace nubb {
+namespace {
+
+const std::vector<std::uint64_t> kCaps = two_class_capacities(60, 1, 20, 6);
+
+ExperimentConfig exp_with(std::uint64_t reps, std::uint64_t seed, ThreadPool* pool = nullptr) {
+  ExperimentConfig exp;
+  exp.replications = reps;
+  exp.base_seed = seed;
+  exp.pool = pool;
+  return exp;
+}
+
+TEST(Determinism, MaxLoadSummaryAcrossThreadCounts) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const Summary a = max_load_summary(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, exp_with(200, 9, &one));
+  const Summary b = max_load_summary(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, exp_with(200, 9, &four));
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_NEAR(a.mean, b.mean, 1e-12);
+  EXPECT_NEAR(a.stddev, b.stddev, 1e-9);
+}
+
+TEST(Determinism, ProfilesAcrossThreadCounts) {
+  ThreadPool one(1);
+  ThreadPool three(3);
+  const auto a = mean_sorted_profile(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, exp_with(100, 10, &one));
+  const auto b = mean_sorted_profile(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, exp_with(100, 10, &three));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Determinism, ClassOfMaxFractionsAreExactlyStable) {
+  // Frequencies are integer counts over fixed streams: exactly equal.
+  const auto a = class_of_max_fractions(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                        GameConfig{}, exp_with(150, 11));
+  const auto b = class_of_max_fractions(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                        GameConfig{}, exp_with(150, 11));
+  EXPECT_EQ(a.size(), b.size());
+  for (const auto& [cap, frac] : a) {
+    ASSERT_TRUE(b.count(cap));
+    EXPECT_DOUBLE_EQ(frac, b.at(cap));
+  }
+}
+
+TEST(Determinism, GapTracesAreStable) {
+  const auto a = mean_gap_trace(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                GameConfig{}, 500, 100, exp_with(60, 12));
+  const auto b = mean_gap_trace(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                GameConfig{}, 500, 100, exp_with(60, 12));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Determinism, RepeatedCallsDoNotInterfere) {
+  // Running an unrelated experiment in between must not change results.
+  const Summary before = max_load_summary(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, exp_with(80, 13));
+  (void)max_load_summary(uniform_capacities(32, 1), SelectionPolicy::uniform(), GameConfig{},
+                         exp_with(40, 999));
+  const Summary after = max_load_summary(kCaps, SelectionPolicy::proportional_to_capacity(),
+                                         GameConfig{}, exp_with(80, 13));
+  EXPECT_DOUBLE_EQ(before.mean, after.mean);
+  EXPECT_DOUBLE_EQ(before.min, after.min);
+  EXPECT_DOUBLE_EQ(before.max, after.max);
+}
+
+TEST(Determinism, SweepSeedDerivationIsPerPoint) {
+  // Extending the sweep grid must not change the values of shared points.
+  ExperimentConfig exp = exp_with(40, 14);
+  const auto narrow = sweep_exponent(kCaps, 1.0, 2.0, 0.5, GameConfig{}, exp);
+  const auto wide = sweep_exponent(kCaps, 1.0, 3.0, 0.5, GameConfig{}, exp);
+  for (std::size_t i = 0; i < narrow.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(narrow.points[i].mean_max_load, wide.points[i].mean_max_load)
+        << "grid point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nubb

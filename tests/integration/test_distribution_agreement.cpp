@@ -1,0 +1,138 @@
+/// Distribution-level cross-validation with the Kolmogorov-Smirnov test:
+/// where two implementations realise the same stochastic process through
+/// *different* RNG streams, their max-load samples must be statistically
+/// indistinguishable — and where processes genuinely differ, KS must
+/// separate them. Complements the bit-identical checks in
+/// test_baseline_equivalence.cpp.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/consistent_hashing.hpp"
+#include "baselines/greedy_uniform.hpp"
+#include "core/nubb.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+constexpr std::size_t kSamples = 1500;
+// Significance 1e-4: under H0 a false alarm is a ~1-in-10,000 event, and
+// the seeds are fixed, so these tests are deterministic in practice.
+const double kCritical = ks_critical(1e-4, kSamples, kSamples);
+
+std::vector<double> core_max_loads(const std::vector<std::uint64_t>& caps,
+                                   const SelectionPolicy& policy, const GameConfig& cfg,
+                                   std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(kSamples);
+  const BinSampler sampler = BinSampler::from_policy(policy, caps);
+  for (std::uint64_t r = 0; r < kSamples; ++r) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(seed, r));
+    GameConfig c = cfg;
+    play_game(bins, sampler, c, rng);
+    out.push_back(bins.max_load().value());
+  }
+  return out;
+}
+
+TEST(DistributionAgreement, CoreMatchesGreedyUniformAcrossSeeds) {
+  // Same process, *different* seeds (so different streams): KS must accept.
+  const std::size_t n = 256;
+  GameConfig cfg;
+  cfg.tie_break = TieBreak::kUniform;
+  const auto core = core_max_loads(uniform_capacities(n, 1),
+                                   SelectionPolicy::proportional_to_capacity(), cfg, 101);
+
+  std::vector<double> baseline;
+  baseline.reserve(kSamples);
+  for (std::uint64_t r = 0; r < kSamples; ++r) {
+    Xoshiro256StarStar rng(seed_for_replication(202, r));
+    baseline.push_back(static_cast<double>(greedy_uniform_max_load(n, n, 2, rng)));
+  }
+
+  EXPECT_LT(ks_statistic(core, baseline), kCritical);
+}
+
+TEST(DistributionAgreement, RingGameMatchesCoreWithArcWeights) {
+  // The ring's owner-lookup sampling vs the alias-table sampling of the
+  // same arc-length distribution: identical processes, different machinery.
+  constexpr std::size_t kPeers = 128;
+  Xoshiro256StarStar ring_rng(42424242);
+  const ConsistentHashRing ring(kPeers, ring_rng);
+
+  std::vector<double> via_ring;
+  via_ring.reserve(kSamples);
+  for (std::uint64_t r = 0; r < kSamples; ++r) {
+    Xoshiro256StarStar rng(seed_for_replication(303, r));
+    via_ring.push_back(static_cast<double>(ring_game_max(ring, kPeers, 2, rng)));
+  }
+
+  GameConfig cfg;
+  cfg.tie_break = TieBreak::kUniform;
+  cfg.balls = kPeers;
+  const auto via_core = core_max_loads(uniform_capacities(kPeers, 1),
+                                       SelectionPolicy::custom(ring.arc_lengths()), cfg, 404);
+
+  EXPECT_LT(ks_statistic(via_ring, via_core), kCritical);
+}
+
+TEST(DistributionAgreement, WeightedUnitBallsMatchCoreGame) {
+  // Weighted protocol with constant size 1 vs the core game, different
+  // seeds (the bit-identical case is covered elsewhere; this one checks
+  // the distribution through independent randomness).
+  const auto caps = two_class_capacities(60, 1, 20, 5);
+  GameConfig cfg;
+  const auto core = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, 505);
+
+  std::vector<double> weighted;
+  weighted.reserve(kSamples);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  for (std::uint64_t r = 0; r < kSamples; ++r) {
+    WeightedBinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(606, r));
+    play_weighted_game(bins, sampler, BallSizeModel::constant(1), GameConfig{}, rng);
+    weighted.push_back(bins.max_load().value());
+  }
+
+  EXPECT_LT(ks_statistic(core, weighted), kCritical);
+}
+
+TEST(DistributionAgreement, KsSeparatesGenuinelyDifferentProcesses) {
+  // Negative control: one choice vs two choices are different distributions
+  // and KS must reject decisively.
+  const auto caps = uniform_capacities(256, 1);
+  GameConfig one;
+  one.choices = 1;
+  GameConfig two;
+  two.choices = 2;
+  const auto a = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), one, 707);
+  const auto b = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), two, 808);
+  EXPECT_GT(ks_statistic(a, b), kCritical);
+}
+
+TEST(DistributionAgreement, BatchSizeOneMatchesSequentialAcrossSeeds) {
+  const auto caps = two_class_capacities(40, 1, 10, 4);
+  GameConfig cfg;
+  const auto sequential =
+      core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, 909);
+
+  std::vector<double> batched;
+  batched.reserve(kSamples);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  for (std::uint64_t r = 0; r < kSamples; ++r) {
+    BinArray bins(caps);
+    Xoshiro256StarStar rng(seed_for_replication(1010, r));
+    play_batched_game(bins, sampler, GameConfig{}, 1, rng);
+    batched.push_back(bins.max_load().value());
+  }
+
+  EXPECT_LT(ks_statistic(sequential, batched), kCritical);
+}
+
+}  // namespace
+}  // namespace nubb

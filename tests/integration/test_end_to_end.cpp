@@ -1,0 +1,130 @@
+/// Whole-pipeline flows mirroring the example programs and the figure
+/// harnesses, at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/consistent_hashing.hpp"
+#include "core/nubb.hpp"
+#include "theory/bounds.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(EndToEnd, QuickstartFlow) {
+  // The README quickstart: mixed array, default game, summary statistics.
+  const auto caps = two_class_capacities(90, 1, 10, 10);
+  ExperimentConfig exp;
+  exp.replications = 100;
+  exp.base_seed = 1;
+  const Summary s = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, exp);
+  EXPECT_GT(s.mean, 1.0);
+  EXPECT_LT(s.mean, bounds::theorem3_bound(100, 2, 4.0));
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(EndToEnd, Figure6StyleSweep) {
+  // Shrunk Figure 6: max load decreases as large-bin share rises.
+  ExperimentConfig exp;
+  exp.replications = 40;
+  exp.base_seed = 2;
+  std::vector<double> series;
+  for (const std::size_t large : {0u, 25u, 50u, 75u, 100u}) {
+    const auto caps = two_class_capacities(100 - large, 1, large, 10);
+    series.push_back(
+        max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), GameConfig{}, exp)
+            .mean);
+  }
+  EXPECT_GT(series.front(), series.back());
+}
+
+TEST(EndToEnd, Figure16StyleTraceIsFlat) {
+  // Shrunk Figure 16: the gap trace is ~flat in the number of balls.
+  const auto caps = uniform_capacities(128, 2);
+  ExperimentConfig exp;
+  exp.replications = 30;
+  exp.base_seed = 3;
+  const std::uint64_t C = 256;
+  const auto trace = mean_gap_trace(caps, SelectionPolicy::proportional_to_capacity(),
+                                    GameConfig{}, 30 * C, C, exp);
+  ASSERT_EQ(trace.size(), 30u);
+  // Compare mean of first five vs last five checkpoints (skip warm-up).
+  const double early = std::accumulate(trace.begin() + 5, trace.begin() + 10, 0.0) / 5.0;
+  const double late = std::accumulate(trace.end() - 5, trace.end(), 0.0) / 5.0;
+  EXPECT_NEAR(early, late, 0.3);
+}
+
+TEST(EndToEnd, Figure17StyleOptimalExponentExceedsOne) {
+  // The paper's headline from Section 4.5: for caps {1, x} with x >= 3 the
+  // optimal exponent is clearly above 1 (about 2.1 for x = 3).
+  const auto caps = two_class_capacities(50, 1, 50, 3);
+  ExperimentConfig exp;
+  exp.replications = 1500;
+  exp.base_seed = 4;
+  const auto sweep = sweep_exponent(caps, 1.0, 3.0, 0.25, GameConfig{}, exp);
+  EXPECT_GT(sweep.best_exponent, 1.0);
+  // Mean max load at the optimum beats the proportional default.
+  EXPECT_LT(sweep.best_mean_max_load, sweep.points.front().mean_max_load + 1e-9);
+}
+
+TEST(EndToEnd, GrowthScenarioPipeline) {
+  // Figure 14/15 flow at small scale: growth arrays through the experiment
+  // driver, maximum load decreasing as the system grows.
+  ExperimentConfig exp;
+  exp.replications = 30;
+  exp.base_seed = 5;
+  const GrowthModel model = GrowthModel::linear(4.0, 2);
+  std::vector<double> series;
+  for (const std::size_t disks : {22u, 202u, 402u}) {
+    const auto caps = growth_capacities(disks, 2, 20, model);
+    series.push_back(
+        max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), GameConfig{}, exp)
+            .mean);
+  }
+  EXPECT_GT(series.front(), series.back());
+}
+
+TEST(EndToEnd, RingScenarioPipeline) {
+  // P2P flow: ring arcs -> custom policy -> core game, end to end.
+  Xoshiro256StarStar ring_rng(6);
+  const ConsistentHashRing ring(64, ring_rng);
+  const auto arcs = ring.arc_lengths();
+  const auto caps = uniform_capacities(64, 1);
+
+  ExperimentConfig exp;
+  exp.replications = 100;
+  exp.base_seed = 7;
+  GameConfig cfg;
+  cfg.balls = 64;
+  const Summary with_two_choices =
+      max_load_summary(caps, SelectionPolicy::custom(arcs), cfg, exp);
+
+  GameConfig one_choice = cfg;
+  one_choice.choices = 1;
+  const Summary with_one_choice =
+      max_load_summary(caps, SelectionPolicy::custom(arcs), one_choice, exp);
+
+  // Byers et al.: two choices tame the ring imbalance.
+  EXPECT_LT(with_two_choices.mean, with_one_choice.mean);
+}
+
+TEST(EndToEnd, HeavilyLoadedMixedArrayStaysBounded) {
+  // Mixed array, m = 20C: max load stays within avg + O(1).
+  Xoshiro256StarStar cap_rng(8);
+  const auto caps = binomial_capacities(200, 3.0, cap_rng);
+  const std::uint64_t C = std::accumulate(caps.begin(), caps.end(), std::uint64_t{0});
+  ExperimentConfig exp;
+  exp.replications = 20;
+  exp.base_seed = 9;
+  GameConfig cfg;
+  cfg.balls = 20 * C;
+  const Summary s =
+      max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp);
+  EXPECT_GE(s.mean, 20.0);
+  EXPECT_LT(s.mean, 20.0 + 4.0);
+}
+
+}  // namespace
+}  // namespace nubb

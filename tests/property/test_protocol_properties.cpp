@@ -1,0 +1,229 @@
+/// Property-style tests: invariants of the allocation protocol swept over a
+/// grid of configurations via parameterised gtest.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "core/nubb.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+struct ProtocolCase {
+  std::string name;
+  std::vector<std::uint64_t> capacities;
+  std::uint32_t d;
+  SelectionPolicy::Kind policy_kind;
+  double exponent;  // used when kind == kCapacityPower
+
+  SelectionPolicy policy() const {
+    switch (policy_kind) {
+      case SelectionPolicy::Kind::kUniform:
+        return SelectionPolicy::uniform();
+      case SelectionPolicy::Kind::kCapacityPower:
+        return SelectionPolicy::capacity_power(exponent);
+      default:
+        return SelectionPolicy::proportional_to_capacity();
+    }
+  }
+};
+
+std::string case_name(const ::testing::TestParamInfo<ProtocolCase>& info) {
+  return info.param.name;
+}
+
+class ProtocolInvariants : public ::testing::TestWithParam<ProtocolCase> {};
+
+TEST_P(ProtocolInvariants, ConservationOnlineMaxAndAverageBound) {
+  const ProtocolCase& pc = GetParam();
+  const BinSampler sampler = BinSampler::from_policy(pc.policy(), pc.capacities);
+  GameConfig cfg;
+  cfg.choices = pc.d;
+
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    BinArray bins(pc.capacities);
+    Xoshiro256StarStar rng(seed_for_replication(0xABCD, rep));
+    const GameResult result = play_game(bins, sampler, cfg, rng);
+
+    // Conservation: every thrown ball landed exactly once.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) total += bins.balls(i);
+    EXPECT_EQ(total, result.balls_thrown);
+    EXPECT_EQ(total, bins.total_capacity());  // m = C default
+
+    // Online max equals a full scan.
+    EXPECT_EQ(result.max_load, scan_max_load(bins));
+
+    // Max load is at least the average load (= 1 for m = C).
+    EXPECT_GE(result.max_load.value(), bins.average_load() - 1e-12);
+  }
+}
+
+TEST_P(ProtocolInvariants, NormalisedLoadVectorMajorisesItselfAndIsSorted) {
+  const ProtocolCase& pc = GetParam();
+  const BinSampler sampler = BinSampler::from_policy(pc.policy(), pc.capacities);
+  GameConfig cfg;
+  cfg.choices = pc.d;
+  BinArray bins(pc.capacities);
+  Xoshiro256StarStar rng(0xF00D);
+  play_game(bins, sampler, cfg, rng);
+
+  const auto profile = normalized_load_vector(bins);
+  for (std::size_t i = 1; i < profile.size(); ++i) EXPECT_GE(profile[i - 1], profile[i]);
+  EXPECT_TRUE(majorizes(profile, profile));
+
+  // The slot vector view conserves balls too.
+  const auto slots = slot_load_vector(bins);
+  const std::uint64_t slot_total = std::accumulate(
+      slots.begin(), slots.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Slot& s) { return acc + s.balls; });
+  EXPECT_EQ(slot_total, bins.total_balls());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolInvariants,
+    ::testing::Values(
+        ProtocolCase{"unit_bins_d2", uniform_capacities(128, 1), 2,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"unit_bins_d4", uniform_capacities(128, 1), 4,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"uniform_cap8_d2", uniform_capacities(64, 8), 2,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"two_class_1_10", two_class_capacities(90, 1, 10, 10), 2,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"two_class_1_10_d3", two_class_capacities(90, 1, 10, 10), 3,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"extreme_skew", two_class_capacities(63, 1, 1, 1000), 2,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"uniform_policy_het_bins", two_class_capacities(50, 1, 50, 4), 2,
+                     SelectionPolicy::Kind::kUniform, 1.0},
+        ProtocolCase{"power_2_policy", two_class_capacities(50, 1, 50, 4), 2,
+                     SelectionPolicy::Kind::kCapacityPower, 2.0},
+        ProtocolCase{"single_bin", uniform_capacities(1, 16), 2,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0},
+        ProtocolCase{"d_one", two_class_capacities(32, 1, 32, 4), 1,
+                     SelectionPolicy::Kind::kProportionalToCapacity, 1.0}),
+    case_name);
+
+// --- tie-break ablations ------------------------------------------------------
+
+TEST(TieBreakProperties, EquivalentToUniformOnEqualCapacities) {
+  // With all capacities equal, the capacity filter keeps every tied
+  // candidate, so Algorithm 1 consumes the same RNG stream as the uniform
+  // tie-break and the allocations must be bit-identical.
+  const auto caps = uniform_capacities(100, 3);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    BinArray paper_bins(caps);
+    BinArray uniform_bins(caps);
+    Xoshiro256StarStar rng_a(seed_for_replication(42, rep));
+    Xoshiro256StarStar rng_b(seed_for_replication(42, rep));
+
+    GameConfig paper_cfg;
+    paper_cfg.tie_break = TieBreak::kPreferLargerCapacity;
+    GameConfig uniform_cfg;
+    uniform_cfg.tie_break = TieBreak::kUniform;
+
+    play_game(paper_bins, sampler, paper_cfg, rng_a);
+    play_game(uniform_bins, sampler, uniform_cfg, rng_b);
+    EXPECT_EQ(paper_bins.ball_counts(), uniform_bins.ball_counts());
+  }
+}
+
+TEST(TieBreakProperties, PaperTieBreakShiftsBallsTowardsBigBins) {
+  // On a heterogeneous array, Algorithm 1's capacity preference must place
+  // more balls into big bins than the plain uniform tie-break does.
+  const auto caps = two_class_capacities(500, 1, 50, 10);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+
+  auto big_bin_share = [&](TieBreak tb, std::uint64_t seed) {
+    double share = 0.0;
+    constexpr int kReps = 40;
+    for (int r = 0; r < kReps; ++r) {
+      BinArray bins(caps);
+      Xoshiro256StarStar rng(seed_for_replication(seed, static_cast<std::uint64_t>(r)));
+      GameConfig cfg;
+      cfg.tie_break = tb;
+      play_game(bins, sampler, cfg, rng);
+      std::uint64_t big = 0;
+      for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (bins.capacity(i) == 10) big += bins.balls(i);
+      }
+      share += static_cast<double>(big) / static_cast<double>(bins.total_balls());
+    }
+    return share / kReps;
+  };
+
+  EXPECT_GT(big_bin_share(TieBreak::kPreferLargerCapacity, 7),
+            big_bin_share(TieBreak::kUniform, 7));
+}
+
+TEST(TieBreakProperties, PaperTieBreakDoesNotWorsenMaxLoad) {
+  // The design rationale of Section 3: moving ties towards big bins keeps
+  // the max load at least as good as ignoring capacity.
+  const auto caps = two_class_capacities(500, 1, 50, 10);
+  auto mean_max = [&](TieBreak tb) {
+    GameConfig cfg;
+    cfg.tie_break = tb;
+    ExperimentConfig exp;
+    exp.replications = 150;
+    exp.base_seed = 99;
+    return max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp).mean;
+  };
+  EXPECT_LE(mean_max(TieBreak::kPreferLargerCapacity), mean_max(TieBreak::kUniform) + 0.05);
+}
+
+TEST(ChoiceModeProperties, DistinctChoicesDoNotHurt) {
+  // Forcing distinct candidates can only help (a duplicate wastes a choice).
+  const auto caps = uniform_capacities(32, 1);
+  auto mean_max = [&](bool distinct) {
+    GameConfig cfg;
+    cfg.distinct_choices = distinct;
+    ExperimentConfig exp;
+    exp.replications = 400;
+    exp.base_seed = 1234;
+    return max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp).mean;
+  };
+  EXPECT_LE(mean_max(true), mean_max(false) + 0.05);
+}
+
+TEST(ScalingProperties, MoreChoicesReduceMaxLoad) {
+  const auto caps = uniform_capacities(512, 1);
+  ExperimentConfig exp;
+  exp.replications = 100;
+  exp.base_seed = 5;
+  double previous = 1e18;
+  for (const std::uint32_t d : {1u, 2u, 4u}) {
+    GameConfig cfg;
+    cfg.choices = d;
+    const double mean =
+        max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp).mean;
+    EXPECT_LT(mean, previous + 1e-9) << "d = " << d;
+    previous = mean;
+  }
+}
+
+TEST(ScalingProperties, BiggerUniformCapacityShrinksNormalisedMaxLoad) {
+  // Observation 2: max load = 1 + gap/c for m = C; larger c => closer to 1.
+  ExperimentConfig exp;
+  exp.replications = 100;
+  exp.base_seed = 6;
+  double previous = 1e18;
+  for (const std::uint64_t c : {1ull, 2ull, 4ull, 8ull}) {
+    const double mean = max_load_summary(uniform_capacities(256, c),
+                                         SelectionPolicy::proportional_to_capacity(),
+                                         GameConfig{}, exp)
+                            .mean;
+    EXPECT_LT(mean, previous + 1e-9) << "c = " << c;
+    previous = mean;
+  }
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,119 @@
+#include "theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(AzarLeadingTermTest, KnownValues) {
+  // ln ln(10000) / ln 2 = ln(9.2103) / 0.6931 = 3.20325...
+  EXPECT_NEAR(bounds::azar_leading_term(10000, 2), 3.20325, 1e-3);
+  // d = 3 shrinks the bound.
+  EXPECT_LT(bounds::azar_leading_term(10000, 3), bounds::azar_leading_term(10000, 2));
+}
+
+TEST(AzarLeadingTermTest, ClampedForTinyN) {
+  EXPECT_DOUBLE_EQ(bounds::azar_leading_term(2, 2), 0.0);
+}
+
+TEST(AzarLeadingTermTest, RejectsSingleChoice) {
+  EXPECT_THROW(bounds::azar_leading_term(100, 1), PreconditionError);
+}
+
+TEST(Theorem3Test, AdditiveConstantShiftsBound) {
+  const double base = bounds::azar_leading_term(10000, 2);
+  EXPECT_DOUBLE_EQ(bounds::theorem3_bound(10000, 2, 4.0), base + 4.0);
+}
+
+TEST(Theorem3Test, GrowsSlowlyInN) {
+  // Doubling n many times barely moves the bound (ln ln growth).
+  const double small = bounds::theorem3_bound(1e4, 2, 0.0);
+  const double large = bounds::theorem3_bound(1e8, 2, 0.0);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large - small, 1.1);
+}
+
+TEST(Observation2Test, PaperSpecialCase) {
+  // m = n*cbar: bound = 1 + gap/cbar, approaching 1 as cbar grows.
+  const double small_cap = bounds::observation2_bound(10000 * 2, 10000, 2, 2, 1.0);
+  const double big_cap = bounds::observation2_bound(10000 * 64, 10000, 64, 2, 1.0);
+  EXPECT_GT(small_cap, big_cap);
+  EXPECT_NEAR(big_cap, 1.0, 0.1);
+  EXPECT_GT(small_cap, 1.0);
+}
+
+TEST(Observation2Test, ScalesInverselyWithCapacity) {
+  const double c1 = bounds::observation2_bound(1000, 1000, 1, 2, 1.0);
+  const double c4 = bounds::observation2_bound(4000, 1000, 4, 2, 1.0);
+  // Same average load (1); the gap term shrinks by 4x.
+  EXPECT_GT(c1, c4);
+}
+
+TEST(HeavilyLoadedTest, GapIndependentOfM) {
+  const double at_10n = bounds::heavily_loaded_max_balls(10 * 1000, 1000, 2, 1.0);
+  const double at_100n = bounds::heavily_loaded_max_balls(100 * 1000, 1000, 2, 1.0);
+  EXPECT_NEAR(at_10n - 10.0, at_100n - 100.0, 1e-12);
+}
+
+TEST(BigBinThresholdTest, ScalesWithRAndN) {
+  EXPECT_NEAR(bounds::big_bin_threshold(std::exp(1.0), 3.0), 3.0, 1e-12);
+  EXPECT_GT(bounds::big_bin_threshold(10000, 1.0), bounds::big_bin_threshold(100, 1.0));
+  EXPECT_THROW(bounds::big_bin_threshold(100, 0.0), PreconditionError);
+}
+
+TEST(Observation1Test, LoadCapIsFour) {
+  EXPECT_DOUBLE_EQ(bounds::observation1_big_bin_load_cap(), 4.0);
+}
+
+TEST(Theorem1Test, SquareRegimeAlwaysApplies) {
+  EXPECT_TRUE(bounds::theorem1_applies(/*m=*/1e8, /*n=*/1e4, /*Cs=*/1e7, 1.0));
+}
+
+TEST(Theorem1Test, SmallCsRegime) {
+  const double n = 1e4;
+  const double threshold = std::pow(n * std::log(n), 2.0 / 3.0);
+  EXPECT_TRUE(bounds::theorem1_applies(n, n, threshold * 0.9, 1.0));
+  EXPECT_FALSE(bounds::theorem1_applies(n, n, threshold * 1.1, 1.0));
+}
+
+TEST(Theorem2Test, ThresholdBehaviour) {
+  const double C = 1e6;
+  const double threshold = std::pow(C, 0.5) * std::pow(std::log(C), 0.5);  // d = 2
+  EXPECT_TRUE(bounds::theorem2_applies(C, threshold * 0.9, 2));
+  EXPECT_FALSE(bounds::theorem2_applies(C, threshold * 1.1, 2));
+}
+
+TEST(Theorem2Test, LargerDAdmitsMoreSmallCapacity) {
+  const double C = 1e6;
+  const double cs = 5e4;
+  // C^(1/2) (log C)^(1/2) ~ 3718 < 5e4, but C^(3/4) (log C)^(1/4) ~ 61k > 5e4.
+  EXPECT_FALSE(bounds::theorem2_applies(C, cs, 2));
+  EXPECT_TRUE(bounds::theorem2_applies(C, cs, 4));
+}
+
+TEST(Theorem5Test, ConstantBoundForConstantParameters) {
+  // k = 1, alpha = 1/2, q = ln ln n: bound = 2 + ln ln n / q = 3.
+  const double n = 1e6;
+  const double q = std::log(std::log(n));
+  EXPECT_NEAR(bounds::theorem5_bound(1.0, 0.5, q, n), 3.0, 1e-9);
+}
+
+TEST(Theorem5Test, LargeQAbsorbsTheGap) {
+  const double loose = bounds::theorem5_bound(1.0, 0.5, 2.0, 1e6);
+  const double tight = bounds::theorem5_bound(1.0, 0.5, 100.0, 1e6);
+  EXPECT_LT(tight, loose);
+  EXPECT_NEAR(tight, 2.0, 0.05);
+}
+
+TEST(Theorem5Test, RejectsInvalidParameters) {
+  EXPECT_THROW(bounds::theorem5_bound(1.0, 0.0, 2.0, 100), PreconditionError);
+  EXPECT_THROW(bounds::theorem5_bound(1.0, 1.5, 2.0, 100), PreconditionError);
+  EXPECT_THROW(bounds::theorem5_bound(1.0, 0.5, 0.5, 100), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,182 @@
+#include "theory/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nubb.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+const std::vector<double> unit_weights(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+std::vector<double> as_weights(const std::vector<std::uint64_t>& caps) {
+  std::vector<double> w;
+  for (const auto c : caps) w.push_back(static_cast<double>(c));
+  return w;
+}
+
+TEST(ExactDistributionTest, ProbabilitiesSumToOne) {
+  const std::vector<std::uint64_t> caps = {1, 2, 3};
+  const auto dist = exact_allocation_distribution(caps, as_weights(caps), 2, 3,
+                                                  TieBreak::kPreferLargerCapacity);
+  double total = 0.0;
+  for (const auto& [balls, p] : dist) {
+    EXPECT_GT(p, 0.0);
+    std::uint64_t sum = 0;
+    for (const auto b : balls) sum += b;
+    EXPECT_EQ(sum, 3u);  // every outcome allocates exactly m balls
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExactDistributionTest, OneBallTwoEqualBinsIsFair) {
+  // d = 2 uniform choices over 2 unit bins, one ball, uniform tie-break:
+  // P[bin 0] = P[bin 1] = 1/2 by symmetry.
+  const std::vector<std::uint64_t> caps = {1, 1};
+  const auto dist =
+      exact_allocation_distribution(caps, unit_weights(2), 2, 1, TieBreak::kUniform);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist.at({1, 0}), 0.5, 1e-12);
+  EXPECT_NEAR(dist.at({0, 1}), 0.5, 1e-12);
+}
+
+TEST(ExactDistributionTest, CapacityTieBreakIsDeterministicOnKnownTie) {
+  // caps {1, 2}, proportional weights, one ball: post loads 1 vs 1/2, so
+  // the capacity-2 bin wins whenever it is among the choices; it loses only
+  // for the tuple (0,0), which has probability (1/3)^2.
+  const std::vector<std::uint64_t> caps = {1, 2};
+  const auto dist = exact_allocation_distribution(caps, as_weights(caps), 2, 1,
+                                                  TieBreak::kPreferLargerCapacity);
+  EXPECT_NEAR(dist.at({1, 0}), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(dist.at({0, 1}), 8.0 / 9.0, 1e-12);
+}
+
+TEST(ExactDistributionTest, FirstChoiceBreaksTiesInTupleOrder) {
+  // Two unit bins, d = 2, one ball, first-choice tie-break: destination is
+  // always the first element of the tuple -> P[bin 0] = P[first draw = 0]
+  // = 1/2.
+  const std::vector<std::uint64_t> caps = {1, 1};
+  const auto dist =
+      exact_allocation_distribution(caps, unit_weights(2), 2, 1, TieBreak::kFirstChoice);
+  EXPECT_NEAR(dist.at({1, 0}), 0.5, 1e-12);
+}
+
+TEST(ExactDistributionTest, TwoBallsTwoUnitBinsClassicValues) {
+  // Greedy[2] on 2 unit bins, 2 balls, uniform ties. Ball 1 lands anywhere
+  // (symmetry). Ball 2: the tuple hits the loaded bin twice with prob 1/4
+  // (-> max 2), otherwise the empty bin is strictly better or tied-winning.
+  // Careful derivation: after ball 1 in bin A, ball 2 tuples: (A,A) 1/4 ->
+  // A (max 2); (A,B),(B,A) 1/2 -> B; (B,B) 1/4 -> B. So P[max=2] = 1/4.
+  const std::vector<std::uint64_t> caps = {1, 1};
+  const auto dist =
+      exact_max_load_distribution(caps, unit_weights(2), 2, 2, TieBreak::kUniform);
+  EXPECT_NEAR(dist.at(2.0), 0.25, 1e-12);
+  EXPECT_NEAR(dist.at(1.0), 0.75, 1e-12);
+}
+
+TEST(ExactDistributionTest, ZeroWeightBinNeverReceives) {
+  const std::vector<std::uint64_t> caps = {1, 1};
+  const auto dist = exact_allocation_distribution(caps, {0.0, 1.0}, 2, 2,
+                                                  TieBreak::kPreferLargerCapacity);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_NEAR(dist.at({0, 2}), 1.0, 1e-12);
+}
+
+TEST(ExactDistributionTest, ExpectedMaxLoadMatchesHandComputation) {
+  // From TwoBallsTwoUnitBinsClassicValues: E[max] = 0.75*1 + 0.25*2 = 1.25.
+  EXPECT_NEAR(exact_expected_max_load({1, 1}, unit_weights(2), 2, 2, TieBreak::kUniform),
+              1.25, 1e-12);
+}
+
+TEST(ExactDistributionTest, GuardsAgainstExplosion) {
+  const std::vector<std::uint64_t> caps(16, 1);
+  EXPECT_THROW(
+      exact_allocation_distribution(caps, unit_weights(16), 4, 8, TieBreak::kUniform),
+      PreconditionError);
+}
+
+TEST(ExactDistributionTest, RejectsBadInput) {
+  EXPECT_THROW(exact_allocation_distribution({}, {}, 2, 1, TieBreak::kUniform),
+               PreconditionError);
+  EXPECT_THROW(exact_allocation_distribution({1}, {1.0, 2.0}, 2, 1, TieBreak::kUniform),
+               PreconditionError);
+  EXPECT_THROW(exact_allocation_distribution({1, 1}, {0.0, 0.0}, 2, 1, TieBreak::kUniform),
+               PreconditionError);
+  EXPECT_THROW(exact_allocation_distribution({1, 1}, {1.0, -1.0}, 2, 1, TieBreak::kUniform),
+               PreconditionError);
+}
+
+// --- the headline: simulator vs exact oracle -----------------------------------
+
+struct OracleCase {
+  std::string name;
+  std::vector<std::uint64_t> caps;
+  std::uint32_t d;
+  std::uint64_t m;
+  TieBreak tie_break;
+};
+
+std::string oracle_name(const ::testing::TestParamInfo<OracleCase>& info) {
+  return info.param.name;
+}
+
+class SimulatorVsOracle : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(SimulatorVsOracle, EmpiricalMaxLoadFrequenciesMatchExact) {
+  const OracleCase& oc = GetParam();
+  const auto exact = exact_max_load_distribution(oc.caps, as_weights(oc.caps), oc.d, oc.m,
+                                                 oc.tie_break);
+
+  // Simulate and bucket the observed max loads by the exact support.
+  constexpr std::uint64_t kReps = 40000;
+  std::map<double, std::uint64_t> observed;
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), oc.caps);
+  for (std::uint64_t r = 0; r < kReps; ++r) {
+    BinArray bins(oc.caps);
+    Xoshiro256StarStar rng(seed_for_replication(0x0AC1E, r));
+    GameConfig cfg;
+    cfg.choices = oc.d;
+    cfg.balls = oc.m;
+    cfg.tie_break = oc.tie_break;
+    play_game(bins, sampler, cfg, rng);
+    ++observed[bins.max_load().value()];
+  }
+
+  // Every observed value must be in the exact support.
+  for (const auto& [value, count] : observed) {
+    ASSERT_TRUE(exact.count(value)) << "simulator produced impossible max load " << value;
+    (void)count;
+  }
+
+  // Chi-square against the exact probabilities (cells with tiny expectation
+  // folded into their neighbours would complicate things; all our cases
+  // have comfortably large cell probabilities).
+  std::vector<std::uint64_t> counts;
+  std::vector<double> expected;
+  for (const auto& [value, prob] : exact) {
+    counts.push_back(observed.count(value) ? observed.at(value) : 0);
+    expected.push_back(prob);
+  }
+  const double stat = chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, chi_square_critical_1e4(counts.size() - 1))
+      << "simulator deviates from the exact distribution";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyGames, SimulatorVsOracle,
+    ::testing::Values(
+        OracleCase{"two_unit_bins", {1, 1}, 2, 2, TieBreak::kUniform},
+        OracleCase{"caps_1_2_paper_tiebreak", {1, 2}, 2, 3, TieBreak::kPreferLargerCapacity},
+        OracleCase{"caps_1_2_3", {1, 2, 3}, 2, 4, TieBreak::kPreferLargerCapacity},
+        OracleCase{"three_choices", {1, 1, 2}, 3, 3, TieBreak::kPreferLargerCapacity},
+        OracleCase{"first_choice_rule", {2, 2}, 2, 3, TieBreak::kFirstChoice}),
+    oracle_name);
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,101 @@
+#include "util/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(AliasTableTest, SingleOutcome) {
+  const AliasTable table({42.0});
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(table.probability(0), 1.0);
+}
+
+TEST(AliasTableTest, ReconstructedProbabilitiesMatchInputs) {
+  const std::vector<double> weights = {1.0, 5.0, 3.0, 0.5, 0.5};
+  const AliasTable table(weights);
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(table.probability(i), weights[i] / total, 1e-12)
+        << "slot reconstruction broke for outcome " << i;
+    EXPECT_NEAR(table.input_probability(i), weights[i] / total, 1e-15);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightOutcomesAreNeverSampled) {
+  const AliasTable table({0.0, 1.0, 0.0, 2.0});
+  Xoshiro256StarStar rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const auto s = table.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, UniformWeightsPassChiSquare) {
+  constexpr std::size_t kOutcomes = 64;
+  const AliasTable table(std::vector<double>(kOutcomes, 1.0));
+  Xoshiro256StarStar rng(7);
+  std::vector<std::uint64_t> counts(kOutcomes, 0);
+  constexpr int kDraws = 640000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+
+  const std::vector<double> expected(kOutcomes, 1.0 / kOutcomes);
+  const double stat = chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, chi_square_critical_1e4(kOutcomes - 1));
+}
+
+TEST(AliasTableTest, SkewedWeightsPassChiSquare) {
+  // Capacity-proportional-like weights with a 100x spread.
+  std::vector<double> weights;
+  for (int i = 1; i <= 20; ++i) weights.push_back(static_cast<double>(i * i));
+  const AliasTable table(weights);
+
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  std::vector<double> expected;
+  for (const double w : weights) expected.push_back(w / total);
+
+  Xoshiro256StarStar rng(13);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  for (int i = 0; i < 400000; ++i) ++counts[table.sample(rng)];
+
+  const double stat = chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, chi_square_critical_1e4(weights.size() - 1));
+}
+
+TEST(AliasTableTest, ExtremeSkewStillCorrect) {
+  // One outcome a million times more likely than the other.
+  const AliasTable table({1e6, 1.0});
+  Xoshiro256StarStar rng(3);
+  std::uint64_t rare = 0;
+  constexpr int kDraws = 2000000;
+  for (int i = 0; i < kDraws; ++i) rare += table.sample(rng);
+  // Expectation is kDraws / (1e6 + 1) ~ 2; allow a generous Poisson band.
+  EXPECT_LE(rare, 12u);
+}
+
+TEST(AliasTableTest, ManyOutcomesBuildAndProbabilitySumIsOne) {
+  std::vector<double> weights;
+  Xoshiro256StarStar rng(10);
+  for (int i = 0; i < 5000; ++i) weights.push_back(rng.next_double() + 0.01);
+  const AliasTable table(weights);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) sum += table.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), PreconditionError);
+  EXPECT_THROW(AliasTable({0.0}), PreconditionError);
+  EXPECT_THROW(AliasTable({1.0, -2.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,146 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+/// Helper: build argv from a list of strings.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    pointers_.push_back("prog");
+    for (const auto& a : storage_) pointers_.push_back(a.c_str());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  const char* const* argv() const { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<const char*> pointers_;
+};
+
+CliParser make_parser() {
+  CliParser cli("test program");
+  cli.add_flag("verbose", "be chatty");
+  cli.add_int("reps", 100, "replications");
+  cli.add_double("scale", 1.5, "scaling factor");
+  cli.add_string("csv", "", "output dir");
+  return cli;
+}
+
+TEST(CliTest, DefaultsApplyWithoutArguments) {
+  CliParser cli = make_parser();
+  Argv args({});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.get_int("reps"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);
+  EXPECT_EQ(cli.get_string("csv"), "");
+  EXPECT_FALSE(cli.was_set("reps"));
+}
+
+TEST(CliTest, ParsesSpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  Argv args({"--reps", "500", "--scale", "2.25", "--csv", "/tmp/x", "--verbose"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_EQ(cli.get_int("reps"), 500);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 2.25);
+  EXPECT_EQ(cli.get_string("csv"), "/tmp/x");
+  EXPECT_TRUE(cli.was_set("reps"));
+}
+
+TEST(CliTest, ParsesEqualsSyntax) {
+  CliParser cli = make_parser();
+  Argv args({"--reps=42", "--scale=0.5"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_int("reps"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+}
+
+TEST(CliTest, NegativeNumbersAreAccepted) {
+  CliParser cli = make_parser();
+  Argv args({"--reps", "-5", "--scale", "-1.5"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_int("reps"), -5);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), -1.5);
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  Argv args({"--help"});
+  EXPECT_FALSE(cli.parse(args.argc(), args.argv()));
+}
+
+TEST(CliTest, HelpTextMentionsAllOptions) {
+  CliParser cli = make_parser();
+  const std::string help = cli.help_text();
+  for (const char* name : {"verbose", "reps", "scale", "csv", "help"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliTest, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  Argv args({"--bogus", "1"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  CliParser cli = make_parser();
+  Argv args({"--reps"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, MalformedNumberThrows) {
+  CliParser cli = make_parser();
+  Argv int_args({"--reps", "abc"});
+  EXPECT_THROW(cli.parse(int_args.argc(), int_args.argv()), std::runtime_error);
+
+  CliParser cli2 = make_parser();
+  Argv dbl_args({"--scale", "xyz"});
+  EXPECT_THROW(cli2.parse(dbl_args.argc(), dbl_args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, FlagWithValueThrows) {
+  CliParser cli = make_parser();
+  Argv args({"--verbose=1"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, PositionalArgumentThrows) {
+  CliParser cli = make_parser();
+  Argv args({"stray"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, WrongTypeAccessThrows) {
+  CliParser cli = make_parser();
+  Argv args({});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_THROW(cli.get_int("scale"), PreconditionError);
+  EXPECT_THROW(cli.flag("reps"), PreconditionError);
+  EXPECT_THROW(cli.get_string("unregistered"), PreconditionError);
+}
+
+TEST(CliTest, DuplicateRegistrationThrows) {
+  CliParser cli("dup");
+  cli.add_int("x", 1, "first");
+  EXPECT_THROW(cli.add_flag("x", "second"), PreconditionError);
+}
+
+TEST(CliTest, LastOccurrenceWins) {
+  CliParser cli = make_parser();
+  Argv args({"--reps", "1", "--reps", "2"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_int("reps"), 2);
+}
+
+}  // namespace
+}  // namespace nubb

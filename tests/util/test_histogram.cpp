@@ -1,0 +1,121 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(5.0);   // bin 5
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 2);
+  a.add(0.25);
+  b.add(0.25);
+  b.add(0.75);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramTest, MergeRejectsDifferentGeometry) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 2.0, 2);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+}
+
+TEST(HistogramTest, RenderMentionsNonEmptyBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadGeometry) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), PreconditionError);
+}
+
+TEST(HistogramTest, OutOfRangeBinAccessThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), PreconditionError);
+  EXPECT_THROW(h.bin_lo(2), PreconditionError);
+}
+
+TEST(CountingHistogramTest, CountsAndGrows) {
+  CountingHistogram h;
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(100), 0u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.max_value(), 3u);
+}
+
+TEST(CountingHistogramTest, FractionsSumToOne) {
+  CountingHistogram h;
+  for (std::uint64_t v : {1u, 1u, 2u, 5u}) h.add(v);
+  double sum = 0.0;
+  for (std::uint64_t v = 0; v <= h.max_value(); ++v) sum += h.fraction(v);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(CountingHistogramTest, MergeCombines) {
+  CountingHistogram a;
+  CountingHistogram b;
+  a.add(1);
+  b.add(1);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.max_value(), 7u);
+}
+
+TEST(CountingHistogramTest, EmptyIsWellDefined) {
+  CountingHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace nubb

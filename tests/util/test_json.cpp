@@ -1,0 +1,123 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  body(j);
+  EXPECT_TRUE(j.complete());
+  return os.str();
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_object();
+              j.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriterTest, ScalarsFormatCorrectly) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(std::int64_t{-42}); }), "-42");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(std::uint64_t{7}); }), "7");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(true); }), "true");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(false); }), "false");
+  EXPECT_EQ(render([](JsonWriter& j) { j.null(); }), "null");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(1.5); }), "1.5");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value("hi"); }), "\"hi\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(std::nan("")); }), "null");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(1.0 / 0.0); }), "null");
+}
+
+TEST(JsonWriterTest, ObjectMembersAndCommas) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object();
+    j.kv("a", std::uint64_t{1});
+    j.kv("b", "x");
+    j.end_object();
+  });
+  EXPECT_EQ(out, "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(JsonWriterTest, ArrayElementsAndCommas) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::uint64_t{1});
+    j.value(std::uint64_t{2});
+    j.value(std::uint64_t{3});
+    j.end_array();
+  });
+  EXPECT_EQ(out, "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("series");
+    j.begin_array();
+    j.begin_object();
+    j.kv("x", std::uint64_t{1});
+    j.end_object();
+    j.begin_object();
+    j.kv("x", std::uint64_t{2});
+    j.end_object();
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(out, "{\"series\":[{\"x\":1},{\"x\":2}]}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  const std::string out =
+      render([](JsonWriter& j) { j.value("quote\" slash\\ newline\n tab\t"); });
+  EXPECT_EQ(out, "\"quote\\\" slash\\\\ newline\\n tab\\t\"");
+}
+
+TEST(JsonWriterTest, ControlCharactersAreUnicodeEscaped) {
+  const std::string out = render([](JsonWriter& j) { j.value(std::string("\x01")); });
+  EXPECT_EQ(out, "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, MisuseIsRejected) {
+  std::ostringstream os;
+  {
+    JsonWriter j(os);
+    j.begin_object();
+    EXPECT_THROW(j.value(1.0), PreconditionError);  // value without key
+    EXPECT_THROW(j.end_array(), PreconditionError);  // mismatched close
+    j.key("k");
+    EXPECT_THROW(j.key("k2"), PreconditionError);  // two keys in a row
+    EXPECT_THROW(j.end_object(), PreconditionError);  // dangling key
+    j.value(1.0);
+    j.end_object();
+    EXPECT_TRUE(j.complete());
+    EXPECT_THROW(j.value(2.0), PreconditionError);  // second root value
+  }
+  {
+    std::ostringstream os2;
+    JsonWriter j2(os2);
+    EXPECT_THROW(j2.key("k"), PreconditionError);  // key outside object
+    EXPECT_FALSE(j2.complete());
+  }
+}
+
+}  // namespace
+}  // namespace nubb

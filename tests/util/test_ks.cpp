@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+std::vector<double> draw_uniform(std::size_t n, std::uint64_t seed, double lo = 0.0,
+                                 double hi = 1.0) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(lo, hi);
+  return xs;
+}
+
+TEST(KsStatisticTest, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(KsStatisticTest, DisjointSupportsHaveDistanceOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(KsStatisticTest, KnownSmallExample) {
+  // a = {1, 3}, b = {2, 4}: after 1 -> F_a = .5, F_b = 0 (gap .5); after 2
+  // -> .5 vs .5; after 3 -> 1 vs .5 (gap .5); after 4 -> 1 vs 1.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 3.0}, {2.0, 4.0}), 0.5);
+}
+
+TEST(KsStatisticTest, HandlesTiesAcrossSamples) {
+  // Shared values must not create phantom gaps: identical multisets -> 0.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 1.0, 2.0}, {1.0, 1.0, 2.0}), 0.0);
+}
+
+TEST(KsStatisticTest, SameDistributionStaysBelowCritical) {
+  const auto a = draw_uniform(2000, 1);
+  const auto b = draw_uniform(2000, 2);
+  EXPECT_LT(ks_statistic(a, b), ks_critical(1e-3, 2000, 2000));
+}
+
+TEST(KsStatisticTest, ShiftedDistributionExceedsCritical) {
+  const auto a = draw_uniform(2000, 3, 0.0, 1.0);
+  const auto b = draw_uniform(2000, 4, 0.2, 1.2);
+  EXPECT_GT(ks_statistic(a, b), ks_critical(1e-3, 2000, 2000));
+}
+
+TEST(KsStatisticTest, IsSymmetric) {
+  const auto a = draw_uniform(500, 5);
+  const auto b = draw_uniform(700, 6, 0.1, 0.9);
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), ks_statistic(b, a));
+}
+
+TEST(KsCriticalTest, ShrinksWithSampleSize) {
+  EXPECT_GT(ks_critical(1e-3, 100, 100), ks_critical(1e-3, 10000, 10000));
+}
+
+TEST(KsCriticalTest, GrowsAsAlphaShrinks) {
+  EXPECT_LT(ks_critical(0.05, 100, 100), ks_critical(1e-4, 100, 100));
+}
+
+TEST(KsCriticalTest, RejectsBadArguments) {
+  EXPECT_THROW(ks_critical(0.0, 10, 10), PreconditionError);
+  EXPECT_THROW(ks_critical(1.0, 10, 10), PreconditionError);
+  EXPECT_THROW(ks_critical(0.05, 0, 10), PreconditionError);
+}
+
+TEST(KsStatisticTest, RejectsEmptySamples) {
+  EXPECT_THROW(ks_statistic({}, {1.0}), PreconditionError);
+  EXPECT_THROW(ks_statistic({1.0}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,112 @@
+#include "util/math_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBinomialTest, MatchesDirectComputation) {
+  // C(10, 3) = 120.
+  EXPECT_NEAR(log_binomial_coefficient(10, 3), std::log(120.0), 1e-9);
+  // C(n, 0) = C(n, n) = 1.
+  EXPECT_NEAR(log_binomial_coefficient(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(7, 7), 0.0, 1e-12);
+}
+
+TEST(LogBinomialTest, OutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(log_binomial_coefficient(3, 4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+  }
+}
+
+TEST(BinomialPmfTest, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 6, 0.5), 0.0);
+}
+
+TEST(BinomialPmfTest, KnownValue) {
+  // P[Bin(7, 1/7) = 0] = (6/7)^7.
+  EXPECT_NEAR(binomial_pmf(7, 0, 1.0 / 7.0), std::pow(6.0 / 7.0, 7.0), 1e-12);
+}
+
+TEST(BinomialTailTest, MonotoneInThreshold) {
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 10; ++k) {
+    const double tail = binomial_upper_tail(10, k, 0.4);
+    EXPECT_LE(tail, prev + 1e-12);
+    prev = tail;
+  }
+}
+
+TEST(BinomialTailTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 11, 0.3), 0.0);
+  EXPECT_NEAR(binomial_upper_tail(10, 10, 0.5), std::pow(0.5, 10.0), 1e-12);
+}
+
+TEST(ChernoffTest, BoundsTheTailFromAbove) {
+  // Chernoff must upper-bound the exact binomial tail it was derived for:
+  // P[Bin(n,p) >= 2*np] <= exp(-np/3) for eps = 1.
+  const std::uint64_t n = 200;
+  const double p = 0.1;
+  const double mu = static_cast<double>(n) * p;
+  const double exact = binomial_upper_tail(n, static_cast<std::uint64_t>(2.0 * mu), p);
+  EXPECT_LE(exact, chernoff_upper(mu, 1.0));
+}
+
+TEST(ChernoffTest, DecreasesWithMuAndEps) {
+  EXPECT_GT(chernoff_upper(10.0, 0.5), chernoff_upper(20.0, 0.5));
+  EXPECT_GT(chernoff_upper(10.0, 0.5), chernoff_upper(10.0, 1.0));
+  EXPECT_THROW(chernoff_upper(-1.0, 0.5), PreconditionError);
+  EXPECT_THROW(chernoff_upper(1.0, 0.0), PreconditionError);
+}
+
+TEST(LnLnTest, ClampsSmallArguments) {
+  EXPECT_DOUBLE_EQ(ln_ln(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ln_ln(2.0), 0.0);
+  EXPECT_NEAR(ln_ln(10000.0), std::log(std::log(10000.0)), 1e-12);
+  // Monotone growth for large n.
+  EXPECT_LT(ln_ln(100.0), ln_ln(10000.0));
+}
+
+TEST(SaturatingPowTest, ExactWhenInRange) {
+  EXPECT_EQ(saturating_pow(2, 10), 1024u);
+  EXPECT_EQ(saturating_pow(10, 0), 1u);
+  EXPECT_EQ(saturating_pow(0, 5), 0u);
+  EXPECT_EQ(saturating_pow(1, 64), 1u);
+}
+
+TEST(SaturatingPowTest, SaturatesOnOverflow) {
+  EXPECT_EQ(saturating_pow(2, 64), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(saturating_pow(10, 20), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Gcd64Test, BasicValues) {
+  EXPECT_EQ(gcd64(12, 18), 6u);
+  EXPECT_EQ(gcd64(7, 13), 1u);
+  EXPECT_EQ(gcd64(0, 5), 5u);
+}
+
+}  // namespace
+}  // namespace nubb

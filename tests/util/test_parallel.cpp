@@ -1,0 +1,141 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace nubb {
+namespace {
+
+/// Accumulator used across the tests: sums per-replication values.
+struct SumAcc {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  void merge(const SumAcc& other) {
+    sum += other.sum;
+    count += other.count;
+  }
+};
+
+/// Mergeable wrapper around RunningStats.
+struct RunningStatsAcc {
+  RunningStats stats;
+  void merge(const RunningStatsAcc& other) { stats.merge(other.stats); }
+};
+
+TEST(ParallelReplicationsTest, RunsEveryReplicationExactlyOnce) {
+  ThreadPool pool(3);
+  SumAcc acc;
+  std::atomic<std::uint64_t> executions{0};
+  parallel_replications(
+      257, 42,
+      [&executions](std::uint64_t rep, Xoshiro256StarStar&, SumAcc& local) {
+        executions.fetch_add(1);
+        local.sum += static_cast<double>(rep);
+        local.count += 1;
+      },
+      acc, &pool);
+  EXPECT_EQ(executions.load(), 257u);
+  EXPECT_EQ(acc.count, 257u);
+  EXPECT_DOUBLE_EQ(acc.sum, 256.0 * 257.0 / 2.0);
+}
+
+TEST(ParallelReplicationsTest, ZeroReplicationsIsNoop) {
+  ThreadPool pool(2);
+  SumAcc acc;
+  parallel_replications(
+      0, 1, [](std::uint64_t, Xoshiro256StarStar&, SumAcc&) { FAIL(); }, acc, &pool);
+  EXPECT_EQ(acc.count, 0u);
+}
+
+TEST(ParallelReplicationsTest, ResultIndependentOfThreadCount) {
+  auto run_with = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    RunningStatsAcc acc;
+    parallel_replications(
+        500, 123,
+        [](std::uint64_t, Xoshiro256StarStar& rng, RunningStatsAcc& local) {
+          local.stats.add(rng.next_double());
+        },
+        acc, &pool);
+    return acc.stats;
+  };
+  const RunningStats a = run_with(1);
+  const RunningStats b = run_with(4);
+  EXPECT_EQ(a.count(), b.count());
+  // Same seeds => identical samples; merge order may differ, so compare with
+  // tiny fp tolerance.
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(ParallelReplicationsTest, ReplicationSeedsAreStable) {
+  // The RNG handed to replication k must depend only on (base_seed, k).
+  ThreadPool pool(2);
+  struct VecAcc {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> draws;
+    void merge(const VecAcc& o) { draws.insert(draws.end(), o.draws.begin(), o.draws.end()); }
+  };
+  VecAcc acc;
+  parallel_replications(
+      10, 77,
+      [](std::uint64_t rep, Xoshiro256StarStar& rng, VecAcc& local) {
+        local.draws.emplace_back(rep, rng.next());
+      },
+      acc, &pool);
+  ASSERT_EQ(acc.draws.size(), 10u);
+  for (const auto& [rep, draw] : acc.draws) {
+    Xoshiro256StarStar expected(seed_for_replication(77, rep));
+    EXPECT_EQ(draw, expected.next());
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(100);
+  parallel_for(
+      100, [&visits](std::uint64_t i) { visits[i].fetch_add(1); }, &pool);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(
+      0, [](std::uint64_t) { FAIL(); }, &pool);
+}
+
+TEST(ParallelForTest, WorksWithGlobalPool) {
+  std::atomic<int> hits{0};
+  parallel_for(10, [&hits](std::uint64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ParallelReplicationsTest, BodyExceptionsPropagateToCaller) {
+  // A failing replication must fail the whole experiment loudly, not get
+  // swallowed by a worker thread.
+  ThreadPool pool(2);
+  SumAcc acc;
+  EXPECT_THROW(parallel_replications(
+                   50, 9,
+                   [](std::uint64_t rep, Xoshiro256StarStar&, SumAcc&) {
+                     if (rep == 17) throw std::runtime_error("injected failure");
+                   },
+                   acc, &pool),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, BodyExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   20, [](std::uint64_t i) { if (i == 5) throw std::logic_error("boom"); },
+                   &pool),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nubb {
+namespace {
+
+// --- SplitMix64 -------------------------------------------------------------
+
+TEST(SplitMix64Test, MatchesReferenceVectorsForSeedZero) {
+  // Reference outputs of Vigna's splitmix64.c with state = 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64Test, DistinctSeedsProduceDistinctStreams) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, IsUsableAtCompileTime) {
+  constexpr std::uint64_t value = [] {
+    SplitMix64 sm(7);
+    return sm.next();
+  }();
+  SplitMix64 runtime(7);
+  EXPECT_EQ(value, runtime.next());
+}
+
+// --- mix_seed / seed_for_replication ----------------------------------------
+
+TEST(MixSeedTest, ReplicationSeedsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t rep = 0; rep < 10000; ++rep) {
+    seeds.insert(seed_for_replication(12345, rep));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(MixSeedTest, DifferentBaseSeedsDecorrelate) {
+  // The same replication index under different base seeds must differ.
+  for (std::uint64_t rep = 0; rep < 100; ++rep) {
+    EXPECT_NE(seed_for_replication(1, rep), seed_for_replication(2, rep));
+  }
+}
+
+TEST(MixSeedTest, IsSymmetricInNeitherArgument) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+}
+
+// --- Xoshiro256StarStar ------------------------------------------------------
+
+TEST(XoshiroTest, SameSeedSameStream) {
+  Xoshiro256StarStar a(99);
+  Xoshiro256StarStar b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(99);
+  Xoshiro256StarStar b(100);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);  // coincidences allowed, correlation not
+}
+
+TEST(XoshiroTest, SeedingAvoidsAllZeroState) {
+  Xoshiro256StarStar rng(0);
+  const auto& s = rng.state();
+  EXPECT_TRUE(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0);
+}
+
+TEST(XoshiroTest, BoundedStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, BoundedOneAlwaysZero) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(XoshiroTest, BoundedIsApproximatelyUniform) {
+  // Mean of bounded(k) over many draws should approach (k-1)/2.
+  Xoshiro256StarStar rng(123);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBound)];
+  const double expected = kDraws / static_cast<double>(kBound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));  // ~5 sigma
+  }
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(3);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  // 10^5 draws should cover the interval reasonably.
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(XoshiroTest, UniformRespectsBounds) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(XoshiroTest, JumpProducesDisjointLookingStreams) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  b.jump();
+  // After a jump the streams must not collide over a long window.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(a.next());
+  int collisions = 0;
+  for (int i = 0; i < 10000; ++i) collisions += seen.count(b.next()) > 0;
+  EXPECT_LE(collisions, 1);
+}
+
+TEST(XoshiroTest, StateConstructorRoundTrips) {
+  Xoshiro256StarStar a(77);
+  for (int i = 0; i < 5; ++i) a.next();
+  Xoshiro256StarStar b(a.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256StarStar>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,186 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+namespace {
+
+double naive_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double naive_variance(const std::vector<double>& xs) {
+  const double mu = naive_mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  Xoshiro256StarStar rng(55);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 12.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), naive_mean(xs), 1e-10);
+  EXPECT_NEAR(s.variance(), naive_variance(xs), 1e-8);
+}
+
+TEST(RunningStatsTest, IsNumericallyStableForLargeOffsets) {
+  // Welford's point: mean ~1e9 with tiny variance must not cancel out.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Xoshiro256StarStar rng(56);
+  RunningStats whole;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    whole.add(x);
+    (i < 2000 ? part_a : part_b).add(x);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_NEAR(part_a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part_a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(part_a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+
+  RunningStats other;
+  other.merge(s);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, CiHalfWidthScalesWithConfidence) {
+  RunningStats s;
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 1000; ++i) s.add(rng.next_double());
+  EXPECT_LT(s.ci_half_width(0.90), s.ci_half_width(0.95));
+  EXPECT_LT(s.ci_half_width(0.95), s.ci_half_width(0.99));
+}
+
+TEST(SummaryTest, SnapshotsRunningStats) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const Summary sum = Summary::from(s);
+  EXPECT_EQ(sum.count, 2u);
+  EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 3.0);
+  EXPECT_FALSE(sum.to_string().empty());
+}
+
+// --- quantile ---------------------------------------------------------------
+
+TEST(QuantileTest, EndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), PreconditionError);
+  EXPECT_THROW(quantile({1.0}, -0.1), PreconditionError);
+  EXPECT_THROW(quantile({1.0}, 1.1), PreconditionError);
+}
+
+// --- chi-square ----------------------------------------------------------------
+
+TEST(ChiSquareTest, PerfectFitIsZero) {
+  const std::vector<std::uint64_t> observed = {25, 25, 25, 25};
+  const std::vector<double> expected = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(observed, expected), 0.0);
+}
+
+TEST(ChiSquareTest, DeviationIncreasesStatistic) {
+  const std::vector<double> expected = {0.5, 0.5};
+  const double mild = chi_square_statistic({55, 45}, expected);
+  const double severe = chi_square_statistic({90, 10}, expected);
+  EXPECT_GT(severe, mild);
+  EXPECT_GT(mild, 0.0);
+}
+
+TEST(ChiSquareTest, CriticalValueGrowsWithDof) {
+  EXPECT_LT(chi_square_critical_1e4(1), chi_square_critical_1e4(10));
+  EXPECT_LT(chi_square_critical_1e4(10), chi_square_critical_1e4(100));
+}
+
+TEST(ChiSquareTest, CriticalValueIsSane) {
+  // chi2 with k dof has mean k; a 1e-4 critical value must sit well above.
+  for (const std::size_t dof : {1u, 5u, 50u, 500u}) {
+    EXPECT_GT(chi_square_critical_1e4(dof), static_cast<double>(dof));
+  }
+}
+
+TEST(ChiSquareTest, RejectsMismatchedInput) {
+  EXPECT_THROW(chi_square_statistic({1, 2}, {1.0}), PreconditionError);
+  EXPECT_THROW(chi_square_statistic({}, {}), PreconditionError);
+  EXPECT_THROW(chi_square_statistic({0, 0}, {0.5, 0.5}), PreconditionError);
+  EXPECT_THROW(chi_square_statistic({1, 1}, {1.0, 0.0}), PreconditionError);
+}
+
+TEST(NormalZTest, KnownValues) {
+  EXPECT_NEAR(normal_z(0.95), 1.96, 1e-3);
+  EXPECT_NEAR(normal_z(0.99), 2.5758, 1e-3);
+  EXPECT_THROW(normal_z(0.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace nubb {
+namespace {
+
+// --- TextTable ----------------------------------------------------------------
+
+TEST(TextTableTest, RendersTitleHeaderAndRows) {
+  TextTable t("Figure X");
+  t.set_header({"n", "max load"});
+  t.add_row({"10", "2.5"});
+  t.add_row({"100", "2.1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("max load"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "22222"});
+  t.add_row({"33333", "4"});
+  std::istringstream in(t.render());
+  std::string first_data_line;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Every row line must have the same width.
+  std::size_t width = 0;
+  for (const auto& l : lines) {
+    if (l.empty() || l[0] != '|') continue;
+    if (width == 0) width = l.size();
+    EXPECT_EQ(l.size(), width);
+  }
+}
+
+TEST(TextTableTest, RejectsRaggedRows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(TextTableTest, WorksWithoutHeader) {
+  TextTable t;
+  t.add_row({"x", "y", "z"});
+  EXPECT_NE(t.render().find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.0, 4), "1.0000");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::num(std::int64_t{-7}), "-7");
+}
+
+TEST(TextTableTest, StreamOperatorMatchesRender) {
+  TextTable t("T");
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+// --- CsvWriter -----------------------------------------------------------------
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nubb_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  const std::string path = (dir_ / "out.csv").string();
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.row({"1", "2"});
+    csv.row_numeric({3.5, 4.25});
+  }
+  const std::string content = read_file(path);
+  EXPECT_EQ(content, "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSeparatorsAndQuotes) {
+  const std::string path = (dir_ / "esc.csv").string();
+  {
+    CsvWriter csv(path);
+    csv.row({"has,comma", "has\"quote", "plain"});
+  }
+  const std::string content = read_file(path);
+  EXPECT_EQ(content, "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST_F(CsvTest, MaybeCsvReturnsNullForEmptyDir) {
+  EXPECT_EQ(maybe_csv("", "x.csv"), nullptr);
+}
+
+TEST_F(CsvTest, MaybeCsvCreatesDirectoriesAndFile) {
+  const std::string nested = (dir_ / "a" / "b").string();
+  auto writer = maybe_csv(nested, "fig.csv");
+  ASSERT_NE(writer, nullptr);
+  writer->row({"1"});
+  EXPECT_TRUE(std::filesystem::exists(nested + "/fig.csv"));
+}
+
+TEST_F(CsvTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nubb
