@@ -1,0 +1,20 @@
+# Defines `nubb_options`, the interface target every nubb binary links
+# against: warning level (and optionally -Werror) in one place.
+#
+# The tree builds clean at this level on GCC 12+ / Clang 15+; keep it that
+# way — new warnings are fixed, not suppressed (file-local pragmas for
+# documented compiler false positives are the only exception, see
+# src/util/cli.cpp).
+
+add_library(nubb_options INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(nubb_options INTERFACE
+    -Wall
+    -Wextra
+    -Wshadow
+    -Wpedantic)
+  if(NUBB_WERROR)
+    target_compile_options(nubb_options INTERFACE -Werror)
+  endif()
+endif()

@@ -1,0 +1,18 @@
+# Applies the NUBB_SANITIZE toggle (address | undefined | thread) to the
+# shared `nubb_options` interface target. Sanitizers must reach every
+# translation unit, so this runs after NubbCompileOptions and before any
+# target is declared.
+
+if(NUBB_SANITIZE)
+  if(NOT NUBB_SANITIZE MATCHES "^(address|undefined|thread)$")
+    message(FATAL_ERROR
+      "NUBB_SANITIZE must be one of: address, undefined, thread (got '${NUBB_SANITIZE}')")
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "NUBB_SANITIZE requires GCC or Clang")
+  endif()
+  target_compile_options(nubb_options INTERFACE
+    -fsanitize=${NUBB_SANITIZE}
+    -fno-omit-frame-pointer)
+  target_link_options(nubb_options INTERFACE -fsanitize=${NUBB_SANITIZE})
+endif()

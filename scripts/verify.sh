@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build everything, run the full test suite.
+# Usage: scripts/verify.sh [build-dir]
+set -eu
+
+build_dir="${1:-build}"
+
+cmake -B "$build_dir" -S .
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -66,7 +66,16 @@ bool CliParser::parse(int argc, const char* const* argv) {
     Option& opt = it->second;
     if (opt.kind == Kind::kFlag) {
       if (has_value) throw std::runtime_error("flag --" + arg + " does not take a value");
+      // GCC 12 emits a -Wrestrict false positive when a short literal is
+      // assigned to a std::string after inlined substr calls (GCC PR105329).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
       opt.value = "1";
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
     } else {
       if (!has_value) {
         if (i + 1 >= argc) throw std::runtime_error("option --" + arg + " expects a value");

@@ -1,0 +1,7 @@
+#include "util/version.hpp"
+
+namespace nubb {
+
+const char* version_string() noexcept { return kVersionString; }
+
+}  // namespace nubb

@@ -1,0 +1,119 @@
+/// Golden-value regression tests.
+///
+/// Each test runs one fully deterministic simulation (fixed seed, fixed
+/// configuration) on the paper's two-class capacity profile (Figure 6:
+/// 500 bins of capacity 1 and 500 bins of capacity 10) and compares the
+/// outcome against values recorded at PR 1. Any future change to the RNG,
+/// the sampler, the tie-break rule, or the replication seeding shows up here
+/// as an exact mismatch — refactors must keep these bit-for-bit stable or
+/// consciously re-baseline them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "baselines/capacity_greedy.hpp"
+#include "baselines/wieder.hpp"
+#include "core/nubb.hpp"
+
+namespace nubb {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 20260726;
+
+/// The paper's Figure-6 profile: 500 small (c=1) + 500 big (c=10) bins.
+std::vector<std::uint64_t> paper_profile() {
+  return two_class_capacities(500, 1, 500, 10);
+}
+
+/// Stable integer fingerprint of a full allocation (order-sensitive).
+std::uint64_t fingerprint(const std::vector<std::uint64_t>& balls) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the counts
+  for (const std::uint64_t b : balls) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TEST(GoldenValuesTest, GreedyDTwoAlgorithmOne) {
+  const auto caps = paper_profile();
+  BinArray bins(caps);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  GameConfig cfg;  // d = 2, capacity tie-break, m = C = 5500
+  Xoshiro256StarStar rng(seed_for_replication(kGoldenSeed, 0));
+  const GameResult result = play_game(bins, sampler, cfg, rng);
+
+  EXPECT_EQ(result.balls_thrown, 5500u);
+  EXPECT_EQ(result.max_load.balls, 13u);
+  EXPECT_EQ(result.max_load.capacity, 10u);
+  EXPECT_EQ(result.argmax_bin, 980u);
+  EXPECT_EQ(fingerprint(bins.ball_counts()), 1948326964828956593ull);
+}
+
+TEST(GoldenValuesTest, GreedyDThreeAlgorithmOne) {
+  const auto caps = paper_profile();
+  BinArray bins(caps);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  GameConfig cfg;
+  cfg.choices = 3;
+  Xoshiro256StarStar rng(seed_for_replication(kGoldenSeed, 1));
+  const GameResult result = play_game(bins, sampler, cfg, rng);
+
+  EXPECT_EQ(result.max_load.balls, 12u);
+  EXPECT_EQ(result.max_load.capacity, 10u);
+  EXPECT_EQ(fingerprint(bins.ball_counts()), 8820869687703257379ull);
+}
+
+TEST(GoldenValuesTest, MonteCarloMeanMaxLoad) {
+  // Exercises the full replication pipeline (per-replication seeding and
+  // collector merging). A fixed-size pool pins the chunk layout — and with
+  // it the floating-point merge grouping — so the golden mean is exact on
+  // any machine, not just hosts with this core count.
+  const auto caps = paper_profile();
+  GameConfig cfg;
+  ThreadPool pool(4);
+  ExperimentConfig exp;
+  exp.replications = 32;
+  exp.base_seed = kGoldenSeed;
+  exp.pool = &pool;
+  const Summary s = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), cfg, exp);
+  EXPECT_DOUBLE_EQ(s.mean, 1.4593750000000001);
+  EXPECT_DOUBLE_EQ(s.min, 1.3);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(GoldenValuesTest, CapacityGreedyBaseline) {
+  const auto caps = paper_profile();
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(seed_for_replication(kGoldenSeed, 2));
+  const auto loads = capacity_greedy_loads(sampler, caps, /*m=*/5500, /*d=*/2, rng);
+
+  ASSERT_EQ(loads.size(), caps.size());
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::uint64_t{0}), 5500u);
+  EXPECT_EQ(fingerprint(loads), 4272751859353559989ull);
+
+  Xoshiro256StarStar rng2(seed_for_replication(kGoldenSeed, 2));
+  const double max_load = capacity_greedy_max_load(sampler, caps, 5500, 2, rng2);
+  EXPECT_DOUBLE_EQ(max_load, 3.0);
+}
+
+TEST(GoldenValuesTest, WiederBaselineGapTrace) {
+  const auto probs = linear_skew_probabilities(100, 1.0);
+  Xoshiro256StarStar rng(seed_for_replication(kGoldenSeed, 3));
+  const auto trace = wieder_gap_trace(probs, /*total_balls=*/10000, /*interval=*/2500,
+                                      /*d=*/2, rng);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace[0], 2.0);
+  EXPECT_DOUBLE_EQ(trace[1], 2.0);
+  EXPECT_DOUBLE_EQ(trace[2], 2.0);
+  EXPECT_DOUBLE_EQ(trace[3], 2.0);
+}
+
+}  // namespace
+}  // namespace nubb

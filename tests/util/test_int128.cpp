@@ -1,0 +1,57 @@
+#include "util/int128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace nubb {
+namespace {
+
+TEST(Int128Test, IsSixteenBytesWide) {
+  static_assert(sizeof(uint128) == 16);
+  static_assert(alignof(uint128) == 16);
+  SUCCEED();
+}
+
+TEST(Int128Test, HoldsProductsThatOverflowSixtyFourBits) {
+  const std::uint64_t a = std::numeric_limits<std::uint64_t>::max();
+  const uint128 square = static_cast<uint128>(a) * a;
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1; check both 64-bit halves exactly.
+  EXPECT_EQ(static_cast<std::uint64_t>(square), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(square >> 64),
+            std::numeric_limits<std::uint64_t>::max() - 1u);
+}
+
+TEST(Int128Test, ShiftRecoversHighBits) {
+  const uint128 v = (static_cast<uint128>(0xDEADBEEFCAFEF00Du) << 64) | 0x0123456789ABCDEFu;
+  EXPECT_EQ(static_cast<std::uint64_t>(v >> 64), 0xDEADBEEFCAFEF00Du);
+  EXPECT_EQ(static_cast<std::uint64_t>(v), 0x0123456789ABCDEFu);
+}
+
+TEST(Int128Test, WideMultiplyHighHalfMatchesLongDivision) {
+  // The fixed-point trick used for unbiased bounded sampling: the high half
+  // of x * n is floor(x * n / 2^64).
+  const std::uint64_t x = 0x8000000000000000u;  // 2^63
+  const std::uint64_t n = 10;
+  const uint128 prod = static_cast<uint128>(x) * n;
+  EXPECT_EQ(static_cast<std::uint64_t>(prod >> 64), 5u);
+}
+
+TEST(Int128Test, DivisionAndModuloAgree) {
+  const uint128 v = (static_cast<uint128>(1) << 100) + 12345u;
+  const uint128 q = v / 1000u;
+  const uint128 r = v % 1000u;
+  EXPECT_EQ(q * 1000u + r, v);
+  EXPECT_LT(static_cast<std::uint64_t>(r), 1000u);
+}
+
+TEST(Int128Test, ComparisonsWorkAcrossTheSixtyFourBitBoundary) {
+  const uint128 below = std::numeric_limits<std::uint64_t>::max();
+  const uint128 above = static_cast<uint128>(1) << 64;
+  EXPECT_LT(below, above);
+  EXPECT_EQ(above - below, 1u);
+}
+
+}  // namespace
+}  // namespace nubb

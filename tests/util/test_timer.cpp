@@ -1,0 +1,54 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace nubb {
+namespace {
+
+TEST(TimerTest, StartsNearZero) {
+  const Timer t;
+  // A fresh stopwatch should read (close to) zero; allow generous slack for a
+  // loaded CI machine.
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(TimerTest, IsMonotonic) {
+  const Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_LE(a, b);
+}
+
+TEST(TimerTest, MeasuresElapsedSleep) {
+  const Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Sleeps can overshoot but never undershoot the requested duration.
+  EXPECT_GE(t.millis(), 19.0);
+}
+
+TEST(TimerTest, MillisIsSecondsTimesThousand) {
+  const Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.seconds();
+  const double ms = t.millis();
+  // Two separate clock reads, so only require agreement to a loose tolerance.
+  EXPECT_NEAR(ms, s * 1e3, 50.0);
+  EXPECT_GE(ms, s * 1e3);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double before_reset = t.millis();  // >= 50 by the sleep above
+  t.reset();
+  // A working reset reads less than the pre-reset elapsed time; comparing
+  // against the measured value (not a constant) keeps this robust on a
+  // loaded CI machine, which only ever inflates before_reset.
+  EXPECT_LT(t.millis(), before_reset);
+}
+
+}  // namespace
+}  // namespace nubb

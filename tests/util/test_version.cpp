@@ -1,0 +1,28 @@
+#include "util/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nubb {
+namespace {
+
+TEST(VersionTest, ComponentsAreNonNegative) {
+  EXPECT_GE(kVersionMajor, 0);
+  EXPECT_GE(kVersionMinor, 0);
+  EXPECT_GE(kVersionPatch, 0);
+}
+
+TEST(VersionTest, StringMatchesComponents) {
+  const std::string expected = std::to_string(kVersionMajor) + "." +
+                               std::to_string(kVersionMinor) + "." +
+                               std::to_string(kVersionPatch);
+  EXPECT_EQ(std::string(kVersionString), expected);
+}
+
+TEST(VersionTest, FunctionAgreesWithConstant) {
+  EXPECT_STREQ(version_string(), kVersionString);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -28,6 +28,7 @@
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/version.hpp"
 
 using namespace nubb;
 
@@ -90,9 +91,14 @@ int main(int argc, char** argv) {
   cli.add_flag("profile", "also print the mean sorted load profile");
   cli.add_flag("classes", "also print which capacity class attains the maximum");
   cli.add_string("json", "", "write the results as JSON to this file");
+  cli.add_flag("version", "print the library version and exit");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+    if (cli.flag("version")) {
+      std::cout << "nubb_run " << version_string() << "\n";
+      return 0;
+    }
 
     // --- materialise the bin array ------------------------------------------
     std::vector<std::uint64_t> caps;

@@ -1,0 +1,79 @@
+# CTest script: smoke-test the nubb_run CLI.
+#
+# Invoked as:
+#   cmake -DNUBB_RUN=<path> -DWORK_DIR=<dir> -P smoke_test.cmake
+#
+# Checks: exit codes, table output shape, JSON output shape, and that a bad
+# flag fails with a non-zero exit code.
+
+if(NOT NUBB_RUN)
+  message(FATAL_ERROR "NUBB_RUN not set")
+endif()
+
+set(json_file "${WORK_DIR}/smoke_out.json")
+file(REMOVE "${json_file}")
+
+# --- happy path: tiny two-class run with JSON output ------------------------
+execute_process(
+  COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --reps 50 --seed 7 --json "${json_file}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+foreach(needle "mean max load" "median / q95 / q99" "elapsed")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "nubb_run stdout missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${json_file}")
+  message(FATAL_ERROR "nubb_run did not write ${json_file}")
+endif()
+file(READ "${json_file}" json)
+foreach(key "\"n\"" "\"total_capacity\"" "\"max_load\"" "\"mean\"" "\"q99\"" "\"elapsed_seconds\"")
+  string(FIND "${json}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "JSON output missing key ${key}:\n${json}")
+  endif()
+endforeach()
+string(FIND "${json}" "\"total_capacity\":220" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "JSON total_capacity should be 220 for --caps 20x1,20x10:\n${json}")
+endif()
+
+# --- --version prints the semver and exits 0 --------------------------------
+execute_process(
+  COMMAND "${NUBB_RUN}" --version
+  OUTPUT_VARIABLE ver_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --version exited with ${rc}")
+endif()
+if(NOT ver_out MATCHES "nubb_run [0-9]+\\.[0-9]+\\.[0-9]+")
+  message(FATAL_ERROR "nubb_run --version output malformed: ${ver_out}")
+endif()
+
+# --- --help exits 0 ---------------------------------------------------------
+execute_process(
+  COMMAND "${NUBB_RUN}" --help
+  OUTPUT_VARIABLE help_out
+  ERROR_VARIABLE help_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --help exited with ${rc}")
+endif()
+
+# --- bad input fails loudly -------------------------------------------------
+execute_process(
+  COMMAND "${NUBB_RUN}" --caps bogus
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --caps bogus should fail but exited 0")
+endif()
+
+message(STATUS "nubb_run CLI smoke test passed")
