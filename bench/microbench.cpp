@@ -1,140 +1,382 @@
-/// google-benchmark micro-benchmarks for the inner loops: RNG throughput,
-/// alias-table sampling, single-ball placement, and full-game throughput in
-/// balls/second across array shapes. These guard the constant factors that
-/// make the figure harnesses laptop-feasible.
+/// Self-contained micro-benchmarks for the inner loops: RNG throughput,
+/// alias-table sampling, and full-game placement throughput in balls/second
+/// across array shapes — for both the fused PlacementKernel hot path and a
+/// frozen copy of the pre-kernel per-ball reference path, so every run
+/// records the kernel's speedup alongside the absolute numbers.
+///
+/// Unlike the figure benches this binary guards *constant factors*, not
+/// statistics, and it emits a machine-readable `BENCH_microbench.json`
+/// (schema documented in bench/README.md) that CI uploads on every PR so
+/// the performance trajectory of the hot path is tracked over time.
+///
+/// Usage: microbench [--reps N] [--seed S] [--quiet] [--out PATH]
+///   --reps   measurement repetitions per benchmark (best-of; default 3)
+///   --out    JSON output path (default BENCH_microbench.json in the cwd)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include <numeric>
-
-#include "baselines/greedy_uniform.hpp"
+#include "bench/common.hpp"
 #include "core/nubb.hpp"
+#include "util/json.hpp"
 
 namespace {
 
 using namespace nubb;
 
-void BM_Xoshiro_Next(benchmark::State& state) {
-  Xoshiro256StarStar rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next());
-  }
-}
-BENCHMARK(BM_Xoshiro_Next);
+// ---------------------------------------------------------------------------
+// Frozen reference implementation: the per-ball placement path exactly as it
+// existed before the fused PlacementKernel (PR 2). Kept verbatim so the
+// kernel's speedup is measured against the real pre-kernel code on the same
+// toolchain, not remembered numbers. Do not "improve" this copy.
+// ---------------------------------------------------------------------------
 
-void BM_Xoshiro_Bounded(benchmark::State& state) {
-  Xoshiro256StarStar rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.bounded(10000));
+void reference_draw_choices(const BinSampler& sampler, std::uint32_t d, bool distinct,
+                            Xoshiro256StarStar& rng, std::size_t* out) {
+  if (!distinct) {
+    for (std::uint32_t k = 0; k < d; ++k) out[k] = sampler.sample(rng);
+    return;
   }
-}
-BENCHMARK(BM_Xoshiro_Bounded);
-
-void BM_AliasTable_Sample(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<double> weights(n);
-  for (std::size_t i = 0; i < n; ++i) weights[i] = static_cast<double>(1 + i % 8);
-  const AliasTable table(weights);
-  Xoshiro256StarStar rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.sample(rng));
-  }
-}
-BENCHMARK(BM_AliasTable_Sample)->Arg(100)->Arg(10000)->Arg(1000000);
-
-void BM_AliasTable_Build(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<double> weights(n);
-  for (std::size_t i = 0; i < n; ++i) weights[i] = static_cast<double>(1 + i % 8);
-  for (auto _ : state) {
-    const AliasTable table(weights);
-    benchmark::DoNotOptimize(table.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_AliasTable_Build)->Arg(10000)->Arg(100000);
-
-void BM_PlaceOneBall(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto caps = two_class_capacities(n - n / 10, 1, n / 10, 8);
-  BinArray bins(caps);
-  const BinSampler sampler =
-      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
-  Xoshiro256StarStar rng(3);
-  GameConfig cfg;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(place_one_ball(bins, sampler, cfg, rng));
-    if (bins.total_balls() >= 64 * bins.total_capacity()) {
-      state.PauseTiming();
-      bins.clear();
-      state.ResumeTiming();
+  for (std::uint32_t k = 0; k < d; ++k) {
+    for (;;) {
+      const std::size_t candidate = sampler.sample(rng);
+      bool seen = false;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (out[j] == candidate) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        out[k] = candidate;
+        break;
+      }
     }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_PlaceOneBall)->Arg(1000)->Arg(100000);
 
-void BM_FullGame_MixedArray(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto caps = two_class_capacities(n / 2, 1, n / 2, 8);
+std::size_t reference_choose_destination(const BinArray& bins,
+                                         const std::size_t* choices, std::size_t count,
+                                         TieBreak tie_break, Xoshiro256StarStar& rng) {
+  constexpr std::size_t kMaxChoices = 64;
+  std::size_t best[kMaxChoices];
+  std::size_t best_count = 0;
+  Load best_load{0, 1};
+
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t candidate = choices[c];
+    const Load post = bins.load(candidate).after_one_more();
+    if (best_count == 0 || post < best_load) {
+      best_load = post;
+      best[0] = candidate;
+      best_count = 1;
+    } else if (post == best_load) {
+      bool duplicate = false;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (best[i] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best[best_count++] = candidate;
+    }
+  }
+
+  if (best_count == 1) return best[0];
+  switch (tie_break) {
+    case TieBreak::kFirstChoice:
+      return best[0];
+    case TieBreak::kUniform:
+      return best[rng.bounded(best_count)];
+    case TieBreak::kPreferLargerCapacity: {
+      std::uint64_t cmax = 0;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        cmax = std::max(cmax, bins.capacity(best[i]));
+      }
+      std::size_t filtered_count = 0;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (bins.capacity(best[i]) == cmax) best[filtered_count++] = best[i];
+      }
+      if (filtered_count == 1) return best[0];
+      return best[rng.bounded(filtered_count)];
+    }
+  }
+  return best[0];
+}
+
+std::size_t reference_place_one_ball(BinArray& bins, const BinSampler& sampler,
+                                     const GameConfig& cfg, Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
+  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
+                   "cannot draw more distinct bins than exist");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
+  std::size_t choices[kMaxChoices] = {};
+  reference_draw_choices(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
+  const std::size_t dest =
+      reference_choose_destination(bins, choices, cfg.choices, cfg.tie_break, rng);
+  bins.add_ball(dest);
+  return dest;
+}
+
+void reference_play_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
+                         Xoshiro256StarStar& rng) {
+  const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    reference_place_one_ball(bins, sampler, cfg, rng);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement harness.
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  std::string name;       // unique id, e.g. "game/greedy_d2/mixed_1_10/kernel"
+  std::string algorithm;  // e.g. "greedy_d2"
+  std::string profile;    // e.g. "mixed_1_10"
+  std::string impl;       // "kernel" | "reference" | "primitive"
+  std::uint64_t items_per_call = 0;
+  std::uint64_t calls = 0;
+  double seconds = 0.0;       // elapsed of the best repetition
+  double ops_per_sec = 0.0;   // best over repetitions
+};
+
+/// Run `fn` repeatedly until `min_seconds` elapsed, `reps` times; keep the
+/// best repetition (the one least disturbed by the machine).
+template <typename Fn>
+BenchResult measure(std::string name, std::string algorithm, std::string profile,
+                    std::string impl, std::uint64_t items_per_call, std::uint64_t reps,
+                    Fn&& fn) {
+  constexpr double kMinSeconds = 0.10;
+  BenchResult r;
+  r.name = std::move(name);
+  r.algorithm = std::move(algorithm);
+  r.profile = std::move(profile);
+  r.impl = std::move(impl);
+  r.items_per_call = items_per_call;
+
+  fn();  // warm-up: touch the tables and fault the pages once
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    std::uint64_t calls = 0;
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++calls;
+      elapsed = timer.seconds();
+    } while (elapsed < kMinSeconds);
+    const double ops =
+        static_cast<double>(items_per_call) * static_cast<double>(calls) / elapsed;
+    if (ops > r.ops_per_sec) {
+      r.ops_per_sec = ops;
+      r.seconds = elapsed;
+      r.calls = calls;
+    }
+  }
+  return r;
+}
+
+/// Full-game benchmark body shared by the kernel and reference variants.
+template <bool UseKernel>
+BenchResult bench_game(const std::string& algorithm, const std::string& profile,
+                       const std::vector<std::uint64_t>& caps, const GameConfig& cfg,
+                       std::uint64_t reps, std::uint64_t seed) {
   const BinSampler sampler =
       BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
-  Xoshiro256StarStar rng(4);
-  std::uint64_t balls = 0;
-  for (auto _ : state) {
-    BinArray bins(caps);
-    play_game(bins, sampler, GameConfig{}, rng);
-    balls += bins.total_balls();
-    benchmark::DoNotOptimize(bins.max_load());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
-}
-BENCHMARK(BM_FullGame_MixedArray)->Arg(1000)->Arg(10000);
-
-void BM_FullGame_ChoiceCount(benchmark::State& state) {
-  const auto d = static_cast<std::uint32_t>(state.range(0));
-  const auto caps = uniform_capacities(4096, 2);
-  const BinSampler sampler =
-      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
-  Xoshiro256StarStar rng(5);
-  GameConfig cfg;
-  cfg.choices = d;
-  std::uint64_t balls = 0;
-  for (auto _ : state) {
-    BinArray bins(caps);
-    play_game(bins, sampler, cfg, rng);
-    balls += bins.total_balls();
-    benchmark::DoNotOptimize(bins.max_load());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
-}
-BENCHMARK(BM_FullGame_ChoiceCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_GreedyUniform_Baseline(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Xoshiro256StarStar rng(6);
-  std::uint64_t balls = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(greedy_uniform_max_load(n, n, 2, rng));
-    balls += n;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(balls));
-}
-BENCHMARK(BM_GreedyUniform_Baseline)->Arg(1000)->Arg(100000);
-
-void BM_SlotVector_Normalise(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto caps = two_class_capacities(n / 2, 1, n / 2, 8);
   BinArray bins(caps);
-  const BinSampler sampler =
-      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
-  Xoshiro256StarStar rng(7);
-  play_game(bins, sampler, GameConfig{}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(normalized_slot_load_vector(bins));
-  }
+  const std::uint64_t balls = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  Xoshiro256StarStar rng(seed);
+  const char* impl = UseKernel ? "kernel" : "reference";
+  return measure("game/" + algorithm + "/" + profile + "/" + impl, algorithm, profile, impl,
+                 balls, reps, [&bins, &sampler, &cfg, &rng] {
+                   bins.clear();
+                   if constexpr (UseKernel) {
+                     play_game(bins, sampler, cfg, rng);
+                   } else {
+                     reference_play_game(bins, sampler, cfg, rng);
+                   }
+                 });
 }
-BENCHMARK(BM_SlotVector_Normalise)->Arg(1000)->Arg(10000);
+
+void print_result(const BenchResult& r) {
+  std::cout << "  " << r.name << ": " << TextTable::num(r.ops_per_sec / 1e6, 2)
+            << " Mops/s  (" << r.calls << " calls, " << TextTable::num(r.seconds, 3)
+            << "s)\n";
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Inner-loop micro-benchmarks (RNG, alias table, fused placement kernel vs the "
+      "frozen pre-kernel reference); writes machine-readable BENCH_microbench.json");
+  nubb::bench::register_common(cli, /*default_seed=*/0xA11CE5ULL);
+  cli.add_string("out", "BENCH_microbench.json", "path for the JSON results file");
+  if (!cli.parse(argc, argv)) return 0;
+  const nubb::bench::CommonOptions opt = nubb::bench::read_common(cli);
+  const std::string out_path = cli.get_string("out");
+  const std::uint64_t reps = nubb::bench::effective_reps(opt, /*figure_default=*/3);
+
+  Timer total;
+  std::vector<BenchResult> results;
+
+  // --- RNG and sampling primitives ---
+  {
+    Xoshiro256StarStar rng(opt.seed + 1);
+    std::uint64_t sink = 0;
+    results.push_back(measure("rng/next", "rng_next", "none", "primitive", 8'000'000, reps,
+                              [&rng, &sink] {
+                                for (int i = 0; i < 8'000'000; ++i) sink += rng.next();
+                              }));
+    results.push_back(measure("rng/bounded", "rng_bounded", "none", "primitive", 8'000'000,
+                              reps, [&rng, &sink] {
+                                for (int i = 0; i < 8'000'000; ++i) sink += rng.bounded(10000);
+                              }));
+    if (sink == 42) std::cout << "";  // defeat dead-code elimination
+  }
+  {
+    std::vector<double> weights(100'000);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = static_cast<double>(1 + i % 8);
+    }
+    const AliasTable table(weights);
+    Xoshiro256StarStar rng(opt.seed + 2);
+    std::uint64_t sink = 0;
+    results.push_back(measure("alias/sample_100k", "alias_sample", "mod8_100k", "primitive",
+                              4'000'000, reps, [&table, &rng, &sink] {
+                                for (int i = 0; i < 4'000'000; ++i) sink += table.sample(rng);
+                              }));
+    if (sink == 42) std::cout << "";
+  }
+
+  // --- Full games: kernel vs frozen reference on the paper's profiles ---
+  const auto mixed_small = two_class_capacities(500, 1, 500, 10);    // Figure 6 shape
+  const auto mixed_large = two_class_capacities(50'000, 1, 50'000, 10);
+  const auto uniform_c2 = uniform_capacities(4096, 2);
+
+  GameConfig d2;  // d = 2, Algorithm 1 tie-break, m = C
+  GameConfig d3 = d2;
+  d3.choices = 3;
+
+  // The acceptance pair: Greedy[2] on the mixed 1:10 profile.
+  results.push_back(bench_game<false>("greedy_d2", "mixed_1_10", mixed_small, d2, reps,
+                                      opt.seed + 3));
+  results.push_back(bench_game<true>("greedy_d2", "mixed_1_10", mixed_small, d2, reps,
+                                     opt.seed + 3));
+  results.push_back(bench_game<false>("greedy_d2", "mixed_1_10_100k", mixed_large, d2, reps,
+                                      opt.seed + 4));
+  results.push_back(bench_game<true>("greedy_d2", "mixed_1_10_100k", mixed_large, d2, reps,
+                                     opt.seed + 4));
+  results.push_back(bench_game<false>("greedy_d2", "uniform_c2_4096", uniform_c2, d2, reps,
+                                      opt.seed + 5));
+  results.push_back(bench_game<true>("greedy_d2", "uniform_c2_4096", uniform_c2, d2, reps,
+                                     opt.seed + 5));
+  results.push_back(bench_game<false>("greedy_d3", "mixed_1_10", mixed_small, d3, reps,
+                                      opt.seed + 6));
+  results.push_back(bench_game<true>("greedy_d3", "mixed_1_10", mixed_small, d3, reps,
+                                     opt.seed + 6));
+
+  // --- Kernel-only modes (no pre-PR analogue at full speed) ---
+  {
+    const BinSampler sampler = BinSampler::from_policy(
+        SelectionPolicy::proportional_to_capacity(), mixed_small);
+    BinArray bins(mixed_small);
+    Xoshiro256StarStar rng(opt.seed + 7);
+    results.push_back(measure("game/greedy_d2_batched64/mixed_1_10/kernel",
+                              "greedy_d2_batched64", "mixed_1_10", "kernel",
+                              bins.total_capacity(), reps, [&bins, &sampler, &rng] {
+                                bins.clear();
+                                play_batched_game(bins, sampler, GameConfig{}, 64, rng);
+                              }));
+  }
+  {
+    const BinSampler sampler = BinSampler::from_policy(
+        SelectionPolicy::proportional_to_capacity(), mixed_small);
+    WeightedBinArray wbins(mixed_small);
+    const BallSizeModel sizes = BallSizeModel::uniform_range(1, 4);
+    Xoshiro256StarStar rng(opt.seed + 8);
+    GameConfig cfg;
+    std::uint64_t balls_per_game = 0;
+    {
+      WeightedBinArray probe(mixed_small);
+      Xoshiro256StarStar probe_rng(opt.seed + 8);
+      balls_per_game = play_weighted_game(probe, sampler, sizes, cfg, probe_rng).balls_thrown;
+    }
+    results.push_back(measure("game/weighted_u1_4/mixed_1_10/kernel", "weighted_u1_4",
+                              "mixed_1_10", "kernel", balls_per_game, reps,
+                              [&wbins, &sampler, &sizes, &cfg, &rng] {
+                                wbins.clear();
+                                play_weighted_game(wbins, sampler, sizes, cfg, rng);
+                              }));
+  }
+
+  if (!opt.quiet) {
+    std::cout << "[microbench] best-of-" << reps << " repetitions\n";
+    for (const auto& r : results) print_result(r);
+  }
+
+  // --- derived speedups: kernel vs reference per (algorithm, profile) ---
+  struct Speedup {
+    std::string key;
+    double factor = 0.0;
+  };
+  std::vector<Speedup> speedups;
+  for (const auto& r : results) {
+    if (r.impl != "kernel") continue;
+    for (const auto& ref : results) {
+      if (ref.impl == "reference" && ref.algorithm == r.algorithm &&
+          ref.profile == r.profile && ref.ops_per_sec > 0.0) {
+        speedups.push_back({r.algorithm + "/" + r.profile, r.ops_per_sec / ref.ops_per_sec});
+      }
+    }
+  }
+  if (!opt.quiet) {
+    for (const auto& s : speedups) {
+      std::cout << "  speedup " << s.key << ": " << TextTable::num(s.factor, 2) << "x\n";
+    }
+  }
+
+  // --- JSON emission (schema: bench/README.md) ---
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "[microbench] cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "nubb.microbench.v1");
+  json.kv("reps", reps);
+  json.kv("seed", opt.seed);
+  json.key("benchmarks");
+  json.begin_array();
+  for (const auto& r : results) {
+    json.begin_object();
+    json.kv("name", r.name);
+    json.kv("algorithm", r.algorithm);
+    json.kv("profile", r.profile);
+    json.kv("impl", r.impl);
+    json.kv("items_per_call", r.items_per_call);
+    json.kv("calls", r.calls);
+    json.kv("seconds", r.seconds);
+    json.kv("ops_per_sec", r.ops_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedup_vs_reference");
+  json.begin_object();
+  for (const auto& s : speedups) json.kv(s.key, s.factor);
+  json.end_object();
+  json.kv("elapsed_seconds", total.seconds());
+  json.end_object();
+  out << "\n";
+
+  if (!opt.quiet) std::cout << "[microbench] wrote " << out_path << "\n";
+  nubb::bench::finish("microbench", total, reps);
+  return 0;
+}

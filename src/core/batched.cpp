@@ -1,7 +1,9 @@
 #include "core/batched.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#include "core/placement_kernel.hpp"
 #include "util/assert.hpp"
 
 namespace nubb {
@@ -9,73 +11,21 @@ namespace nubb {
 GameResult play_batched_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
                              std::uint64_t batch_size, Xoshiro256StarStar& rng) {
   NUBB_REQUIRE_MSG(batch_size >= 1, "batch size must be positive");
-  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
-  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
-  constexpr std::uint32_t kMaxChoices = 64;
-  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
 
   const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  PlacementKernel kernel(bins, sampler, cfg, m);
 
-  // Stale view: ball counts frozen at the last batch boundary.
+  // Stale view: ball counts frozen at the last batch boundary. The kernel
+  // decides on this snapshot and commits to the live bins, so allocations
+  // stay invisible to decisions until the next boundary while ball
+  // conservation holds throughout.
   std::vector<std::uint64_t> snapshot = bins.ball_counts();
 
   std::uint64_t thrown = 0;
   while (thrown < m) {
     const std::uint64_t batch = std::min(batch_size, m - thrown);
     for (std::uint64_t b = 0; b < batch; ++b) {
-      // Draw candidates. (Zero-initialised: cfg.choices >= 1 guarantees the
-      // used entries are overwritten, but the optimiser cannot prove it.)
-      std::size_t choices[kMaxChoices] = {};
-      for (std::uint32_t k = 0; k < cfg.choices; ++k) choices[k] = sampler.sample(rng);
-
-      // Decide on the *stale* loads.
-      std::size_t best[kMaxChoices];
-      best[0] = choices[0];
-      std::size_t best_count = 0;
-      Load best_load{0, 1};
-      for (std::uint32_t k = 0; k < cfg.choices; ++k) {
-        const std::size_t candidate = choices[k];
-        const Load post{snapshot[candidate] + 1, bins.capacity(candidate)};
-        if (best_count == 0 || post < best_load) {
-          best_load = post;
-          best[0] = candidate;
-          best_count = 1;
-        } else if (post == best_load) {
-          bool duplicate = false;
-          for (std::size_t i = 0; i < best_count; ++i) {
-            if (best[i] == candidate) {
-              duplicate = true;
-              break;
-            }
-          }
-          if (!duplicate) best[best_count++] = candidate;
-        }
-      }
-
-      std::size_t dest = best[0];
-      if (best_count > 1) {
-        switch (cfg.tie_break) {
-          case TieBreak::kFirstChoice:
-            dest = best[0];
-            break;
-          case TieBreak::kUniform:
-            dest = best[rng.bounded(best_count)];
-            break;
-          case TieBreak::kPreferLargerCapacity: {
-            std::uint64_t cmax = 0;
-            for (std::size_t i = 0; i < best_count; ++i) {
-              cmax = std::max(cmax, bins.capacity(best[i]));
-            }
-            std::size_t filtered = 0;
-            for (std::size_t i = 0; i < best_count; ++i) {
-              if (bins.capacity(best[i]) == cmax) best[filtered++] = best[i];
-            }
-            dest = filtered == 1 ? best[0] : best[rng.bounded(filtered)];
-            break;
-          }
-        }
-      }
-      bins.add_ball(dest);
+      kernel.place_one_stale(snapshot.data(), rng);
     }
     thrown += batch;
     snapshot = bins.ball_counts();  // loads become visible at the boundary

@@ -22,7 +22,9 @@ namespace nubb {
 /// evaluated against the ball counts *at the batch boundary*; allocations
 /// are applied immediately (so ball conservation holds) but invisible to
 /// decisions until the next boundary. Ties on the stale loads follow
-/// cfg.tie_break as usual.
+/// cfg.tie_break as usual. All GameConfig modes are honoured, including
+/// cfg.distinct_choices (historically the batched path silently drew
+/// independent candidates regardless of the flag).
 ///
 /// \pre batch_size >= 1.
 GameResult play_batched_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,

@@ -9,6 +9,7 @@ BinArray::BinArray(std::vector<std::uint64_t> capacities) : capacities_(std::mov
   for (const auto c : capacities_) {
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
     total_capacity_ += c;
+    if (c > max_capacity_) max_capacity_ = c;
   }
   balls_.assign(capacities_.size(), 0);
 }
@@ -40,6 +41,7 @@ void BinArray::append_bins(const std::vector<std::uint64_t>& new_capacities) {
     capacities_.push_back(c);
     balls_.push_back(0);
     total_capacity_ += c;
+    if (c > max_capacity_) max_capacity_ = c;
   }
 }
 

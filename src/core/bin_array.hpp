@@ -29,6 +29,10 @@ class BinArray {
   /// Total capacity C = sum of capacities.
   std::uint64_t total_capacity() const noexcept { return total_capacity_; }
 
+  /// Largest single bin capacity (cached; O(1)). The placement kernel uses
+  /// it to decide whether 64-bit load comparisons can overflow.
+  std::uint64_t max_capacity() const noexcept { return max_capacity_; }
+
   /// Total number of balls currently allocated.
   std::uint64_t total_balls() const noexcept { return total_balls_; }
 
@@ -86,10 +90,16 @@ class BinArray {
   std::uint64_t capacity_at_least(std::uint64_t threshold) const noexcept;
 
  private:
+  // The placement kernel commits balls through raw pointers into balls_ and
+  // maintains max_load_/argmax_/total_balls_ itself (same invariants as
+  // add_ball, minus the per-ball abstraction cost).
+  friend class PlacementKernel;
+
   std::vector<std::uint64_t> capacities_;
   std::vector<std::uint64_t> balls_;
   std::uint64_t total_capacity_ = 0;
   std::uint64_t total_balls_ = 0;
+  std::uint64_t max_capacity_ = 0;
   Load max_load_{0, 1};
   std::size_t argmax_ = 0;
 };

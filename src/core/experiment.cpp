@@ -69,6 +69,16 @@ struct Fixture {
   }
 };
 
+/// Per-worker scratch state: one BinArray (cleared, not reallocated, between
+/// replications) plus a staging buffer for profiles and traces. Built once
+/// per chunk by parallel_replications_with_context.
+struct Worker {
+  BinArray bins;
+  std::vector<double> scratch;
+
+  explicit Worker(const std::vector<std::uint64_t>& caps) : bins(caps) {}
+};
+
 }  // namespace
 
 Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
@@ -76,11 +86,10 @@ Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
                          const ExperimentConfig& exp) {
   const Fixture fixture(capacities, policy, game);
   ScalarCollector acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, ScalarCollector& local) {
-        BinArray bins(fixture.capacities);
-        const GameResult result = fixture.run_one(rng, bins);
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, ScalarCollector& local) {
+        const GameResult result = fixture.run_one(rng, w.bins);
         local.add(result.max_load_value());
       },
       acc, exp.pool);
@@ -92,12 +101,13 @@ std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capaci
                                         const ExperimentConfig& exp) {
   const Fixture fixture(capacities, policy, game);
   VectorMeanCollector acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, VectorMeanCollector& local) {
-        BinArray bins(fixture.capacities);
-        fixture.run_one(rng, bins);
-        local.add(sorted_load_profile(bins));
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
+                 VectorMeanCollector& local) {
+        fixture.run_one(rng, w.bins);
+        sorted_load_profile(w.bins, w.scratch);
+        local.add(w.scratch);
       },
       acc, exp.pool);
   return acc.mean();
@@ -117,13 +127,13 @@ std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
   };
 
   ClassProfiles acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, ClassProfiles& local) {
-        BinArray bins(fixture.capacities);
-        fixture.run_one(rng, bins);
-        for (const std::uint64_t cap : distinct_capacities(bins)) {
-          local.per_class[cap].add(sorted_class_profile(bins, cap));
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, ClassProfiles& local) {
+        fixture.run_one(rng, w.bins);
+        for (const std::uint64_t cap : distinct_capacities(w.bins)) {
+          sorted_class_profile(w.bins, cap, w.scratch);
+          local.per_class[cap].add(w.scratch);
         }
       },
       acc, exp.pool);
@@ -138,13 +148,13 @@ std::map<std::uint64_t, double> class_of_max_fractions(
     const GameConfig& game, const ExperimentConfig& exp) {
   const Fixture fixture(capacities, policy, game);
   KeyFrequencyCollector acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, KeyFrequencyCollector& local) {
-        BinArray bins(fixture.capacities);
-        fixture.run_one(rng, bins);
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
+                 KeyFrequencyCollector& local) {
+        fixture.run_one(rng, w.bins);
         local.add_trial();
-        for (const std::uint64_t cap : capacities_attaining_max(bins)) local.add(cap);
+        for (const std::uint64_t cap : capacities_attaining_max(w.bins)) local.add(cap);
       },
       acc, exp.pool);
 
@@ -164,16 +174,17 @@ std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
 
   const Fixture fixture(capacities, policy, game);
   VectorMeanCollector acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
       [&fixture, total_balls, checkpoint_interval](std::uint64_t, Xoshiro256StarStar& rng,
-                                                   VectorMeanCollector& local) {
-        BinArray bins(fixture.capacities);
+                                                   Worker& w, VectorMeanCollector& local) {
+        w.bins.clear();
         GameConfig cfg = fixture.game;
         cfg.balls = total_balls;
-        std::vector<double> trace;
+        std::vector<double>& trace = w.scratch;
+        trace.clear();
         trace.reserve((total_balls + checkpoint_interval - 1) / checkpoint_interval);
-        play_game(bins, fixture.sampler, cfg, rng, checkpoint_interval,
+        play_game(w.bins, fixture.sampler, cfg, rng, checkpoint_interval,
                   [&trace](const GameCheckpoint& cp, const BinArray&) {
                     trace.push_back(cp.max_load.value() - cp.average_load);
                   });
@@ -198,11 +209,10 @@ MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capa
   };
 
   DistAcc acc;
-  parallel_replications(
-      exp.replications, exp.base_seed,
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, DistAcc& local) {
-        BinArray bins(fixture.capacities);
-        const GameResult result = fixture.run_one(rng, bins);
+  parallel_replications_with_context(
+      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, DistAcc& local) {
+        const GameResult result = fixture.run_one(rng, w.bins);
         local.stats.add(result.max_load_value());
         local.values.push_back(result.max_load_value());
       },

@@ -1,65 +1,28 @@
 #include "core/game.hpp"
 
+#include <algorithm>
+
+#include "core/placement_kernel.hpp"
 #include "util/assert.hpp"
 
 namespace nubb {
 
-namespace {
-
-/// Draw the candidate set into `out` (size d). Independent draws by default;
-/// in distinct mode, redraw duplicates (d << n in every sane configuration,
-/// so rejection terminates quickly).
-inline void draw_choices(const BinSampler& sampler, std::uint32_t d, bool distinct,
-                         Xoshiro256StarStar& rng, std::size_t* out) {
-  if (!distinct) {
-    for (std::uint32_t k = 0; k < d; ++k) out[k] = sampler.sample(rng);
-    return;
-  }
-  for (std::uint32_t k = 0; k < d; ++k) {
-    for (;;) {
-      const std::size_t candidate = sampler.sample(rng);
-      bool seen = false;
-      for (std::uint32_t j = 0; j < k; ++j) {
-        if (out[j] == candidate) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) {
-        out[k] = candidate;
-        break;
-      }
-    }
-  }
-}
-
-}  // namespace
-
 std::size_t place_one_ball(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
                            Xoshiro256StarStar& rng) {
-  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
-  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
-  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
-                   "cannot draw more distinct bins than exist");
-
-  constexpr std::uint32_t kMaxChoices = 64;
-  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
-  std::size_t choices[kMaxChoices];
-  draw_choices(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
-
-  const std::size_t dest = choose_destination(
-      bins, std::span<const std::size_t>(choices, cfg.choices), cfg.tie_break, rng);
-  bins.add_ball(dest);
-  return dest;
+  // Kernel construction is O(1); the validation this performs is exactly
+  // what this entry point always performed per ball.
+  PlacementKernel kernel(bins, sampler, cfg, /*planned_balls=*/1);
+  return kernel.place_one(rng);
 }
 
 std::vector<double> play_game_heights(BinArray& bins, const BinSampler& sampler,
                                       const GameConfig& cfg, Xoshiro256StarStar& rng) {
   const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  PlacementKernel kernel(bins, sampler, cfg, m);
   std::vector<double> heights;
   heights.reserve(m);
   for (std::uint64_t ball = 0; ball < m; ++ball) {
-    const std::size_t dest = place_one_ball(bins, sampler, cfg, rng);
+    const std::size_t dest = kernel.place_one(rng);
     heights.push_back(bins.load_value(dest));
   }
   return heights;
@@ -68,20 +31,23 @@ std::vector<double> play_game_heights(BinArray& bins, const BinSampler& sampler,
 GameResult play_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
                      Xoshiro256StarStar& rng, std::uint64_t checkpoint_interval,
                      const CheckpointFn& on_checkpoint) {
-  const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  PlacementKernel kernel(bins, sampler, cfg);
+  const std::uint64_t m = kernel.planned_balls();
 
-  std::uint64_t since_checkpoint = 0;
-  for (std::uint64_t ball = 0; ball < m; ++ball) {
-    place_one_ball(bins, sampler, cfg, rng);
-    if (checkpoint_interval > 0 && ++since_checkpoint == checkpoint_interval) {
-      since_checkpoint = 0;
+  if (checkpoint_interval == 0) {
+    kernel.run(m, rng);
+  } else {
+    // Chunk the fused loop at checkpoint boundaries: the per-ball interval
+    // arithmetic stays out of the hot loop, and the final partial chunk
+    // reproduces the historic trailing checkpoint.
+    std::uint64_t thrown = 0;
+    while (thrown < m) {
+      const std::uint64_t chunk = std::min(checkpoint_interval, m - thrown);
+      kernel.run(chunk, rng);
+      thrown += chunk;
       on_checkpoint(GameCheckpoint{bins.total_balls(), bins.max_load(), bins.average_load()},
                     bins);
     }
-  }
-  if (checkpoint_interval > 0 && since_checkpoint != 0) {
-    on_checkpoint(GameCheckpoint{bins.total_balls(), bins.max_load(), bins.average_load()},
-                  bins);
   }
 
   return GameResult{bins.max_load(), bins.argmax_bin(), m};

@@ -5,18 +5,30 @@
 namespace nubb {
 
 std::vector<double> sorted_load_profile(const BinArray& bins) {
-  std::vector<double> loads = bins.load_values();
-  std::sort(loads.begin(), loads.end(), std::greater<>());
+  std::vector<double> loads;
+  sorted_load_profile(bins, loads);
   return loads;
+}
+
+void sorted_load_profile(const BinArray& bins, std::vector<double>& out) {
+  out.resize(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) out[i] = bins.load_value(i);
+  std::sort(out.begin(), out.end(), std::greater<>());
 }
 
 std::vector<double> sorted_class_profile(const BinArray& bins, std::uint64_t capacity) {
   std::vector<double> loads;
-  for (std::size_t i = 0; i < bins.size(); ++i) {
-    if (bins.capacity(i) == capacity) loads.push_back(bins.load_value(i));
-  }
-  std::sort(loads.begin(), loads.end(), std::greater<>());
+  sorted_class_profile(bins, capacity, loads);
   return loads;
+}
+
+void sorted_class_profile(const BinArray& bins, std::uint64_t capacity,
+                          std::vector<double>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins.capacity(i) == capacity) out.push_back(bins.load_value(i));
+  }
+  std::sort(out.begin(), out.end(), std::greater<>());
 }
 
 Load scan_max_load(const BinArray& bins) {

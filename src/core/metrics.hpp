@@ -16,9 +16,17 @@ namespace nubb {
 /// All bin loads, sorted descending (what Figures 1-5 and 10-11 plot).
 std::vector<double> sorted_load_profile(const BinArray& bins);
 
+/// Allocation-free variant for hot replication loops: `out` is resized and
+/// overwritten, so a worker can reuse one buffer across replications.
+void sorted_load_profile(const BinArray& bins, std::vector<double>& out);
+
 /// Loads of the bins with the given capacity, sorted descending
 /// (Figures 12/13 split the profile by capacity class).
 std::vector<double> sorted_class_profile(const BinArray& bins, std::uint64_t capacity);
+
+/// Buffer-reusing variant; `out` is cleared and refilled.
+void sorted_class_profile(const BinArray& bins, std::uint64_t capacity,
+                          std::vector<double>& out);
 
 /// Exact maximum load by full scan (cross-checks BinArray's online maximum).
 Load scan_max_load(const BinArray& bins);

@@ -27,6 +27,7 @@
 #include "core/load.hpp"
 #include "core/load_vector.hpp"
 #include "core/metrics.hpp"
+#include "core/placement_kernel.hpp"
 #include "core/probability.hpp"
 #include "core/protocol.hpp"
 #include "core/reallocation.hpp"

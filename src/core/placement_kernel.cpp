@@ -1,0 +1,275 @@
+#include "core/placement_kernel.hpp"
+
+#include <limits>
+
+namespace nubb {
+
+PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
+                                 const GameConfig& cfg, std::uint64_t planned_balls)
+    : bins_(bins) {
+  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
+  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
+  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
+                   "cannot draw more distinct bins than exist");
+  // Zero-weight bins satisfy the size precondition but are unreachable, so
+  // rejection sampling would spin forever; require enough *reachable* bins.
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= sampler.support_size(),
+                   "distinct choices exceed the sampler support "
+                   "(bins with positive probability)");
+
+  table_ = sampler.alias_table();
+  counts_ = bins.ball_counts().data();
+  mut_counts_ = bins.balls_.data();
+  caps_ = bins.capacities().data();
+  n_ = bins.size();
+  d_ = cfg.choices;
+  distinct_ = cfg.distinct_choices;
+  planned_ = planned_balls != 0
+                 ? planned_balls
+                 : (cfg.balls != 0 ? cfg.balls : bins.total_capacity());
+
+  // 64-bit cross multiplication is exact iff the largest numerator that can
+  // appear — every ball in one bin, plus the speculative +1 of the decide
+  // stage — times the largest denominator cannot wrap.
+  const std::uint64_t cmax = bins.max_capacity();
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  if (planned_ <= kU64Max - 1 && bins.total_balls() <= kU64Max - 1 - planned_) {
+    const std::uint64_t horizon = bins.total_balls() + planned_ + 1;
+    fast64_ = horizon <= kU64Max / cmax;
+  }
+
+  select_impl(cfg.tie_break);
+}
+
+template <bool Fast64, TieBreak TB>
+std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t* counts,
+                                        Xoshiro256StarStar& rng) {
+  const std::uint32_t d = k.d_;
+  std::size_t* const choices = k.choices_;
+
+  // --- draw: byte-identical to the historic per-ball path ---
+  if (!k.distinct_) {
+    if (k.table_ != nullptr) {
+      for (std::uint32_t i = 0; i < d; ++i) choices[i] = k.table_->sample(rng);
+    } else {
+      rng.bounded_fill(k.n_, choices, d);
+    }
+  } else {
+    // Redraw duplicates; d is at most the sampler support (checked at
+    // construction), so the rejection loop terminates with probability 1.
+    for (std::uint32_t i = 0; i < d; ++i) {
+      for (;;) {
+        const std::size_t cand = k.table_ != nullptr
+                                     ? k.table_->sample(rng)
+                                     : static_cast<std::size_t>(rng.bounded(k.n_));
+        bool seen = false;
+        for (std::uint32_t j = 0; j < i; ++j) {
+          if (choices[j] == cand) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          choices[i] = cand;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- choose ---
+  const std::size_t dest =
+      detail::decide_destination<Fast64, TB>(counts, k.caps_, choices, d, 1, rng);
+
+  // --- commit: add_ball semantics through the cached pointers ---
+  const std::uint64_t balls = ++k.mut_counts_[dest];
+  ++k.bins_.total_balls_;
+  const std::uint64_t cap = k.caps_[dest];
+  if constexpr (Fast64) {
+    if (balls * k.bins_.max_load_.capacity > k.bins_.max_load_.balls * cap) {
+      k.bins_.max_load_ = Load{balls, cap};
+      k.bins_.argmax_ = dest;
+    }
+  } else {
+    const Load l{balls, cap};
+    if (k.bins_.max_load_ < l) {
+      k.bins_.max_load_ = l;
+      k.bins_.argmax_ = dest;
+    }
+  }
+  return dest;
+}
+
+/// Bulk loop: the same fused pass as place_impl, but with every hot field —
+/// including the running maximum — held in locals for the whole run and
+/// flushed to the BinArray once at the end. This matters because the commit
+/// stage stores through a uint64 pointer, which under type-based aliasing
+/// forces reloads of any uint64-typed member it might alias (n_, the running
+/// maximum, the total) on every ball if they live in memory.
+template <bool Fast64, TieBreak TB>
+void PlacementKernel::run_impl(PlacementKernel& k, std::uint64_t count,
+                               Xoshiro256StarStar& rng) {
+  BinArray& bins = k.bins_;
+  const AliasTable* const table = k.table_;
+  const std::uint64_t* const threshold =
+      table != nullptr ? table->threshold_data() : nullptr;
+  const std::uint32_t* const alias = table != nullptr ? table->alias_data() : nullptr;
+  const std::uint64_t n = k.n_;
+  const std::uint64_t* const caps = k.caps_;
+  std::uint64_t* const counts = k.mut_counts_;
+
+  std::uint64_t total = bins.total_balls_;
+  std::uint64_t max_num = bins.max_load_.balls;
+  std::uint64_t max_cap = bins.max_load_.capacity;
+  std::size_t argmax = bins.argmax_;
+
+  // One candidate draw, byte-identical to BinSampler::sample /
+  // AliasTable::sample (the integer threshold decides exactly like the
+  // `next_double() < prob` form and consumes the same one next() draw).
+  const auto draw = [&]() -> std::size_t {
+    if (table != nullptr) {
+      const auto slot = static_cast<std::size_t>(rng.bounded(n));
+      return (rng.next() >> 11) < threshold[slot] ? slot
+                                                  : static_cast<std::size_t>(alias[slot]);
+    }
+    return static_cast<std::size_t>(rng.bounded(n));
+  };
+
+  // add_ball semantics against the local running maximum; `balls` and `cap`
+  // are the destination's post-allocation count and capacity, which the
+  // decide stage already holds in registers.
+  const auto commit_known = [&](std::size_t dest, std::uint64_t balls, std::uint64_t cap) {
+    counts[dest] = balls;
+    ++total;
+    bool greater;
+    if constexpr (Fast64) {
+      greater = balls * max_cap > max_num * cap;
+    } else {
+      greater = Load{max_num, max_cap} < Load{balls, cap};
+    }
+    if (greater) {
+      max_num = balls;
+      max_cap = cap;
+      argmax = dest;
+    }
+  };
+  const auto commit = [&](std::size_t dest) {
+    commit_known(dest, counts[dest] + 1, caps[dest]);
+  };
+
+  if (k.d_ == 2 && !k.distinct_) {
+    // Greedy[2], the workhorse of every figure: straight-line body, no
+    // candidate buffer, no inner loops.
+    for (std::uint64_t ball = 0; ball < count; ++ball) {
+      const std::size_t c0 = draw();
+      const std::size_t c1 = draw();
+      if (c0 == c1) {
+        commit(c0);  // a duplicate pair is the singleton set {c0}
+        continue;
+      }
+      const std::uint64_t n0 = counts[c0] + 1;
+      const std::uint64_t n1 = counts[c1] + 1;
+      const std::uint64_t p0 = caps[c0];
+      const std::uint64_t p1 = caps[c1];
+      bool c1_less;
+      bool equal;
+      if constexpr (Fast64) {
+        const std::uint64_t lhs = n1 * p0;
+        const std::uint64_t rhs = n0 * p1;
+        c1_less = lhs < rhs;
+        equal = lhs == rhs;
+      } else {
+        const uint128 lhs = static_cast<uint128>(n1) * p0;
+        const uint128 rhs = static_cast<uint128>(n0) * p1;
+        c1_less = lhs < rhs;
+        equal = lhs == rhs;
+      }
+      bool pick1;
+      if (c1_less) {
+        pick1 = true;
+      } else if (!equal) {
+        pick1 = false;
+      } else if constexpr (TB == TieBreak::kFirstChoice) {
+        pick1 = false;
+      } else if constexpr (TB == TieBreak::kUniform) {
+        pick1 = rng.bounded(2) != 0;
+      } else {
+        // Prefer the larger capacity; uniform only between equal ones.
+        pick1 = p0 == p1 ? rng.bounded(2) != 0 : p1 > p0;
+      }
+      if (pick1) {
+        commit_known(c1, n1, p1);
+      } else {
+        commit_known(c0, n0, p0);
+      }
+    }
+  } else if (k.d_ == 1) {
+    for (std::uint64_t ball = 0; ball < count; ++ball) commit(draw());
+  } else {
+    // General d / distinct mode: the place_impl pass with local commit state.
+    const std::uint32_t d = k.d_;
+    std::size_t* const choices = k.choices_;
+    for (std::uint64_t ball = 0; ball < count; ++ball) {
+      if (!k.distinct_) {
+        for (std::uint32_t i = 0; i < d; ++i) choices[i] = draw();
+      } else {
+        for (std::uint32_t i = 0; i < d; ++i) {
+          for (;;) {
+            const std::size_t cand = draw();
+            bool seen = false;
+            for (std::uint32_t j = 0; j < i; ++j) {
+              if (choices[j] == cand) {
+                seen = true;
+                break;
+              }
+            }
+            if (!seen) {
+              choices[i] = cand;
+              break;
+            }
+          }
+        }
+      }
+      commit(detail::decide_destination<Fast64, TB>(counts, caps, choices, d, 1, rng));
+    }
+  }
+
+  bins.total_balls_ = total;
+  bins.max_load_ = Load{max_num, max_cap};
+  bins.argmax_ = argmax;
+}
+
+void PlacementKernel::select_impl(TieBreak tie_break) {
+  const bool f = fast64_;
+  switch (tie_break) {
+    case TieBreak::kPreferLargerCapacity:
+      place_fn_ = f ? &place_impl<true, TieBreak::kPreferLargerCapacity>
+                    : &place_impl<false, TieBreak::kPreferLargerCapacity>;
+      run_fn_ = f ? &run_impl<true, TieBreak::kPreferLargerCapacity>
+                  : &run_impl<false, TieBreak::kPreferLargerCapacity>;
+      return;
+    case TieBreak::kUniform:
+      place_fn_ = f ? &place_impl<true, TieBreak::kUniform>
+                    : &place_impl<false, TieBreak::kUniform>;
+      run_fn_ =
+          f ? &run_impl<true, TieBreak::kUniform> : &run_impl<false, TieBreak::kUniform>;
+      return;
+    case TieBreak::kFirstChoice:
+      place_fn_ = f ? &place_impl<true, TieBreak::kFirstChoice>
+                    : &place_impl<false, TieBreak::kFirstChoice>;
+      run_fn_ = f ? &run_impl<true, TieBreak::kFirstChoice>
+                  : &run_impl<false, TieBreak::kFirstChoice>;
+      return;
+  }
+  NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");
+}
+
+void PlacementKernel::run(std::uint64_t count, Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(placed_ + count <= planned_,
+                   "kernel asked to place more balls than it was sized for");
+  placed_ += count;
+  run_fn_(*this, count, rng);
+}
+
+}  // namespace nubb

@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file placement_kernel.hpp
+/// Fused hot-path placement: draw d candidates, choose the destination,
+/// commit the ball — one pass, specialised once per game.
+///
+/// Why a kernel object: the per-ball API (`place_one_ball`) re-validates its
+/// configuration, re-resolves the sampler through a shared_ptr, branches on
+/// the tie-break rule, and compares exact rational loads by 128-bit cross
+/// multiplication — on every single ball, although all of it is loop
+/// invariant. The kernel hoists validation and configuration dispatch to
+/// construction time (the tie-break rule and the comparison width select one
+/// fully specialised inner loop), caches raw pointers to the bin state and
+/// the alias table, and compares loads with plain 64-bit multiplications
+/// whenever `(balls + 1) * max_capacity` cannot overflow, falling back to
+/// the exact 128-bit cross multiplication only when it could.
+///
+/// RNG discipline: the kernel consumes random draws in exactly the same
+/// order and quantity as the historic unfused path (d candidate draws, then
+/// one bounded draw only when a tie survives capacity filtering), so every
+/// fixed-seed golden value is bit-identical to the pre-kernel code.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bin_array.hpp"
+#include "core/game.hpp"
+#include "core/sampler.hpp"
+#include "util/assert.hpp"
+#include "util/int128.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+namespace detail {
+
+/// Fused "choose" stage, shared by the unweighted kernel and the weighted
+/// driver: among `choices[0..d)`, minimise the exact post-allocation load
+/// `(numerators[i] + add) / caps[i]` with set semantics (a bin drawn twice
+/// carries no extra tie-break weight), then apply the tie-break `TB`.
+/// `Fast64` selects 64-bit cross multiplication; the caller guarantees
+/// `(numerators[i] + add) * max(caps)` cannot wrap when it is set.
+/// Consumes at most one bounded RNG draw, and only on a surviving tie —
+/// identical to the historic `choose_destination`.
+template <bool Fast64, TieBreak TB>
+inline std::size_t decide_destination(const std::uint64_t* numerators,
+                                      const std::uint64_t* caps, const std::size_t* choices,
+                                      std::uint32_t d, std::uint64_t add,
+                                      Xoshiro256StarStar& rng) {
+  constexpr std::uint32_t kMaxChoices = 64;
+  std::size_t best[kMaxChoices];
+  best[0] = choices[0];
+  std::size_t best_count = 1;
+  std::uint64_t best_num = numerators[choices[0]] + add;  // post-allocation numerator
+  std::uint64_t best_cap = caps[choices[0]];
+
+  for (std::uint32_t i = 1; i < d; ++i) {
+    const std::size_t cand = choices[i];
+    const std::uint64_t num = numerators[cand] + add;
+    const std::uint64_t cap = caps[cand];
+    bool less;
+    bool equal;
+    if constexpr (Fast64) {
+      const std::uint64_t lhs = num * best_cap;
+      const std::uint64_t rhs = best_num * cap;
+      less = lhs < rhs;
+      equal = lhs == rhs;
+    } else {
+      const uint128 lhs = static_cast<uint128>(num) * best_cap;
+      const uint128 rhs = static_cast<uint128>(best_num) * cap;
+      less = lhs < rhs;
+      equal = lhs == rhs;
+    }
+    if (less) {
+      best[0] = cand;
+      best_count = 1;
+      best_num = num;
+      best_cap = cap;
+    } else if (equal) {
+      // Set semantics: a duplicate of a recorded candidate must not get
+      // double weight in the uniform tie-break.
+      bool duplicate = false;
+      for (std::size_t j = 0; j < best_count; ++j) {
+        if (best[j] == cand) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best[best_count++] = cand;
+    }
+  }
+
+  if (best_count == 1) return best[0];
+  if constexpr (TB == TieBreak::kFirstChoice) {
+    return best[0];  // candidates were recorded in choice order
+  } else if constexpr (TB == TieBreak::kUniform) {
+    return best[rng.bounded(best_count)];
+  } else {
+    // Algorithm 1 lines 4-6: keep only maximum-capacity members of B_opt.
+    std::uint64_t cmax = 0;
+    for (std::size_t j = 0; j < best_count; ++j) {
+      if (caps[best[j]] > cmax) cmax = caps[best[j]];
+    }
+    std::size_t filtered = 0;
+    for (std::size_t j = 0; j < best_count; ++j) {
+      if (caps[best[j]] == cmax) best[filtered++] = best[j];
+    }
+    if (filtered == 1) return best[0];
+    return best[rng.bounded(filtered)];
+  }
+}
+
+}  // namespace detail
+
+/// One game's placement loop, fused and pre-validated. Construct once per
+/// game (construction is O(1)); every driver — sequential, batched,
+/// checkpointed, growth, reallocation — funnels its balls through here.
+///
+/// Pointer caching: the kernel holds raw pointers into the BinArray and the
+/// sampler's alias table. `BinArray::clear()` and `remove_ball()` keep the
+/// kernel valid; `append_bins()` does not (construct a fresh kernel after
+/// growing the array). The sampler must outlive the kernel.
+class PlacementKernel {
+ public:
+  static constexpr std::uint32_t kMaxChoices = 64;
+
+  /// Validates once what the per-ball path used to validate per ball
+  /// (choice count, sampler/bin size match, distinct-mode support).
+  /// `planned_balls` bounds how many balls will be committed through this
+  /// kernel; 0 means the GameConfig convention (cfg.balls, or m = C when
+  /// cfg.balls is 0). The bound selects the load-comparison width, and
+  /// run() enforces it.
+  PlacementKernel(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
+                  std::uint64_t planned_balls = 0);
+
+  /// Balls this kernel is sized for.
+  std::uint64_t planned_balls() const noexcept { return planned_; }
+
+  /// Balls committed through this kernel so far.
+  std::uint64_t placed_balls() const noexcept { return placed_; }
+
+  /// True when the kernel compares loads with 64-bit arithmetic (exposed
+  /// for tests and diagnostics).
+  bool uses_fast64_path() const noexcept { return fast64_; }
+
+  /// Place one ball on the live loads; returns the destination bin.
+  /// \pre the caller keeps the net ball count within the planned horizon
+  ///      (run() checks this; the single-ball form trusts the caller so
+  ///      remove-then-place loops like rebalancing stay O(1) per move).
+  std::size_t place_one(Xoshiro256StarStar& rng) {
+    ++placed_;
+    return place_fn_(*this, counts_, rng);
+  }
+
+  /// Place one ball deciding on `stale_counts` (ball counts frozen at a
+  /// batch boundary, one entry per bin) while committing to the live bins —
+  /// the batched-arrivals mode.
+  std::size_t place_one_stale(const std::uint64_t* stale_counts, Xoshiro256StarStar& rng) {
+    ++placed_;
+    return place_fn_(*this, stale_counts, rng);
+  }
+
+  /// Place `count` balls on the live loads in one fused loop.
+  void run(std::uint64_t count, Xoshiro256StarStar& rng);
+
+ private:
+  using PlaceFn = std::size_t (*)(PlacementKernel&, const std::uint64_t*,
+                                  Xoshiro256StarStar&);
+  using RunFn = void (*)(PlacementKernel&, std::uint64_t, Xoshiro256StarStar&);
+
+  template <bool Fast64, TieBreak TB>
+  static std::size_t place_impl(PlacementKernel& k, const std::uint64_t* counts,
+                                Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB>
+  static void run_impl(PlacementKernel& k, std::uint64_t count, Xoshiro256StarStar& rng);
+
+  void select_impl(TieBreak tie_break);
+
+  BinArray& bins_;
+  const AliasTable* table_ = nullptr;      // null => uniform draw over n_
+  const std::uint64_t* counts_ = nullptr;  // live ball counts (decide stage)
+  std::uint64_t* mut_counts_ = nullptr;    // same array, commit stage
+  const std::uint64_t* caps_ = nullptr;
+  std::size_t n_ = 0;
+  std::uint32_t d_ = 1;
+  bool distinct_ = false;
+  bool fast64_ = false;
+  std::uint64_t planned_ = 0;
+  std::uint64_t placed_ = 0;
+  PlaceFn place_fn_ = nullptr;
+  RunFn run_fn_ = nullptr;
+  // Candidate staging buffer, zeroed once at construction instead of once
+  // per ball (the draw stage always overwrites entries [0, d) — kernels are
+  // single-threaded scratch, one per worker, never shared).
+  std::size_t choices_[kMaxChoices] = {};
+};
+
+}  // namespace nubb

@@ -1,6 +1,7 @@
 #include "core/reallocation.hpp"
 
 #include "core/metrics.hpp"
+#include "core/placement_kernel.hpp"
 #include "core/sampler.hpp"
 #include "util/assert.hpp"
 
@@ -15,10 +16,15 @@ RebalanceResult rebalance(BinArray& bins, const BinSampler& sampler, const GameC
   RebalanceResult result;
   std::uint32_t consecutive_failures = 0;
 
+  // One kernel for the whole rebalance: every move removes a ball before
+  // placing one, so the net ball count never exceeds the current total and
+  // a planned horizon of one ball is exact.
+  PlacementKernel kernel(bins, sampler, cfg, /*planned_balls=*/1);
+
   while (result.moves < max_moves && bins.max_load().value() > target_max_load) {
     const std::size_t source = bins.argmax_bin();
     bins.remove_ball(source);
-    const std::size_t dest = place_one_ball(bins, sampler, cfg, rng);
+    const std::size_t dest = kernel.place_one(rng);
     if (dest == source) {
       // The move was a no-op; the d draws favoured the source bin again.
       if (++consecutive_failures >= 3) {

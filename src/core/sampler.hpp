@@ -37,6 +37,19 @@ class BinSampler {
 
   std::size_t size() const noexcept { return n_; }
 
+  /// Number of bins with strictly positive probability. Distinct-choice
+  /// sampling can produce at most this many different bins, no matter how
+  /// many rejections it is willing to pay.
+  std::size_t support_size() const noexcept {
+    return table_ ? table_->support_size() : n_;
+  }
+
+  /// Underlying alias table, or null for the uniform fast path. The
+  /// placement kernel caches this raw pointer so its inner loop skips the
+  /// shared_ptr indirection; the table is immutable and owned for the
+  /// sampler's lifetime.
+  const AliasTable* alias_table() const noexcept { return table_.get(); }
+
   /// Probability assigned to bin i.
   double probability(std::size_t i) const;
 

@@ -1,7 +1,9 @@
 #include "core/weighted.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "core/placement_kernel.hpp"
 #include "util/assert.hpp"
 
 namespace nubb {
@@ -90,85 +92,94 @@ double BallSizeModel::mean() const {
   return 1.0;  // unreachable
 }
 
-std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sampler,
-                                    std::uint64_t w, const GameConfig& cfg,
-                                    Xoshiro256StarStar& rng) {
-  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
-  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
-  constexpr std::uint32_t kMaxChoices = 64;
-  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
+std::uint64_t BallSizeModel::max_size() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kUniformRange:
+      return b_;
+    case Kind::kShiftedGeometric:
+      return a_;  // truncation cap
+  }
+  return 1;  // unreachable
+}
 
-  // Draw candidates (independent; distinct mode mirrors game.cpp).
-  std::size_t choices[kMaxChoices];
-  for (std::uint32_t k = 0; k < cfg.choices; ++k) {
-    if (!cfg.distinct_choices) {
-      choices[k] = sampler.sample(rng);
-      continue;
-    }
-    NUBB_REQUIRE_MSG(cfg.choices <= bins.size(),
-                     "cannot draw more distinct bins than exist");
+namespace {
+
+using DecideFn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
+                                 const std::size_t*, std::uint32_t, std::uint64_t,
+                                 Xoshiro256StarStar&);
+
+/// Resolve the tie-break / comparison-width dispatch once per game.
+DecideFn pick_decide(TieBreak tie_break, bool fast64) {
+  switch (tie_break) {
+    case TieBreak::kPreferLargerCapacity:
+      return fast64 ? &detail::decide_destination<true, TieBreak::kPreferLargerCapacity>
+                    : &detail::decide_destination<false, TieBreak::kPreferLargerCapacity>;
+    case TieBreak::kUniform:
+      return fast64 ? &detail::decide_destination<true, TieBreak::kUniform>
+                    : &detail::decide_destination<false, TieBreak::kUniform>;
+    case TieBreak::kFirstChoice:
+      return fast64 ? &detail::decide_destination<true, TieBreak::kFirstChoice>
+                    : &detail::decide_destination<false, TieBreak::kFirstChoice>;
+  }
+  NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");
+  return nullptr;
+}
+
+/// Shared validation for the weighted entry points; mirrors the
+/// PlacementKernel constructor (including the distinct-support bugfix).
+void validate_weighted(const WeightedBinArray& bins, const BinSampler& sampler,
+                       const GameConfig& cfg) {
+  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
+  NUBB_REQUIRE_MSG(cfg.choices <= PlacementKernel::kMaxChoices,
+                   "more than 64 choices per ball");
+  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
+                   "cannot draw more distinct bins than exist");
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= sampler.support_size(),
+                   "distinct choices exceed the sampler support "
+                   "(bins with positive probability)");
+}
+
+/// Draw the candidate set (independent; distinct mode redraws duplicates),
+/// byte-identical in RNG order to the historic per-ball path.
+inline void draw_candidates(const BinSampler& sampler, std::uint32_t d, bool distinct,
+                            Xoshiro256StarStar& rng, std::size_t* out) {
+  if (!distinct) {
+    for (std::uint32_t k = 0; k < d; ++k) out[k] = sampler.sample(rng);
+    return;
+  }
+  for (std::uint32_t k = 0; k < d; ++k) {
     for (;;) {
       const std::size_t candidate = sampler.sample(rng);
       bool seen = false;
       for (std::uint32_t j = 0; j < k; ++j) {
-        if (choices[j] == candidate) {
+        if (out[j] == candidate) {
           seen = true;
           break;
         }
       }
       if (!seen) {
-        choices[k] = candidate;
+        out[k] = candidate;
         break;
       }
     }
   }
+}
 
-  // Weighted Algorithm 1: minimise (W_i + w) / c_i exactly.
-  std::size_t best[kMaxChoices];
-  std::size_t best_count = 0;
-  Load best_load{0, 1};
-  for (std::uint32_t k = 0; k < cfg.choices; ++k) {
-    const std::size_t candidate = choices[k];
-    const Load post{bins.weight(candidate) + w, bins.capacity(candidate)};
-    if (best_count == 0 || post < best_load) {
-      best_load = post;
-      best[0] = candidate;
-      best_count = 1;
-    } else if (post == best_load) {
-      bool duplicate = false;
-      for (std::size_t i = 0; i < best_count; ++i) {
-        if (best[i] == candidate) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (!duplicate) best[best_count++] = candidate;
-    }
-  }
+}  // namespace
 
-  std::size_t dest = best[0];
-  if (best_count > 1) {
-    switch (cfg.tie_break) {
-      case TieBreak::kFirstChoice:
-        dest = best[0];
-        break;
-      case TieBreak::kUniform:
-        dest = best[rng.bounded(best_count)];
-        break;
-      case TieBreak::kPreferLargerCapacity: {
-        std::uint64_t cmax = 0;
-        for (std::size_t i = 0; i < best_count; ++i) {
-          cmax = std::max(cmax, bins.capacity(best[i]));
-        }
-        std::size_t filtered = 0;
-        for (std::size_t i = 0; i < best_count; ++i) {
-          if (bins.capacity(best[i]) == cmax) best[filtered++] = best[i];
-        }
-        dest = filtered == 1 ? best[0] : best[rng.bounded(filtered)];
-        break;
-      }
-    }
-  }
+std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sampler,
+                                    std::uint64_t w, const GameConfig& cfg,
+                                    Xoshiro256StarStar& rng) {
+  validate_weighted(bins, sampler, cfg);
+  std::size_t choices[PlacementKernel::kMaxChoices] = {};
+  draw_candidates(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
+  // Single-ball entry: no horizon information, so stay on the exact
+  // 128-bit comparison path.
+  const std::size_t dest = pick_decide(cfg.tie_break, /*fast64=*/false)(
+      bins.weights().data(), bins.capacities().data(), choices, cfg.choices, w, rng);
   bins.add_weight(dest, w);
   return dest;
 }
@@ -176,14 +187,41 @@ std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sa
 WeightedGameResult play_weighted_game(WeightedBinArray& bins, const BinSampler& sampler,
                                       const BallSizeModel& sizes, const GameConfig& cfg,
                                       Xoshiro256StarStar& rng) {
+  validate_weighted(bins, sampler, cfg);
+
   std::uint64_t balls = cfg.balls;
   if (balls == 0) {
     balls = static_cast<std::uint64_t>(
         std::llround(static_cast<double>(bins.total_capacity()) / sizes.mean()));
     if (balls == 0) balls = 1;
   }
+
+  // 64-bit comparisons are exact iff the largest numerator that can appear
+  // (all planned weight in one bin plus the next ball) times the largest
+  // capacity cannot wrap; every step of the horizon computation is itself
+  // overflow-checked.
+  std::uint64_t cmax = 0;
+  for (const std::uint64_t c : bins.capacities()) {
+    if (c > cmax) cmax = c;
+  }
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t smax = sizes.max_size();
+  bool fast64 = false;
+  if (smax > 0 && balls <= (kU64Max - smax) / smax &&
+      bins.total_weight() <= kU64Max - balls * smax - smax) {
+    const std::uint64_t horizon = bins.total_weight() + balls * smax + smax;
+    fast64 = horizon <= kU64Max / cmax;
+  }
+  const DecideFn decide = pick_decide(cfg.tie_break, fast64);
+
+  const std::uint64_t* weights = bins.weights().data();
+  const std::uint64_t* caps = bins.capacities().data();
+  std::size_t choices[PlacementKernel::kMaxChoices] = {};  // zeroed once, not per ball
   for (std::uint64_t b = 0; b < balls; ++b) {
-    place_one_weighted_ball(bins, sampler, sizes.sample(rng), cfg, rng);
+    const std::uint64_t w = sizes.sample(rng);
+    draw_candidates(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
+    const std::size_t dest = decide(weights, caps, choices, cfg.choices, w, rng);
+    bins.add_weight(dest, w);
   }
   return WeightedGameResult{bins.max_load(), bins.argmax_bin(), balls, bins.total_weight()};
 }

@@ -76,6 +76,11 @@ class BallSizeModel {
   /// the geometric model, documented as an upper bound on the mean).
   double mean() const;
 
+  /// Largest size this model can ever return. The weighted game driver uses
+  /// it to bound the final per-bin weight and pick the load-comparison
+  /// width (64-bit vs 128-bit) once per game.
+  std::uint64_t max_size() const;
+
  private:
   enum class Kind { kConstant, kUniformRange, kShiftedGeometric };
   BallSizeModel() = default;

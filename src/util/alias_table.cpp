@@ -1,5 +1,6 @@
 #include "util/alias_table.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "util/assert.hpp"
@@ -54,16 +55,35 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   // Leftovers are == 1 up to rounding; they keep prob 1 / self-alias.
   for (const std::uint32_t l : large) prob_[l] = 1.0;
   for (const std::uint32_t s : small) prob_[s] = 1.0;
+
+  // Integer acceptance thresholds for the fused sampling loops. With
+  // u = k * 2^-53 (k the 53-bit mantissa draw), u < p iff k < p * 2^53;
+  // p * 2^53 is exact (exponent shift), so k < ceil(p * 2^53) decides
+  // identically for non-integral p * 2^53 and k < p * 2^53 for integral —
+  // both covered by comparing against ceil.
+  threshold_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threshold_[i] = static_cast<std::uint64_t>(std::ceil(prob_[i] * 0x1.0p53));
+  }
+
+  // Reconstruct the per-outcome probabilities the slots actually encode:
+  // P(outcome i) = (prob of own slot + mass donated by slots aliased to i)/n.
+  // Precomputing keeps probability() O(1), so dumping the full distribution
+  // is O(n) instead of O(n^2).
+  reconstructed_.assign(n, 0.0);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    reconstructed_[slot] += prob_[slot];
+    if (alias_[slot] != slot) reconstructed_[alias_[slot]] += 1.0 - prob_[slot];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    reconstructed_[i] /= static_cast<double>(n);
+    if (normalized_[i] > 0.0) ++support_;
+  }
 }
 
 double AliasTable::probability(std::size_t i) const {
-  NUBB_REQUIRE(i < prob_.size());
-  // P(outcome i) = (prob of own slot + mass donated by slots aliased to i)/n.
-  double mass = prob_[i];
-  for (std::size_t slot = 0; slot < prob_.size(); ++slot) {
-    if (alias_[slot] == i && slot != i) mass += 1.0 - prob_[slot];
-  }
-  return mass / static_cast<double>(prob_.size());
+  NUBB_REQUIRE(i < reconstructed_.size());
+  return reconstructed_[i];
 }
 
 double AliasTable::input_probability(std::size_t i) const {

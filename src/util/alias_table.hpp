@@ -31,18 +31,40 @@ class AliasTable {
 
   std::size_t size() const noexcept { return prob_.size(); }
 
-  /// Exact probability the table assigns to outcome i (reconstructed from
-  /// the internal slots; used by tests to verify the construction against
-  /// the input weights).
+  /// Number of outcomes with strictly positive probability. Rejection-based
+  /// consumers (distinct-choice sampling) must not ask for more distinct
+  /// outcomes than this, or they would loop forever.
+  std::size_t support_size() const noexcept { return support_; }
+
+  /// Exact probability the table assigns to outcome i, reconstructed from
+  /// the internal slots at construction (O(1) per query; full-distribution
+  /// dumps are O(n), not O(n^2)). Used to verify the construction against
+  /// the input weights.
   double probability(std::size_t i) const;
 
   /// Normalised input weight of outcome i.
   double input_probability(std::size_t i) const;
 
+  /// Raw slot arrays for fused sampling loops (the placement kernel inlines
+  /// `sample()` against these so the hot loop carries no vector indirection).
+  /// All have size() entries and live as long as the table.
+  const double* prob_data() const noexcept { return prob_.data(); }
+  const std::uint32_t* alias_data() const noexcept { return alias_.data(); }
+
+  /// Integer acceptance thresholds: `mantissa < threshold_data()[slot]` with
+  /// `mantissa = rng.next() >> 11` decides exactly like
+  /// `rng.next_double() < prob_data()[slot]` (both compare the same 53-bit
+  /// mantissa against prob * 2^53, which is an exact double operation), but
+  /// without the integer-to-double conversion in the loop.
+  const std::uint64_t* threshold_data() const noexcept { return threshold_.data(); }
+
  private:
-  std::vector<double> prob_;         // acceptance threshold per slot
-  std::vector<std::uint32_t> alias_; // fallback outcome per slot
-  std::vector<double> normalized_;   // normalised input weights (diagnostics)
+  std::vector<double> prob_;          // acceptance threshold per slot
+  std::vector<std::uint32_t> alias_;  // fallback outcome per slot
+  std::vector<std::uint64_t> threshold_;  // ceil(prob * 2^53), integer form
+  std::vector<double> normalized_;    // normalised input weights (diagnostics)
+  std::vector<double> reconstructed_; // per-outcome probability implied by the slots
+  std::size_t support_ = 0;           // outcomes with positive probability
 };
 
 }  // namespace nubb

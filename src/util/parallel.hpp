@@ -5,9 +5,12 @@
 ///
 /// The contract that makes experiments reproducible:
 ///   * replication k always receives `seed_for_replication(base_seed, k)`;
+///   * replications are partitioned into a fixed number of contiguous chunks
+///     (`kReplicationChunks`, independent of the thread count), and the
+///     chunk-local accumulators are merged into the output in chunk order —
+///     so the result is bit-identical for any ThreadPool size, including 1;
 ///   * the per-replication results are folded into an accumulator type `Acc`
-///     that is a commutative monoid (`merge`), so the final value does not
-///     depend on worker scheduling or the thread count.
+///     that is a commutative monoid (`merge`).
 
 #include <cstdint>
 #include <future>
@@ -18,21 +21,30 @@
 
 namespace nubb {
 
-/// Run `replications` independent trials. `body(rep_index, rng, acc)` folds
-/// trial `rep_index` into a worker-local `Acc`; the worker-local accumulators
-/// are merged into `out` in replication order (so even non-commutative
-/// accumulators behave deterministically).
+/// Number of contiguous replication chunks. Fixed (rather than a multiple of
+/// the worker count) so the floating-point merge grouping — and with it
+/// every golden value — is invariant under the thread count. 16 preserves
+/// the PR-1 golden layout (recorded with a 4-thread pool and the then-
+/// current `workers * 4` rule) and still saturates pools of up to 16
+/// workers; chunks are equal-sized, so coarser chunking costs no balance.
+inline constexpr std::uint64_t kReplicationChunks = 16;
+
+/// Run `replications` independent trials with per-chunk worker state.
+/// `make_context()` is invoked once per chunk (on the worker) to build
+/// scratch state — bin arrays, reusable buffers — that
+/// `body(rep_index, rng, context, acc)` may mutate freely across the chunk's
+/// replications; contexts never migrate between chunks. The chunk-local
+/// accumulators are merged into `out` in replication order (so even
+/// non-commutative accumulators behave deterministically).
 ///
 /// `Acc` requirements: default-constructible, `void merge(const Acc&)`.
-template <typename Acc, typename Body>
-void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, Body body,
-                           Acc& out, ThreadPool* pool = nullptr) {
+template <typename Acc, typename MakeContext, typename Body>
+void parallel_replications_with_context(std::uint64_t replications, std::uint64_t base_seed,
+                                        MakeContext make_context, Body body, Acc& out,
+                                        ThreadPool* pool = nullptr) {
   if (replications == 0) return;
   ThreadPool& tp = pool ? *pool : global_thread_pool();
-  const std::uint64_t workers = tp.thread_count();
-  // Chunk replications contiguously so each worker's accumulator covers a
-  // deterministic index range.
-  const std::uint64_t chunks = std::min<std::uint64_t>(workers * 4, replications);
+  const std::uint64_t chunks = std::min<std::uint64_t>(kReplicationChunks, replications);
   const std::uint64_t per_chunk = (replications + chunks - 1) / chunks;
 
   std::vector<std::future<Acc>> partials;
@@ -41,11 +53,12 @@ void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, 
     const std::uint64_t begin = c * per_chunk;
     const std::uint64_t end = std::min(begin + per_chunk, replications);
     if (begin >= end) break;
-    partials.push_back(tp.submit([begin, end, base_seed, &body]() {
+    partials.push_back(tp.submit([begin, end, base_seed, &make_context, &body]() {
       Acc local;
+      auto context = make_context();
       for (std::uint64_t rep = begin; rep < end; ++rep) {
         Xoshiro256StarStar rng(seed_for_replication(base_seed, rep));
-        body(rep, rng, local);
+        body(rep, rng, context, local);
       }
       return local;
     }));
@@ -54,6 +67,19 @@ void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, 
     Acc part = f.get();
     out.merge(part);
   }
+}
+
+/// Context-free variant: `body(rep_index, rng, acc)`.
+template <typename Acc, typename Body>
+void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, Body body,
+                           Acc& out, ThreadPool* pool = nullptr) {
+  struct NoContext {};
+  parallel_replications_with_context(
+      replications, base_seed, [] { return NoContext{}; },
+      [&body](std::uint64_t rep, Xoshiro256StarStar& rng, NoContext&, Acc& local) {
+        body(rep, rng, local);
+      },
+      out, pool);
 }
 
 /// Parallel for over [0, count): `body(i)` with static chunking.

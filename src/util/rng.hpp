@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
 #include "util/int128.hpp"
 
@@ -125,6 +126,18 @@ class Xoshiro256StarStar {
       }
     }
     return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Fill `out[0..count)` with independent draws from [0, bound), exactly as
+  /// if `bounded(bound)` had been called `count` times in order (the batch
+  /// form exists so hot loops can keep the engine state in registers across
+  /// the whole candidate draw; it never reorders or fuses draws, so fixed-
+  /// seed streams stay byte-identical with the one-at-a-time form).
+  /// \pre bound > 0.
+  template <typename T>
+  void bounded_fill(std::uint64_t bound, T* out, std::size_t count) noexcept {
+    static_assert(std::is_integral_v<T>, "bounded_fill needs an integral output type");
+    for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<T>(bounded(bound));
   }
 
   /// Uniform double in [0, 1) with 53 random mantissa bits.

@@ -212,5 +212,47 @@ TEST(RunnersTest, PoolInjectionProducesSameResults) {
   EXPECT_DOUBLE_EQ(a.max, b.max);
 }
 
+TEST(RunnersTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  // The determinism contract of util/parallel.hpp: replication k always
+  // gets seed_for_replication(base_seed, k) and the chunk layout (and with
+  // it the floating-point merge grouping) is fixed, independent of the
+  // worker count — so 1, 2, and 8 threads must agree to the last bit, not
+  // just within tolerance.
+  const auto caps = two_class_capacities(24, 1, 24, 10);
+  GameConfig game;
+
+  auto summary_with = [&caps, &game](std::size_t threads) {
+    ThreadPool pool(threads);
+    ExperimentConfig exp = quick_exp(100, 31337);
+    exp.pool = &pool;
+    return max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), game, exp);
+  };
+  const Summary s1 = summary_with(1);
+  const Summary s2 = summary_with(2);
+  const Summary s8 = summary_with(8);
+  for (const Summary* s : {&s2, &s8}) {
+    EXPECT_EQ(s1.count, s->count);
+    // EXPECT_EQ on doubles checks exact equality — bit-identity, not ULPs.
+    EXPECT_EQ(s1.mean, s->mean);
+    EXPECT_EQ(s1.stddev, s->stddev);
+    EXPECT_EQ(s1.std_error, s->std_error);
+    EXPECT_EQ(s1.min, s->min);
+    EXPECT_EQ(s1.max, s->max);
+  }
+
+  auto fractions_with = [&caps, &game](std::size_t threads) {
+    ThreadPool pool(threads);
+    ExperimentConfig exp = quick_exp(100, 31337);
+    exp.pool = &pool;
+    return class_of_max_fractions(caps, SelectionPolicy::proportional_to_capacity(), game,
+                                  exp);
+  };
+  const auto f1 = fractions_with(1);
+  const auto f2 = fractions_with(2);
+  const auto f8 = fractions_with(8);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1, f8);
+}
+
 }  // namespace
 }  // namespace nubb

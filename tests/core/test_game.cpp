@@ -112,6 +112,22 @@ TEST(GameTest, DistinctChoicesRequireEnoughBins) {
   EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
 }
 
+TEST(GameTest, DistinctChoicesRequireEnoughReachableBins) {
+  // Regression (PR 2): zero-weight bins satisfy `choices <= bins.size()` but
+  // can never be drawn, so distinct-mode rejection sampling looped forever.
+  // Weights {1, 0, 0} with d = 2 must fail fast with a precondition error.
+  BinArray bins({1, 1, 1});
+  const BinSampler sampler = BinSampler::from_weights({1.0, 0.0, 0.0});
+  Xoshiro256StarStar rng(7);
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;
+  EXPECT_THROW(place_one_ball(bins, sampler, cfg, rng), PreconditionError);
+  cfg.balls = 3;
+  EXPECT_THROW(play_game(bins, sampler, cfg, rng), PreconditionError);
+  EXPECT_EQ(bins.total_balls(), 0u);
+}
+
 TEST(GameTest, DistinctChoicesWithFullCoverageBalancePerfectly) {
   // d = n distinct choices means every ball sees all bins, so greedy keeps
   // the loads within 1 ball of each other at all times.

@@ -1,0 +1,254 @@
+/// PlacementKernel equivalence and safety tests.
+///
+/// The kernel's contract is "byte-identical to the historic per-ball path":
+/// same destinations, same final allocation, same RNG consumption — for
+/// every tie-break rule, choice count, distinct mode, sampler kind, and
+/// both comparison widths (the 64-bit fast path and the 128-bit fallback).
+/// A frozen copy of the pre-kernel reference implementation lives below;
+/// any divergence is a kernel bug, not a test to re-baseline.
+
+#include "core/placement_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/game.hpp"
+#include "core/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace nubb {
+namespace {
+
+// --- frozen pre-kernel reference (PR 1 game.cpp, verbatim semantics) -------
+
+void reference_draw_choices(const BinSampler& sampler, std::uint32_t d, bool distinct,
+                            Xoshiro256StarStar& rng, std::size_t* out) {
+  if (!distinct) {
+    for (std::uint32_t k = 0; k < d; ++k) out[k] = sampler.sample(rng);
+    return;
+  }
+  for (std::uint32_t k = 0; k < d; ++k) {
+    for (;;) {
+      const std::size_t candidate = sampler.sample(rng);
+      bool seen = false;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (out[j] == candidate) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        out[k] = candidate;
+        break;
+      }
+    }
+  }
+}
+
+std::size_t reference_place_one_ball(BinArray& bins, const BinSampler& sampler,
+                                     const GameConfig& cfg, Xoshiro256StarStar& rng) {
+  std::size_t choices[64] = {};
+  reference_draw_choices(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
+  const std::size_t dest = choose_destination(
+      bins, std::span<const std::size_t>(choices, cfg.choices), cfg.tie_break, rng);
+  bins.add_ball(dest);
+  return dest;
+}
+
+struct GameOutcome {
+  std::vector<std::uint64_t> balls;
+  Load max_load;
+  std::size_t argmax;
+  std::uint64_t total;
+  std::array<std::uint64_t, 4> rng_state;
+};
+
+GameOutcome reference_outcome(const std::vector<std::uint64_t>& caps,
+                              const BinSampler& sampler, const GameConfig& cfg,
+                              std::uint64_t balls, std::uint64_t seed) {
+  BinArray bins(caps);
+  Xoshiro256StarStar rng(seed);
+  for (std::uint64_t b = 0; b < balls; ++b) {
+    reference_place_one_ball(bins, sampler, cfg, rng);
+  }
+  return {bins.ball_counts(), bins.max_load(), bins.argmax_bin(), bins.total_balls(),
+          rng.state()};
+}
+
+GameOutcome kernel_outcome(const std::vector<std::uint64_t>& caps, const BinSampler& sampler,
+                           const GameConfig& cfg, std::uint64_t balls, std::uint64_t seed) {
+  BinArray bins(caps);
+  Xoshiro256StarStar rng(seed);
+  PlacementKernel kernel(bins, sampler, cfg, balls);
+  kernel.run(balls, rng);
+  return {bins.ball_counts(), bins.max_load(), bins.argmax_bin(), bins.total_balls(),
+          rng.state()};
+}
+
+void expect_same_outcome(const GameOutcome& a, const GameOutcome& b, const char* what) {
+  EXPECT_EQ(a.balls, b.balls) << what;
+  EXPECT_EQ(a.max_load.balls, b.max_load.balls) << what;
+  EXPECT_EQ(a.max_load.capacity, b.max_load.capacity) << what;
+  EXPECT_EQ(a.argmax, b.argmax) << what;
+  EXPECT_EQ(a.total, b.total) << what;
+  EXPECT_EQ(a.rng_state, b.rng_state) << what << " (RNG consumption diverged)";
+}
+
+// --- equivalence sweeps -----------------------------------------------------
+
+TEST(PlacementKernelTest, MatchesReferenceAcrossConfigurations) {
+  const auto caps = two_class_capacities(40, 1, 20, 10);
+  const BinSampler proportional =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  const BinSampler uniform = BinSampler::uniform(caps.size());
+
+  const TieBreak tie_breaks[] = {TieBreak::kPreferLargerCapacity, TieBreak::kUniform,
+                                 TieBreak::kFirstChoice};
+  const std::uint32_t choice_counts[] = {1, 2, 3, 8};
+  int case_index = 0;
+  for (const BinSampler* sampler : {&proportional, &uniform}) {
+    for (const TieBreak tb : tie_breaks) {
+      for (const std::uint32_t d : choice_counts) {
+        for (const bool distinct : {false, true}) {
+          GameConfig cfg;
+          cfg.choices = d;
+          cfg.tie_break = tb;
+          cfg.distinct_choices = distinct;
+          const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(case_index++);
+          const auto ref = reference_outcome(caps, *sampler, cfg, /*balls=*/500, seed);
+          const auto ker = kernel_outcome(caps, *sampler, cfg, /*balls=*/500, seed);
+          expect_same_outcome(ref, ker, "full sweep case");
+        }
+      }
+    }
+  }
+}
+
+TEST(PlacementKernelTest, Uses64BitPathOnSmallArrays) {
+  const auto caps = two_class_capacities(50, 1, 50, 10);
+  BinArray bins(caps);
+  const BinSampler sampler = BinSampler::uniform(caps.size());
+  PlacementKernel kernel(bins, sampler, GameConfig{});
+  EXPECT_TRUE(kernel.uses_fast64_path());
+}
+
+TEST(PlacementKernelTest, FallsBackTo128BitOnHugeCapacities) {
+  // horizon * max_capacity would wrap uint64, so the kernel must take the
+  // exact 128-bit path — and still match the reference.
+  const std::vector<std::uint64_t> caps = {1000000000000000000ULL, 999999999999999999ULL,
+                                           3ULL, 2ULL, 1ULL};
+  const BinSampler sampler = BinSampler::uniform(caps.size());
+  GameConfig cfg;  // d = 2, capacity tie-break
+
+  {
+    BinArray bins(caps);
+    PlacementKernel kernel(bins, sampler, cfg, /*planned_balls=*/200);
+    EXPECT_FALSE(kernel.uses_fast64_path());
+  }
+
+  const auto ref = reference_outcome(caps, sampler, cfg, /*balls=*/200, 77);
+  const auto ker = kernel_outcome(caps, sampler, cfg, /*balls=*/200, 77);
+  expect_same_outcome(ref, ker, "128-bit fallback");
+}
+
+TEST(PlacementKernelTest, PlaceOneMatchesRun) {
+  // Single-ball stepping (place_one) and the fused bulk loop (run) are two
+  // code paths; they must produce identical games.
+  const auto caps = two_class_capacities(30, 1, 30, 10);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  GameConfig cfg;
+  constexpr std::uint64_t kBalls = 400;
+
+  BinArray stepped(caps);
+  {
+    Xoshiro256StarStar rng(5);
+    PlacementKernel kernel(stepped, sampler, cfg, kBalls);
+    for (std::uint64_t b = 0; b < kBalls; ++b) kernel.place_one(rng);
+  }
+  BinArray bulk(caps);
+  {
+    Xoshiro256StarStar rng(5);
+    PlacementKernel kernel(bulk, sampler, cfg, kBalls);
+    kernel.run(kBalls, rng);
+  }
+  EXPECT_EQ(stepped.ball_counts(), bulk.ball_counts());
+  EXPECT_EQ(stepped.max_load(), bulk.max_load());
+  EXPECT_EQ(stepped.argmax_bin(), bulk.argmax_bin());
+}
+
+TEST(PlacementKernelTest, StaleDecisionsIgnoreLiveCommits) {
+  // With a frozen all-zero snapshot, every decision sees empty bins even as
+  // balls accumulate — exactly the batched-arrivals staleness contract.
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(2);
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;  // force both candidates every ball
+  cfg.tie_break = TieBreak::kFirstChoice;
+  PlacementKernel kernel(bins, sampler, cfg, 10);
+  const std::vector<std::uint64_t> frozen = {0, 0};
+  Xoshiro256StarStar rng(9);
+  for (int b = 0; b < 10; ++b) {
+    // Stale loads tie at 1/1 every time; kFirstChoice picks the first drawn
+    // candidate, so both bins keep receiving balls only via draw order — the
+    // live imbalance never feeds back.
+    kernel.place_one_stale(frozen.data(), rng);
+  }
+  EXPECT_EQ(bins.total_balls(), 10u);
+}
+
+TEST(PlacementKernelTest, RunRejectsMoreThanPlannedBalls) {
+  BinArray bins({1, 1, 1});
+  const BinSampler sampler = BinSampler::uniform(3);
+  PlacementKernel kernel(bins, sampler, GameConfig{}, /*planned_balls=*/5);
+  Xoshiro256StarStar rng(1);
+  kernel.run(5, rng);
+  EXPECT_THROW(kernel.run(1, rng), PreconditionError);
+}
+
+TEST(PlacementKernelTest, ValidatesOnConstruction) {
+  BinArray bins({1, 1});
+  const BinSampler sampler = BinSampler::uniform(2);
+  Xoshiro256StarStar rng(1);
+
+  GameConfig zero_choices;
+  zero_choices.choices = 0;
+  EXPECT_THROW(PlacementKernel(bins, sampler, zero_choices), PreconditionError);
+
+  GameConfig too_distinct;
+  too_distinct.choices = 3;
+  too_distinct.distinct_choices = true;
+  EXPECT_THROW(PlacementKernel(bins, sampler, too_distinct), PreconditionError);
+
+  const BinSampler mismatched = BinSampler::uniform(5);
+  EXPECT_THROW(PlacementKernel(bins, mismatched, GameConfig{}), PreconditionError);
+}
+
+TEST(PlacementKernelTest, DistinctChoicesRequirePositiveSupport) {
+  // Regression (PR 2): weights {1, 0, 0} give positive probability to one
+  // bin only; asking for two *distinct* candidates used to spin forever in
+  // the rejection loop. It must fail fast instead.
+  BinArray bins({1, 1, 1});
+  const BinSampler sampler = BinSampler::from_weights({1.0, 0.0, 0.0});
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;
+  EXPECT_THROW(PlacementKernel(bins, sampler, cfg), PreconditionError);
+
+  // With exactly d reachable bins the rejection loop terminates.
+  const BinSampler two_reachable = BinSampler::from_weights({1.0, 1.0, 0.0});
+  PlacementKernel kernel(bins, two_reachable, cfg, /*planned_balls=*/20);
+  Xoshiro256StarStar rng(3);
+  kernel.run(20, rng);
+  EXPECT_EQ(bins.balls(2), 0u);
+  EXPECT_EQ(bins.total_balls(), 20u);
+}
+
+}  // namespace
+}  // namespace nubb

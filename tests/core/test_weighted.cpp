@@ -164,6 +164,22 @@ TEST(WeightedProtocolTest, HeavyBallMinimisesPostAllocationLoad) {
   EXPECT_EQ(dest, 1u);
 }
 
+TEST(WeightedProtocolTest, DistinctChoicesRequireEnoughReachableBins) {
+  // Regression (PR 2): mirrors the unweighted fix — zero-weight bins are
+  // unreachable, so d distinct candidates need d bins of positive
+  // probability, not just d bins.
+  WeightedBinArray bins({1, 1, 1});
+  const BinSampler sampler = BinSampler::from_weights({1.0, 0.0, 0.0});
+  GameConfig cfg;
+  cfg.choices = 2;
+  cfg.distinct_choices = true;
+  Xoshiro256StarStar rng(21);
+  EXPECT_THROW(place_one_weighted_ball(bins, sampler, 1, cfg, rng), PreconditionError);
+  EXPECT_THROW(
+      play_weighted_game(bins, sampler, BallSizeModel::constant(1), cfg, rng),
+      PreconditionError);
+}
+
 TEST(WeightedProtocolTest, TieBreakPrefersLargerCapacity) {
   // caps {1, 2}, weights {1, 3}: post for w=1 -> 2/1 vs 4/2 = exact tie;
   // Algorithm 1 picks the capacity-2 bin.

@@ -29,6 +29,64 @@ TEST(AliasTableTest, ReconstructedProbabilitiesMatchInputs) {
   }
 }
 
+TEST(AliasTableTest, ReconstructedProbabilitiesSumToOneOnAdversarialWeights) {
+  // probability() is precomputed at construction (PR 2: O(1) per query, so
+  // full-distribution dumps are O(n), not O(n^2)). The reconstruction must
+  // stay exact — summing to 1 and matching the normalised inputs to 1e-12 —
+  // on the shapes that stress Vose's small/large pairing: all-equal,
+  // one-hot, and a long power-law tail.
+  std::vector<std::vector<double>> adversarial;
+  adversarial.push_back(std::vector<double>(257, 1.0));  // all equal, odd count
+  {
+    std::vector<double> one_hot(100, 0.0);
+    one_hot[37] = 5.0;
+    adversarial.push_back(std::move(one_hot));
+  }
+  {
+    std::vector<double> power_law;
+    for (int i = 1; i <= 500; ++i) {
+      power_law.push_back(1.0 / (static_cast<double>(i) * static_cast<double>(i)));
+    }
+    adversarial.push_back(std::move(power_law));
+  }
+
+  for (const auto& weights : adversarial) {
+    const AliasTable table(weights);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < table.size(); ++i) sum += table.probability(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << weights.size();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      EXPECT_NEAR(table.probability(i), table.input_probability(i), 1e-12)
+          << "outcome " << i << " of n=" << weights.size();
+    }
+  }
+}
+
+TEST(AliasTableTest, IntegerThresholdsDecideExactlyLikeDoubleCompare) {
+  // The fused kernel accepts slot s iff (next() >> 11) < threshold[s]; that
+  // must agree with `next_double() < prob[s]` for every slot and for
+  // mantissas on both sides of the boundary.
+  std::vector<double> weights;
+  for (int i = 1; i <= 64; ++i) weights.push_back(static_cast<double>(i % 9 + 1));
+  const AliasTable table(weights);
+  const double* prob = table.prob_data();
+  const std::uint64_t* threshold = table.threshold_data();
+  for (std::size_t s = 0; s < table.size(); ++s) {
+    const std::uint64_t t = threshold[s];
+    for (const std::uint64_t mantissa :
+         {std::uint64_t{0}, t > 0 ? t - 1 : 0, t, t + 1, (std::uint64_t{1} << 53) - 1}) {
+      const double u = static_cast<double>(mantissa) * 0x1.0p-53;
+      EXPECT_EQ(mantissa < t, u < prob[s]) << "slot " << s << " mantissa " << mantissa;
+    }
+  }
+}
+
+TEST(AliasTableTest, SupportSizeCountsPositiveWeightOutcomes) {
+  EXPECT_EQ(AliasTable({1.0, 0.0, 2.0, 0.0}).support_size(), 2u);
+  EXPECT_EQ(AliasTable({3.0}).support_size(), 1u);
+  EXPECT_EQ(AliasTable(std::vector<double>(8, 1.0)).support_size(), 8u);
+}
+
 TEST(AliasTableTest, ZeroWeightOutcomesAreNeverSampled) {
   const AliasTable table({0.0, 1.0, 0.0, 2.0});
   Xoshiro256StarStar rng(99);

@@ -160,5 +160,25 @@ TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
   SUCCEED();
 }
 
+TEST(XoshiroTest, BoundedFillMatchesSequentialBoundedDraws) {
+  // The batch helper feeds the placement kernel's candidate draw; it must
+  // consume the stream exactly like count one-at-a-time bounded() calls.
+  Xoshiro256StarStar batch(4242);
+  Xoshiro256StarStar sequential(4242);
+  std::uint64_t out64[37];
+  batch.bounded_fill(1000, out64, 37);
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_EQ(out64[i], sequential.bounded(1000));
+  EXPECT_EQ(batch.state(), sequential.state());
+
+  // Narrower output types truncate per element, nothing else.
+  Xoshiro256StarStar batch32(17);
+  Xoshiro256StarStar sequential32(17);
+  std::uint32_t out32[8];
+  batch32.bounded_fill(77, out32, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out32[i], static_cast<std::uint32_t>(sequential32.bounded(77)));
+  }
+}
+
 }  // namespace
 }  // namespace nubb
