@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
 
   // Headline comparison against the analytical prediction.
   TextTable head("Figure 1 headline: mean max load vs Observation 2 prediction");
-  head.set_header({"c", "measured max load", "predicted ~ 1 + lnln(n)/c (c>1) | lnln(n)/ln2 (c=1)"});
+  head.set_header(
+      {"c", "measured max load", "predicted ~ 1 + lnln(n)/c (c>1) | lnln(n)/ln2 (c=1)"});
   for (std::size_t i = 0; i < capacities.size(); ++i) {
     const double c = static_cast<double>(capacities[i]);
     const double lnln = ln_ln(static_cast<double>(n));

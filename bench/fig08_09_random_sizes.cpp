@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
   if (csv8) csv8->header({"mean_c", "total_capacity", "mean_max_load", "std_err"});
 
   for (double c = 1.0; c <= 8.01; c += 0.5) {
-    const SweepPoint p = run_point(n8, c, reps8, mix_seed(opts.seed, static_cast<std::uint64_t>(c * 100)));
+    const SweepPoint p =
+        run_point(n8, c, reps8, mix_seed(opts.seed, static_cast<std::uint64_t>(c * 100)));
     fig8.add_row({TextTable::num(c, 1), TextTable::num(p.mean_total_capacity, 0),
                   TextTable::num(p.mean_max_load), TextTable::num(p.std_err)});
     if (csv8) csv8->row_numeric({c, p.mean_total_capacity, p.mean_max_load, p.std_err});

@@ -30,10 +30,85 @@ using namespace nubb;
 
 // ---------------------------------------------------------------------------
 // Frozen reference implementation: the per-ball placement path exactly as it
-// existed before the fused PlacementKernel (PR 2). Kept verbatim so the
-// kernel's speedup is measured against the real pre-kernel code on the same
-// toolchain, not remembered numbers. Do not "improve" this copy.
+// existed before the fused PlacementKernel (PR 2), including the split
+// (counts, capacities) array layout the pre-kernel BinArray stored — PR 3
+// interleaved the live BinArray into (count, cap) slots, which would
+// otherwise silently speed up the "pre-kernel" baseline too. Kept verbatim
+// so the kernel's speedup is measured against the real pre-kernel code and
+// memory behaviour on the same toolchain, not remembered numbers. Do not
+// "improve" this copy.
 // ---------------------------------------------------------------------------
+
+/// The pre-PR-3 BinArray: parallel capacity and count vectors plus the same
+/// online maximum bookkeeping.
+struct ReferenceBins {
+  std::vector<std::uint64_t> capacities;
+  std::vector<std::uint64_t> balls;
+  std::uint64_t total_capacity = 0;
+  std::uint64_t total_balls = 0;
+  Load max_load{0, 1};
+  std::size_t argmax = 0;
+
+  explicit ReferenceBins(const std::vector<std::uint64_t>& caps)
+      : capacities(caps), balls(caps.size(), 0) {
+    for (const auto c : caps) total_capacity += c;
+  }
+
+  std::size_t size() const { return capacities.size(); }
+  std::uint64_t capacity(std::size_t i) const { return capacities[i]; }
+  Load load(std::size_t i) const { return Load{balls[i], capacities[i]}; }
+
+  void add_ball(std::size_t i) {
+    ++balls[i];
+    ++total_balls;
+    const Load l{balls[i], capacities[i]};
+    if (max_load < l) {
+      max_load = l;
+      argmax = i;
+    }
+  }
+
+  void clear() {
+    std::fill(balls.begin(), balls.end(), 0);
+    total_balls = 0;
+    max_load = Load{0, 1};
+    argmax = 0;
+  }
+};
+
+/// The pre-PR-3 WeightedBinArray: parallel capacity and weight vectors.
+struct ReferenceWeightedBins {
+  std::vector<std::uint64_t> capacities;
+  std::vector<std::uint64_t> weights;
+  std::uint64_t total_capacity = 0;
+  std::uint64_t total_weight = 0;
+  Load max_load{0, 1};
+  std::size_t argmax = 0;
+
+  explicit ReferenceWeightedBins(const std::vector<std::uint64_t>& caps)
+      : capacities(caps), weights(caps.size(), 0) {
+    for (const auto c : caps) total_capacity += c;
+  }
+
+  std::size_t size() const { return capacities.size(); }
+
+  void add_weight(std::size_t i, std::uint64_t w) {
+    weights[i] += w;
+    total_weight += w;
+    const Load l{weights[i], capacities[i]};
+    if (max_load < l) {
+      max_load = l;
+      argmax = i;
+    }
+  }
+
+  void clear() {
+    std::fill(weights.begin(), weights.end(), 0);
+    total_weight = 0;
+    max_load = Load{0, 1};
+    argmax = 0;
+  }
+};
 
 void reference_draw_choices(const BinSampler& sampler, std::uint32_t d, bool distinct,
                             Xoshiro256StarStar& rng, std::size_t* out) {
@@ -59,7 +134,7 @@ void reference_draw_choices(const BinSampler& sampler, std::uint32_t d, bool dis
   }
 }
 
-std::size_t reference_choose_destination(const BinArray& bins,
+std::size_t reference_choose_destination(const ReferenceBins& bins,
                                          const std::size_t* choices, std::size_t count,
                                          TieBreak tie_break, Xoshiro256StarStar& rng) {
   constexpr std::size_t kMaxChoices = 64;
@@ -108,7 +183,7 @@ std::size_t reference_choose_destination(const BinArray& bins,
   return best[0];
 }
 
-std::size_t reference_place_one_ball(BinArray& bins, const BinSampler& sampler,
+std::size_t reference_place_one_ball(ReferenceBins& bins, const BinSampler& sampler,
                                      const GameConfig& cfg, Xoshiro256StarStar& rng) {
   NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
   NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
@@ -124,11 +199,85 @@ std::size_t reference_place_one_ball(BinArray& bins, const BinSampler& sampler,
   return dest;
 }
 
-void reference_play_game(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
-                         Xoshiro256StarStar& rng) {
-  const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+void reference_play_game(ReferenceBins& bins, const BinSampler& sampler,
+                         const GameConfig& cfg, Xoshiro256StarStar& rng) {
+  const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity : cfg.balls;
   for (std::uint64_t ball = 0; ball < m; ++ball) {
     reference_place_one_ball(bins, sampler, cfg, rng);
+  }
+}
+
+/// The pre-kernel weighted path (seed weighted.cpp): one fully validated
+/// per-ball placement with exact Load comparisons, against the split-array
+/// weighted bins.
+std::size_t reference_place_one_weighted_ball(ReferenceWeightedBins& bins,
+                                              const BinSampler& sampler, std::uint64_t w,
+                                              const GameConfig& cfg,
+                                              Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
+  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
+  constexpr std::uint32_t kMaxChoices = 64;
+  NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
+  std::size_t choices[kMaxChoices] = {};
+  reference_draw_choices(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
+
+  // Weighted Algorithm 1: minimise (W_i + w) / c_i exactly. (best[0] is
+  // initialised by the first loop iteration — cfg.choices >= 1 is checked
+  // above — but GCC's flow analysis cannot see that, hence the = {}.)
+  std::size_t best[kMaxChoices] = {};
+  std::size_t best_count = 0;
+  Load best_load{0, 1};
+  for (std::uint32_t k = 0; k < cfg.choices; ++k) {
+    const std::size_t candidate = choices[k];
+    const Load post{bins.weights[candidate] + w, bins.capacities[candidate]};
+    if (best_count == 0 || post < best_load) {
+      best_load = post;
+      best[0] = candidate;
+      best_count = 1;
+    } else if (post == best_load) {
+      bool duplicate = false;
+      for (std::size_t i = 0; i < best_count; ++i) {
+        if (best[i] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) best[best_count++] = candidate;
+    }
+  }
+
+  std::size_t dest = best[0];
+  if (best_count > 1) {
+    switch (cfg.tie_break) {
+      case TieBreak::kFirstChoice:
+        dest = best[0];
+        break;
+      case TieBreak::kUniform:
+        dest = best[rng.bounded(best_count)];
+        break;
+      case TieBreak::kPreferLargerCapacity: {
+        std::uint64_t cmax = 0;
+        for (std::size_t i = 0; i < best_count; ++i) {
+          cmax = std::max(cmax, bins.capacities[best[i]]);
+        }
+        std::size_t filtered = 0;
+        for (std::size_t i = 0; i < best_count; ++i) {
+          if (bins.capacities[best[i]] == cmax) best[filtered++] = best[i];
+        }
+        dest = filtered == 1 ? best[0] : best[rng.bounded(filtered)];
+        break;
+      }
+    }
+  }
+  bins.add_weight(dest, w);
+  return dest;
+}
+
+void reference_play_weighted_game(ReferenceWeightedBins& bins, const BinSampler& sampler,
+                                  const BallSizeModel& sizes, const GameConfig& cfg,
+                                  std::uint64_t balls, Xoshiro256StarStar& rng) {
+  for (std::uint64_t b = 0; b < balls; ++b) {
+    reference_place_one_weighted_ball(bins, sampler, sizes.sample(rng), cfg, rng);
   }
 }
 
@@ -189,19 +338,59 @@ BenchResult bench_game(const std::string& algorithm, const std::string& profile,
                        std::uint64_t reps, std::uint64_t seed) {
   const BinSampler sampler =
       BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
-  BinArray bins(caps);
-  const std::uint64_t balls = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
+  const std::uint64_t balls = [&caps, &cfg] {
+    if (cfg.balls != 0) return cfg.balls;
+    std::uint64_t total = 0;
+    for (const auto c : caps) total += c;
+    return total;
+  }();
   Xoshiro256StarStar rng(seed);
   const char* impl = UseKernel ? "kernel" : "reference";
-  return measure("game/" + algorithm + "/" + profile + "/" + impl, algorithm, profile, impl,
-                 balls, reps, [&bins, &sampler, &cfg, &rng] {
-                   bins.clear();
-                   if constexpr (UseKernel) {
-                     play_game(bins, sampler, cfg, rng);
-                   } else {
-                     reference_play_game(bins, sampler, cfg, rng);
-                   }
-                 });
+  const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
+  if constexpr (UseKernel) {
+    BinArray bins(caps);
+    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &cfg, &rng] {
+      bins.clear();
+      play_game(bins, sampler, cfg, rng);
+    });
+  } else {
+    ReferenceBins bins(caps);
+    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &cfg, &rng] {
+      bins.clear();
+      reference_play_game(bins, sampler, cfg, rng);
+    });
+  }
+}
+
+/// Weighted-game benchmark body: the fused kernel path vs the frozen
+/// pre-kernel per-ball weighted path, on the same ball count and seeds.
+template <bool UseKernel>
+BenchResult bench_weighted(const std::string& algorithm, const std::string& profile,
+                           const std::vector<std::uint64_t>& caps, const BallSizeModel& sizes,
+                           const GameConfig& cfg, std::uint64_t balls, std::uint64_t reps,
+                           std::uint64_t seed) {
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(seed);
+  const char* impl = UseKernel ? "kernel" : "reference";
+  const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
+  GameConfig game = cfg;
+  game.balls = balls;
+  if constexpr (UseKernel) {
+    WeightedBinArray bins(caps);
+    return measure(name, algorithm, profile, impl, balls, reps,
+                   [&bins, &sampler, &sizes, &game, &rng] {
+                     bins.clear();
+                     play_weighted_game(bins, sampler, sizes, game, rng);
+                   });
+  } else {
+    ReferenceWeightedBins bins(caps);
+    return measure(name, algorithm, profile, impl, balls, reps,
+                   [&bins, &sampler, &sizes, &game, balls = balls, &rng] {
+                     bins.clear();
+                     reference_play_weighted_game(bins, sampler, sizes, game, balls, rng);
+                   });
+  }
 }
 
 void print_result(const BenchResult& r) {
@@ -295,25 +484,24 @@ int main(int argc, char** argv) {
                                 play_batched_game(bins, sampler, GameConfig{}, 64, rng);
                               }));
   }
+  // Weighted Greedy[2]: the kernel's fold-in vs the frozen pre-kernel
+  // per-ball weighted path, at the paper's m ~= C / E[size] convention.
   {
-    const BinSampler sampler = BinSampler::from_policy(
+    const BinSampler probe_sampler = BinSampler::from_policy(
         SelectionPolicy::proportional_to_capacity(), mixed_small);
-    WeightedBinArray wbins(mixed_small);
     const BallSizeModel sizes = BallSizeModel::uniform_range(1, 4);
-    Xoshiro256StarStar rng(opt.seed + 8);
     GameConfig cfg;
     std::uint64_t balls_per_game = 0;
     {
       WeightedBinArray probe(mixed_small);
       Xoshiro256StarStar probe_rng(opt.seed + 8);
-      balls_per_game = play_weighted_game(probe, sampler, sizes, cfg, probe_rng).balls_thrown;
+      balls_per_game =
+          play_weighted_game(probe, probe_sampler, sizes, cfg, probe_rng).balls_thrown;
     }
-    results.push_back(measure("game/weighted_u1_4/mixed_1_10/kernel", "weighted_u1_4",
-                              "mixed_1_10", "kernel", balls_per_game, reps,
-                              [&wbins, &sampler, &sizes, &cfg, &rng] {
-                                wbins.clear();
-                                play_weighted_game(wbins, sampler, sizes, cfg, rng);
-                              }));
+    results.push_back(bench_weighted<false>("weighted_u1_4", "mixed_1_10", mixed_small,
+                                            sizes, cfg, balls_per_game, reps, opt.seed + 8));
+    results.push_back(bench_weighted<true>("weighted_u1_4", "mixed_1_10", mixed_small, sizes,
+                                           cfg, balls_per_game, reps, opt.seed + 8));
   }
 
   if (!opt.quiet) {

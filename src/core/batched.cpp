@@ -15,10 +15,11 @@ GameResult play_batched_game(BinArray& bins, const BinSampler& sampler, const Ga
   const std::uint64_t m = cfg.balls == 0 ? bins.total_capacity() : cfg.balls;
   PlacementKernel kernel(bins, sampler, cfg, m);
 
-  // Stale view: ball counts frozen at the last batch boundary. The kernel
-  // decides on this snapshot and commits to the live bins, so allocations
-  // stay invisible to decisions until the next boundary while ball
-  // conservation holds throughout.
+  // Stale view: ball counts frozen at the last batch boundary (materialised
+  // from the interleaved slots by ball_counts()). The kernel decides on this
+  // snapshot and commits to the live bins, so allocations stay invisible to
+  // decisions until the next boundary while ball conservation holds
+  // throughout.
   std::vector<std::uint64_t> snapshot = bins.ball_counts();
 
   std::uint64_t thrown = 0;

@@ -6,25 +6,27 @@ namespace nubb {
 
 BinArray::BinArray(std::vector<std::uint64_t> capacities) : capacities_(std::move(capacities)) {
   NUBB_REQUIRE_MSG(!capacities_.empty(), "BinArray needs at least one bin");
+  slots_.reserve(capacities_.size());
   for (const auto c : capacities_) {
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
     total_capacity_ += c;
     if (c > max_capacity_) max_capacity_ = c;
+    slots_.push_back(BinSlot{0, c});
   }
-  balls_.assign(capacities_.size(), 0);
 }
 
 void BinArray::remove_ball(std::size_t i) {
-  NUBB_REQUIRE_MSG(balls_[i] >= 1, "cannot remove a ball from an empty bin");
-  const bool was_max = Load{balls_[i], capacities_[i]} == max_load_;
-  --balls_[i];
+  NUBB_REQUIRE_MSG(slots_[i].num >= 1, "cannot remove a ball from an empty bin");
+  counts_view_stale_ = true;
+  const bool was_max = Load{slots_[i].num, slots_[i].cap} == max_load_;
+  --slots_[i].num;
   --total_balls_;
   if (was_max) {
     // The maximum may have dropped; rescan (other bins may still attain it).
     max_load_ = Load{0, 1};
     argmax_ = 0;
-    for (std::size_t b = 0; b < balls_.size(); ++b) {
-      const Load l{balls_[b], capacities_[b]};
+    for (std::size_t b = 0; b < slots_.size(); ++b) {
+      const Load l{slots_[b].num, slots_[b].cap};
       if (max_load_ < l) {
         max_load_ = l;
         argmax_ = b;
@@ -37,19 +39,30 @@ void BinArray::append_bins(const std::vector<std::uint64_t>& new_capacities) {
   for (const auto c : new_capacities) {
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
   }
+  counts_view_stale_ = true;
   for (const auto c : new_capacities) {
     capacities_.push_back(c);
-    balls_.push_back(0);
+    slots_.push_back(BinSlot{0, c});
     total_capacity_ += c;
     if (c > max_capacity_) max_capacity_ = c;
   }
 }
 
 void BinArray::clear() noexcept {
-  balls_.assign(capacities_.size(), 0);
+  for (auto& s : slots_) s.num = 0;
+  counts_view_stale_ = true;
   total_balls_ = 0;
   max_load_ = Load{0, 1};
   argmax_ = 0;
+}
+
+const std::vector<std::uint64_t>& BinArray::ball_counts() const {
+  if (counts_view_stale_) {
+    counts_view_.resize(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) counts_view_[i] = slots_[i].num;
+    counts_view_stale_ = false;
+  }
+  return counts_view_;
 }
 
 std::vector<double> BinArray::load_values() const {

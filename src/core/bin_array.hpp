@@ -12,19 +12,30 @@
 
 namespace nubb {
 
-/// Bins with integer capacities (paper Section 2). Stores capacities and
-/// per-bin ball counts; maintains the total capacity C and total ball count,
-/// and tracks the running maximum load online (loads only ever grow, so the
-/// maximum is monotone and can be maintained in O(1) per allocation).
+/// One bin's hot state, interleaved so a random candidate probe touches a
+/// single cache line instead of two parallel uint64 streams. `num` is the
+/// load numerator: the ball count in a BinArray, the accumulated integer
+/// weight in a WeightedBinArray. The placement kernel's decide and commit
+/// stages operate directly on these slots.
+struct BinSlot {
+  std::uint64_t num = 0;
+  std::uint64_t cap = 1;
+};
+
+/// Bins with integer capacities (paper Section 2). Stores per-bin state as
+/// interleaved (count, capacity) slots; maintains the total capacity C and
+/// total ball count, and tracks the running maximum load online (loads only
+/// ever grow, so the maximum is monotone and can be maintained in O(1) per
+/// allocation).
 class BinArray {
  public:
   /// \pre capacities non-empty; every capacity >= 1.
   explicit BinArray(std::vector<std::uint64_t> capacities);
 
-  std::size_t size() const noexcept { return capacities_.size(); }
+  std::size_t size() const noexcept { return slots_.size(); }
 
-  std::uint64_t capacity(std::size_t i) const noexcept { return capacities_[i]; }
-  std::uint64_t balls(std::size_t i) const noexcept { return balls_[i]; }
+  std::uint64_t capacity(std::size_t i) const noexcept { return slots_[i].cap; }
+  std::uint64_t balls(std::size_t i) const noexcept { return slots_[i].num; }
 
   /// Total capacity C = sum of capacities.
   std::uint64_t total_capacity() const noexcept { return total_capacity_; }
@@ -37,7 +48,7 @@ class BinArray {
   std::uint64_t total_balls() const noexcept { return total_balls_; }
 
   /// Exact load of bin i.
-  Load load(std::size_t i) const noexcept { return Load{balls_[i], capacities_[i]}; }
+  Load load(std::size_t i) const noexcept { return Load{slots_[i].num, slots_[i].cap}; }
 
   /// Floating-point load of bin i (reporting only).
   double load_value(std::size_t i) const noexcept { return load(i).value(); }
@@ -50,9 +61,11 @@ class BinArray {
 
   /// Allocate one ball to bin i; O(1), updates the running maximum.
   void add_ball(std::size_t i) noexcept {
-    ++balls_[i];
+    counts_view_stale_ = true;
+    BinSlot& s = slots_[i];
+    ++s.num;
     ++total_balls_;
-    const Load l{balls_[i], capacities_[i]};
+    const Load l{s.num, s.cap};
     if (max_load_ < l) {
       max_load_ = l;
       argmax_ = i;
@@ -79,8 +92,18 @@ class BinArray {
   /// Remove all balls, keep capacities.
   void clear() noexcept;
 
+  /// Raw interleaved slots (hot state). Stable across clear()/remove_ball();
+  /// invalidated by append_bins().
+  const BinSlot* slot_data() const noexcept { return slots_.data(); }
+
   const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
-  const std::vector<std::uint64_t>& ball_counts() const noexcept { return balls_; }
+
+  /// Per-bin ball counts as a flat vector. Since the hot state moved into
+  /// the interleaved slots, this is a view materialised on demand (O(n) when
+  /// balls changed since the last call, O(1) otherwise) and cached until the
+  /// next mutation. Not safe to first-materialise from several threads at
+  /// once; every driver owns its BinArray, so this never happens in-tree.
+  const std::vector<std::uint64_t>& ball_counts() const;
 
   /// All bin loads as doubles (reporting).
   std::vector<double> load_values() const;
@@ -90,18 +113,20 @@ class BinArray {
   std::uint64_t capacity_at_least(std::uint64_t threshold) const noexcept;
 
  private:
-  // The placement kernel commits balls through raw pointers into balls_ and
+  // The placement kernel commits balls through raw pointers into slots_ and
   // maintains max_load_/argmax_/total_balls_ itself (same invariants as
   // add_ball, minus the per-ball abstraction cost).
   friend class PlacementKernel;
 
-  std::vector<std::uint64_t> capacities_;
-  std::vector<std::uint64_t> balls_;
+  std::vector<BinSlot> slots_;
+  std::vector<std::uint64_t> capacities_;  // cold copy for samplers/reporting
   std::uint64_t total_capacity_ = 0;
   std::uint64_t total_balls_ = 0;
   std::uint64_t max_capacity_ = 0;
   Load max_load_{0, 1};
   std::size_t argmax_ = 0;
+  mutable std::vector<std::uint64_t> counts_view_;  // ball_counts() cache
+  mutable bool counts_view_stale_ = true;
 };
 
 }  // namespace nubb

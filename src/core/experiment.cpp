@@ -92,7 +92,7 @@ Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
         const GameResult result = fixture.run_one(rng, w.bins);
         local.add(result.max_load_value());
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
   return Summary::from(acc.stats);
 }
 
@@ -109,7 +109,7 @@ std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capaci
         sorted_load_profile(w.bins, w.scratch);
         local.add(w.scratch);
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
   return acc.mean();
 }
 
@@ -136,7 +136,7 @@ std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
           local.per_class[cap].add(w.scratch);
         }
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
 
   std::map<std::uint64_t, std::vector<double>> out;
   for (const auto& [cap, collector] : acc.per_class) out[cap] = collector.mean();
@@ -156,7 +156,7 @@ std::map<std::uint64_t, double> class_of_max_fractions(
         local.add_trial();
         for (const std::uint64_t cap : capacities_attaining_max(w.bins)) local.add(cap);
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
 
   std::map<std::uint64_t, double> out;
   for (const auto& [cap, count] : acc.counts()) {
@@ -190,7 +190,7 @@ std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
                   });
         local.add(trace);
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
   return acc.mean();
 }
 
@@ -216,7 +216,7 @@ MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capa
         local.stats.add(result.max_load_value());
         local.values.push_back(result.max_load_value());
       },
-      acc, exp.pool);
+      acc, exp.pool, exp.chunks);
 
   MaxLoadDistribution out;
   out.summary = Summary::from(acc.stats);

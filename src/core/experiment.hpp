@@ -30,6 +30,15 @@ struct ExperimentConfig {
   std::uint64_t replications = 1000;
   std::uint64_t base_seed = 0xB1A5ED0ULL;
   ThreadPool* pool = nullptr;  ///< null => global pool
+
+  /// Replication chunk count. 0 keeps the fixed default layout
+  /// (kReplicationChunks = 16) that every golden value pins. Machines with
+  /// more than 16 workers idle under the default; overriding (e.g. to 4x
+  /// the worker count) keeps them busy. Results stay deterministic and
+  /// thread-count-invariant for any fixed value, but differ between chunk
+  /// counts (the floating-point merge grouping changes), so overrides are
+  /// opt-in per experiment.
+  std::uint64_t chunks = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -2,26 +2,35 @@
 
 #include <limits>
 
+#include "core/weighted.hpp"
+#include "util/inline.hpp"
+
 namespace nubb {
 
-PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
-                                 const GameConfig& cfg, std::uint64_t planned_balls)
-    : bins_(bins) {
+void PlacementKernel::validate(const BinSampler& sampler, std::size_t bins,
+                               const GameConfig& cfg) const {
   NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
   NUBB_REQUIRE_MSG(cfg.choices <= kMaxChoices, "more than 64 choices per ball");
-  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
-  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
+  NUBB_REQUIRE_MSG(sampler.size() == bins, "sampler and bin array size mismatch");
+  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins,
                    "cannot draw more distinct bins than exist");
   // Zero-weight bins satisfy the size precondition but are unreachable, so
   // rejection sampling would spin forever; require enough *reachable* bins.
   NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= sampler.support_size(),
                    "distinct choices exceed the sampler support "
                    "(bins with positive probability)");
+}
 
+PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
+                                 const GameConfig& cfg, std::uint64_t planned_balls) {
+  validate(sampler, bins.size(), cfg);
+
+  slots_ = bins.slots_.data();
+  total_ = &bins.total_balls_;
+  max_load_ = &bins.max_load_;
+  argmax_ = &bins.argmax_;
+  view_stale_ = &bins.counts_view_stale_;
   table_ = sampler.alias_table();
-  counts_ = bins.ball_counts().data();
-  mut_counts_ = bins.balls_.data();
-  caps_ = bins.capacities().data();
   n_ = bins.size();
   d_ = cfg.choices;
   distinct_ = cfg.distinct_choices;
@@ -42,9 +51,43 @@ PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
   select_impl(cfg.tie_break);
 }
 
+PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampler,
+                                 const GameConfig& cfg, std::uint64_t planned_balls,
+                                 std::uint64_t max_ball_weight) {
+  validate(sampler, bins.size(), cfg);
+  NUBB_REQUIRE_MSG(planned_balls >= 1, "weighted kernel needs an explicit ball horizon");
+  NUBB_REQUIRE_MSG(max_ball_weight >= 1, "ball weights must be positive");
+
+  slots_ = bins.slots_.data();
+  total_ = &bins.total_weight_;
+  max_load_ = &bins.max_load_;
+  argmax_ = &bins.argmax_;
+  view_stale_ = &bins.weights_view_stale_;
+  table_ = sampler.alias_table();
+  n_ = bins.size();
+  d_ = cfg.choices;
+  distinct_ = cfg.distinct_choices;
+  planned_ = planned_balls;
+
+  // 64-bit comparisons are exact iff the largest numerator that can appear
+  // (all planned weight in one bin plus the speculative +w of the decide
+  // stage) times the largest capacity cannot wrap; every step of the horizon
+  // computation is itself overflow-checked.
+  const std::uint64_t cmax = bins.max_capacity();
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  if (planned_ <= (kU64Max - max_ball_weight) / max_ball_weight &&
+      bins.total_weight() <= kU64Max - planned_ * max_ball_weight - max_ball_weight) {
+    const std::uint64_t horizon =
+        bins.total_weight() + planned_ * max_ball_weight + max_ball_weight;
+    fast64_ = horizon <= kU64Max / cmax;
+  }
+
+  select_impl(cfg.tie_break);
+}
+
 template <bool Fast64, TieBreak TB>
-std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t* counts,
-                                        Xoshiro256StarStar& rng) {
+std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t* stale_counts,
+                                        std::uint64_t amount, Xoshiro256StarStar& rng) {
   const std::uint32_t d = k.d_;
   std::size_t* const choices = k.choices_;
 
@@ -78,166 +121,428 @@ std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t*
     }
   }
 
-  // --- choose ---
-  const std::size_t dest =
-      detail::decide_destination<Fast64, TB>(counts, k.caps_, choices, d, 1, rng);
+  // --- choose: on the live slots, or on a frozen numerator snapshot ---
+  std::size_t dest;
+  if (stale_counts != nullptr) {
+    dest = detail::decide_destination<Fast64, TB>(
+        detail::StaleLoadView{stale_counts, k.slots_}, choices, d, amount, rng);
+  } else {
+    dest = detail::decide_destination<Fast64, TB>(detail::SlotLoadView{k.slots_}, choices, d,
+                                                  amount, rng);
+  }
 
-  // --- commit: add_ball semantics through the cached pointers ---
-  const std::uint64_t balls = ++k.mut_counts_[dest];
-  ++k.bins_.total_balls_;
-  const std::uint64_t cap = k.caps_[dest];
+  // --- commit: add_ball/add_weight semantics through the cached pointers ---
+  BinSlot& slot = k.slots_[dest];
+  slot.num += amount;
+  *k.total_ += amount;
+  const std::uint64_t num = slot.num;
+  const std::uint64_t cap = slot.cap;
   if constexpr (Fast64) {
-    if (balls * k.bins_.max_load_.capacity > k.bins_.max_load_.balls * cap) {
-      k.bins_.max_load_ = Load{balls, cap};
-      k.bins_.argmax_ = dest;
+    if (num * k.max_load_->capacity > k.max_load_->balls * cap) {
+      *k.max_load_ = Load{num, cap};
+      *k.argmax_ = dest;
     }
   } else {
-    const Load l{balls, cap};
-    if (k.bins_.max_load_ < l) {
-      k.bins_.max_load_ = l;
-      k.bins_.argmax_ = dest;
+    const Load l{num, cap};
+    if (*k.max_load_ < l) {
+      *k.max_load_ = l;
+      *k.argmax_ = dest;
     }
   }
   return dest;
 }
 
-/// Bulk loop: the same fused pass as place_impl, but with every hot field —
-/// including the running maximum — held in locals for the whole run and
-/// flushed to the BinArray once at the end. This matters because the commit
-/// stage stores through a uint64 pointer, which under type-based aliasing
-/// forces reloads of any uint64-typed member it might alias (n_, the running
-/// maximum, the total) on every ball if they live in memory.
-template <bool Fast64, TieBreak TB>
-void PlacementKernel::run_impl(PlacementKernel& k, std::uint64_t count,
+namespace {
+
+/// Mutable bookkeeping a fused loop keeps in registers for its whole run and
+/// flushes back to the bin array once at the end: the total committed
+/// amount and the running maximum load (add_ball/add_weight semantics).
+/// Passed and returned by value so every loop body below optimises as a
+/// small self-contained function.
+struct RunTotals {
+  std::uint64_t total;
+  std::uint64_t max_num;
+  std::uint64_t max_cap;
+  std::size_t argmax;
+};
+
+/// One candidate draw, byte-identical to BinSampler::sample /
+/// AliasTable::sample (the integer threshold decides exactly like the
+/// `next_double() < prob` form and consumes the same one next() draw).
+/// `threshold == nullptr` selects the uniform fast path. The accept test is
+/// a [[likely]] branch rather than a conditional move: acceptance dominates
+/// for every profile in the paper, and a predicted-accept branch lets the
+/// destination slot load issue speculatively instead of waiting on the
+/// threshold and alias loads (a three-deep dependent-miss chain at 100k
+/// bins).
+NUBB_ALWAYS_INLINE inline std::size_t draw_candidate(const std::uint64_t* threshold,
+                                                     const std::uint32_t* alias,
+                                                     std::uint64_t n,
+                                                     Xoshiro256StarStar& rng) {
+  if (threshold != nullptr) {
+    const auto slot = static_cast<std::size_t>(rng.bounded(n));
+    if ((rng.next() >> 11) < threshold[slot]) [[likely]] {
+      return slot;
+    }
+    return static_cast<std::size_t>(alias[slot]);
+  }
+  return static_cast<std::size_t>(rng.bounded(n));
+}
+
+/// Draw a ball's whole candidate set before touching memory: the RNG calls
+/// stay in the historic order (bounded, next, bounded, next, ...) so the
+/// stream is byte-identical, but hoisting them ahead of the table reads lets
+/// the threshold (and then slot) cache misses of all candidates overlap
+/// instead of chaining — the software-pipelining shape from the PR-2
+/// profiling notes, applied within one ball.
+template <std::uint32_t D>
+NUBB_ALWAYS_INLINE inline void draw_candidates(const std::uint64_t* threshold,
+                                               const std::uint32_t* alias, std::uint64_t n,
+                                               Xoshiro256StarStar& rng,
+                                               std::size_t (&out)[D]) {
+  if (threshold != nullptr) {
+    std::size_t slot[D];
+    std::uint64_t mant[D];
+    for (std::uint32_t i = 0; i < D; ++i) {
+      slot[i] = static_cast<std::size_t>(rng.bounded(n));
+      mant[i] = rng.next() >> 11;
+    }
+    for (std::uint32_t i = 0; i < D; ++i) {
+      out[i] = mant[i] < threshold[slot[i]] ? slot[i]
+                                            : static_cast<std::size_t>(alias[slot[i]]);
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < D; ++i) {
+    out[i] = static_cast<std::size_t>(rng.bounded(n));
+  }
+}
+
+/// Exact post-allocation load comparison of num_a/cap_a vs num_b/cap_b by
+/// cross multiplication at the width the kernel selected at construction.
+template <bool Fast64>
+NUBB_ALWAYS_INLINE inline void load_less_equal(std::uint64_t num_a, std::uint64_t cap_a,
+                                               std::uint64_t num_b, std::uint64_t cap_b,
+                                               bool& less, bool& equal) {
+  if constexpr (Fast64) {
+    const std::uint64_t lhs = num_a * cap_b;
+    const std::uint64_t rhs = num_b * cap_a;
+    less = lhs < rhs;
+    equal = lhs == rhs;
+  } else {
+    const uint128 lhs = static_cast<uint128>(num_a) * cap_b;
+    const uint128 rhs = static_cast<uint128>(num_b) * cap_a;
+    less = lhs < rhs;
+    equal = lhs == rhs;
+  }
+}
+
+/// Commit `amount` into `dest` whose post-allocation numerator and capacity
+/// the decide stage already holds in registers; update the running maximum.
+template <bool Fast64>
+NUBB_ALWAYS_INLINE inline void commit_known(BinSlot* slots, std::size_t dest,
+                                            std::uint64_t num, std::uint64_t cap,
+                                            std::uint64_t amount, RunTotals& t) {
+  slots[dest].num = num;
+  t.total += amount;
+  bool greater;
+  if constexpr (Fast64) {
+    greater = num * t.max_cap > t.max_num * cap;
+  } else {
+    greater = Load{t.max_num, t.max_cap} < Load{num, cap};
+  }
+  if (greater) {
+    t.max_num = num;
+    t.max_cap = cap;
+    t.argmax = dest;
+  }
+}
+
+/// Commit into a destination whose slot has not been read yet.
+template <bool Fast64>
+NUBB_ALWAYS_INLINE inline void commit_amount(BinSlot* slots, std::size_t dest,
+                                             std::uint64_t amount, RunTotals& t) {
+  const BinSlot s = slots[dest];
+  commit_known<Fast64>(slots, dest, s.num + amount, s.cap, amount, t);
+}
+
+/// Greedy[2], the workhorse of every figure: straight-line body, no
+/// candidate buffer, no inner loops. NUBB_NOINLINE keeps each loop shape a
+/// separate compiled function — inlining them all into one run_loop body
+/// blows GCC's inlining and register budgets and costs double-digit
+/// percentages per ball.
+template <bool Fast64, TieBreak TB, class AmountFn>
+NUBB_NOINLINE RunTotals run_d2(BinSlot* const slots, const std::uint64_t* const threshold,
+                               const std::uint32_t* const alias, const std::uint64_t n,
+                               const std::uint64_t count, AmountFn next_amount, RunTotals t,
                                Xoshiro256StarStar& rng) {
-  BinArray& bins = k.bins_;
+  for (std::uint64_t ball = 0; ball < count; ++ball) {
+    const std::uint64_t w = next_amount(rng);
+    std::size_t c[2];
+    draw_candidates<2>(threshold, alias, n, rng, c);
+    const std::size_t c0 = c[0];
+    const std::size_t c1 = c[1];
+    if (c0 == c1) {
+      commit_amount<Fast64>(slots, c0, w, t);  // a duplicate pair is the set {c0}
+      continue;
+    }
+    const BinSlot s0 = slots[c0];
+    const BinSlot s1 = slots[c1];
+    const std::uint64_t n0 = s0.num + w;
+    const std::uint64_t n1 = s1.num + w;
+    bool c1_less;
+    bool equal;
+    load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, c1_less, equal);
+    bool pick1;
+    if (c1_less) {
+      pick1 = true;
+    } else if (!equal) {
+      pick1 = false;
+    } else if constexpr (TB == TieBreak::kFirstChoice) {
+      pick1 = false;
+    } else if constexpr (TB == TieBreak::kUniform) {
+      pick1 = rng.bounded(2) != 0;
+    } else {
+      // Prefer the larger capacity; uniform only between equal ones.
+      pick1 = s0.cap == s1.cap ? rng.bounded(2) != 0 : s1.cap > s0.cap;
+    }
+    if (pick1) {
+      commit_known<Fast64>(slots, c1, n1, s1.cap, w, t);
+    } else {
+      commit_known<Fast64>(slots, c0, n0, s0.cap, w, t);
+    }
+  }
+  return t;
+}
+
+/// Greedy[3]: the decide fold unrolled over exactly three candidates — no
+/// candidate buffer, no 64-entry best set, same set semantics and tie-break
+/// order as decide_destination.
+template <bool Fast64, TieBreak TB, class AmountFn>
+NUBB_NOINLINE RunTotals run_d3(BinSlot* const slots, const std::uint64_t* const threshold,
+                               const std::uint32_t* const alias, const std::uint64_t n,
+                               const std::uint64_t count, AmountFn next_amount, RunTotals t,
+                               Xoshiro256StarStar& rng) {
+  for (std::uint64_t ball = 0; ball < count; ++ball) {
+    const std::uint64_t w = next_amount(rng);
+    std::size_t c[3];
+    draw_candidates<3>(threshold, alias, n, rng, c);
+    const std::size_t c0 = c[0];
+    const std::size_t c1 = c[1];
+    const std::size_t c2 = c[2];
+
+    // Fold the candidates left-to-right, keeping the best set with set
+    // semantics exactly like decide_destination (duplicates carry no
+    // tie-break weight). Ties are the common case for d = 3 on integer
+    // loads (~50% of balls on the mixed 1:10 profile), so every member's
+    // post-allocation numerator and capacity is retained in registers —
+    // the tie-break below never touches memory again.
+    std::size_t m0 = c0;
+    std::size_t m1 = 0;
+    std::size_t m2 = 0;
+    std::uint32_t bc = 1;
+    const BinSlot s0 = slots[c0];
+    std::uint64_t mn0 = s0.num + w;
+    std::uint64_t mp0 = s0.cap;
+    std::uint64_t mn1 = 0;
+    std::uint64_t mp1 = 0;
+    std::uint64_t mn2 = 0;
+    std::uint64_t mp2 = 0;
+    {
+      const BinSlot s = slots[c1];
+      const std::uint64_t num = s.num + w;
+      bool less;
+      bool equal;
+      load_less_equal<Fast64>(num, s.cap, mn0, mp0, less, equal);
+      if (less) {
+        m0 = c1;
+        mn0 = num;
+        mp0 = s.cap;
+      } else if (equal && c1 != m0) {
+        m1 = c1;
+        mn1 = num;
+        mp1 = s.cap;
+        bc = 2;
+      }
+    }
+    {
+      const BinSlot s = slots[c2];
+      const std::uint64_t num = s.num + w;
+      bool less;
+      bool equal;
+      load_less_equal<Fast64>(num, s.cap, mn0, mp0, less, equal);
+      if (less) {
+        m0 = c2;
+        bc = 1;
+        mn0 = num;
+        mp0 = s.cap;
+      } else if (equal && c2 != m0 && (bc == 1 || c2 != m1)) {
+        if (bc == 1) {
+          m1 = c2;
+          mn1 = num;
+          mp1 = s.cap;
+        } else {
+          m2 = c2;
+          mn2 = num;
+          mp2 = s.cap;
+        }
+        ++bc;
+      }
+    }
+
+    if (bc == 1) {
+      commit_known<Fast64>(slots, m0, mn0, mp0, w, t);
+      continue;
+    }
+    if constexpr (TB == TieBreak::kFirstChoice) {
+      commit_known<Fast64>(slots, m0, mn0, mp0, w, t);  // recorded in choice order
+    } else if constexpr (TB == TieBreak::kUniform) {
+      const std::uint64_t pick = rng.bounded(bc);
+      if (pick == 0) {
+        commit_known<Fast64>(slots, m0, mn0, mp0, w, t);
+      } else if (pick == 1) {
+        commit_known<Fast64>(slots, m1, mn1, mp1, w, t);
+      } else {
+        commit_known<Fast64>(slots, m2, mn2, mp2, w, t);
+      }
+    } else {
+      // Keep only maximum-capacity members of the tie, in recorded order,
+      // from the retained registers.
+      std::uint64_t cmax = mp0 > mp1 ? mp0 : mp1;
+      if (bc == 3 && mp2 > cmax) cmax = mp2;
+      std::size_t fi[3];
+      std::uint64_t fn[3];
+      std::uint64_t fp[3];
+      std::uint32_t fc = 0;
+      if (mp0 == cmax) {
+        fi[fc] = m0;
+        fn[fc] = mn0;
+        fp[fc] = mp0;
+        ++fc;
+      }
+      if (mp1 == cmax) {
+        fi[fc] = m1;
+        fn[fc] = mn1;
+        fp[fc] = mp1;
+        ++fc;
+      }
+      if (bc == 3 && mp2 == cmax) {
+        fi[fc] = m2;
+        fn[fc] = mn2;
+        fp[fc] = mp2;
+        ++fc;
+      }
+      const std::uint64_t pick = fc == 1 ? 0 : rng.bounded(fc);
+      commit_known<Fast64>(slots, fi[pick], fn[pick], fp[pick], w, t);
+    }
+  }
+  return t;
+}
+
+/// Single choice: no decision to make.
+template <bool Fast64, class AmountFn>
+NUBB_NOINLINE RunTotals run_d1(BinSlot* const slots, const std::uint64_t* const threshold,
+                               const std::uint32_t* const alias, const std::uint64_t n,
+                               const std::uint64_t count, AmountFn next_amount, RunTotals t,
+                               Xoshiro256StarStar& rng) {
+  for (std::uint64_t ball = 0; ball < count; ++ball) {
+    const std::uint64_t w = next_amount(rng);
+    commit_amount<Fast64>(slots, draw_candidate(threshold, alias, n, rng), w, t);
+  }
+  return t;
+}
+
+/// General d / distinct mode: the per-ball pass with local commit state.
+template <bool Fast64, TieBreak TB, class AmountFn>
+NUBB_NOINLINE RunTotals run_generic(BinSlot* const slots,
+                                    const std::uint64_t* const threshold,
+                                    const std::uint32_t* const alias, const std::uint64_t n,
+                                    std::size_t* const choices, const std::uint32_t d,
+                                    const bool distinct, const std::uint64_t count,
+                                    AmountFn next_amount, RunTotals t,
+                                    Xoshiro256StarStar& rng) {
+  for (std::uint64_t ball = 0; ball < count; ++ball) {
+    const std::uint64_t w = next_amount(rng);
+    if (!distinct) {
+      for (std::uint32_t i = 0; i < d; ++i) {
+        choices[i] = draw_candidate(threshold, alias, n, rng);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < d; ++i) {
+        for (;;) {
+          const std::size_t cand = draw_candidate(threshold, alias, n, rng);
+          bool seen = false;
+          for (std::uint32_t j = 0; j < i; ++j) {
+            if (choices[j] == cand) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) {
+            choices[i] = cand;
+            break;
+          }
+        }
+      }
+    }
+    const std::size_t dest = detail::decide_destination<Fast64, TB>(
+        detail::SlotLoadView{slots}, choices, d, w, rng);
+    commit_amount<Fast64>(slots, dest, w, t);
+  }
+  return t;
+}
+
+}  // namespace
+
+/// Bulk dispatch shared by the unweighted and weighted games: pick the loop
+/// shape once, run it with every hot field — including the running maximum —
+/// in locals, and flush to the bin array at the end. The locals matter
+/// because the commit stage stores through a slot pointer, which under
+/// type-based aliasing forces reloads of any uint64-typed member it might
+/// alias on every ball if they live in memory. `next_amount(rng)` yields the
+/// ball's committed amount and is called first for every ball — a constant 1
+/// consuming no RNG draws for unit balls, the ball-size model's sample for
+/// the weighted game (the historic weighted RNG order).
+template <bool Fast64, TieBreak TB, class AmountFn>
+void PlacementKernel::run_loop(PlacementKernel& k, std::uint64_t count, AmountFn next_amount,
+                               Xoshiro256StarStar& rng) {
   const AliasTable* const table = k.table_;
   const std::uint64_t* const threshold =
       table != nullptr ? table->threshold_data() : nullptr;
   const std::uint32_t* const alias = table != nullptr ? table->alias_data() : nullptr;
   const std::uint64_t n = k.n_;
-  const std::uint64_t* const caps = k.caps_;
-  std::uint64_t* const counts = k.mut_counts_;
+  BinSlot* const slots = k.slots_;
 
-  std::uint64_t total = bins.total_balls_;
-  std::uint64_t max_num = bins.max_load_.balls;
-  std::uint64_t max_cap = bins.max_load_.capacity;
-  std::size_t argmax = bins.argmax_;
-
-  // One candidate draw, byte-identical to BinSampler::sample /
-  // AliasTable::sample (the integer threshold decides exactly like the
-  // `next_double() < prob` form and consumes the same one next() draw).
-  const auto draw = [&]() -> std::size_t {
-    if (table != nullptr) {
-      const auto slot = static_cast<std::size_t>(rng.bounded(n));
-      return (rng.next() >> 11) < threshold[slot] ? slot
-                                                  : static_cast<std::size_t>(alias[slot]);
-    }
-    return static_cast<std::size_t>(rng.bounded(n));
-  };
-
-  // add_ball semantics against the local running maximum; `balls` and `cap`
-  // are the destination's post-allocation count and capacity, which the
-  // decide stage already holds in registers.
-  const auto commit_known = [&](std::size_t dest, std::uint64_t balls, std::uint64_t cap) {
-    counts[dest] = balls;
-    ++total;
-    bool greater;
-    if constexpr (Fast64) {
-      greater = balls * max_cap > max_num * cap;
-    } else {
-      greater = Load{max_num, max_cap} < Load{balls, cap};
-    }
-    if (greater) {
-      max_num = balls;
-      max_cap = cap;
-      argmax = dest;
-    }
-  };
-  const auto commit = [&](std::size_t dest) {
-    commit_known(dest, counts[dest] + 1, caps[dest]);
-  };
-
+  RunTotals t{*k.total_, k.max_load_->balls, k.max_load_->capacity, *k.argmax_};
   if (k.d_ == 2 && !k.distinct_) {
-    // Greedy[2], the workhorse of every figure: straight-line body, no
-    // candidate buffer, no inner loops.
-    for (std::uint64_t ball = 0; ball < count; ++ball) {
-      const std::size_t c0 = draw();
-      const std::size_t c1 = draw();
-      if (c0 == c1) {
-        commit(c0);  // a duplicate pair is the singleton set {c0}
-        continue;
-      }
-      const std::uint64_t n0 = counts[c0] + 1;
-      const std::uint64_t n1 = counts[c1] + 1;
-      const std::uint64_t p0 = caps[c0];
-      const std::uint64_t p1 = caps[c1];
-      bool c1_less;
-      bool equal;
-      if constexpr (Fast64) {
-        const std::uint64_t lhs = n1 * p0;
-        const std::uint64_t rhs = n0 * p1;
-        c1_less = lhs < rhs;
-        equal = lhs == rhs;
-      } else {
-        const uint128 lhs = static_cast<uint128>(n1) * p0;
-        const uint128 rhs = static_cast<uint128>(n0) * p1;
-        c1_less = lhs < rhs;
-        equal = lhs == rhs;
-      }
-      bool pick1;
-      if (c1_less) {
-        pick1 = true;
-      } else if (!equal) {
-        pick1 = false;
-      } else if constexpr (TB == TieBreak::kFirstChoice) {
-        pick1 = false;
-      } else if constexpr (TB == TieBreak::kUniform) {
-        pick1 = rng.bounded(2) != 0;
-      } else {
-        // Prefer the larger capacity; uniform only between equal ones.
-        pick1 = p0 == p1 ? rng.bounded(2) != 0 : p1 > p0;
-      }
-      if (pick1) {
-        commit_known(c1, n1, p1);
-      } else {
-        commit_known(c0, n0, p0);
-      }
-    }
+    t = run_d2<Fast64, TB>(slots, threshold, alias, n, count, next_amount, t, rng);
+  } else if (k.d_ == 3 && !k.distinct_) {
+    t = run_d3<Fast64, TB>(slots, threshold, alias, n, count, next_amount, t, rng);
   } else if (k.d_ == 1) {
-    for (std::uint64_t ball = 0; ball < count; ++ball) commit(draw());
+    t = run_d1<Fast64>(slots, threshold, alias, n, count, next_amount, t, rng);
   } else {
-    // General d / distinct mode: the place_impl pass with local commit state.
-    const std::uint32_t d = k.d_;
-    std::size_t* const choices = k.choices_;
-    for (std::uint64_t ball = 0; ball < count; ++ball) {
-      if (!k.distinct_) {
-        for (std::uint32_t i = 0; i < d; ++i) choices[i] = draw();
-      } else {
-        for (std::uint32_t i = 0; i < d; ++i) {
-          for (;;) {
-            const std::size_t cand = draw();
-            bool seen = false;
-            for (std::uint32_t j = 0; j < i; ++j) {
-              if (choices[j] == cand) {
-                seen = true;
-                break;
-              }
-            }
-            if (!seen) {
-              choices[i] = cand;
-              break;
-            }
-          }
-        }
-      }
-      commit(detail::decide_destination<Fast64, TB>(counts, caps, choices, d, 1, rng));
-    }
+    t = run_generic<Fast64, TB>(slots, threshold, alias, n, k.choices_, k.d_, k.distinct_,
+                                count, next_amount, t, rng);
   }
 
-  bins.total_balls_ = total;
-  bins.max_load_ = Load{max_num, max_cap};
-  bins.argmax_ = argmax;
+  *k.total_ = t.total;
+  *k.max_load_ = Load{t.max_num, t.max_cap};
+  *k.argmax_ = t.argmax;
+}
+
+template <bool Fast64, TieBreak TB>
+void PlacementKernel::run_impl(PlacementKernel& k, std::uint64_t count,
+                               Xoshiro256StarStar& rng) {
+  run_loop<Fast64, TB>(
+      k, count, [](Xoshiro256StarStar&) -> std::uint64_t { return 1; }, rng);
+}
+
+template <bool Fast64, TieBreak TB>
+void PlacementKernel::run_weighted_impl(PlacementKernel& k, std::uint64_t count,
+                                        const BallSizeModel& sizes, Xoshiro256StarStar& rng) {
+  run_loop<Fast64, TB>(
+      k, count, [&sizes](Xoshiro256StarStar& r) -> std::uint64_t { return sizes.sample(r); },
+      rng);
 }
 
 void PlacementKernel::select_impl(TieBreak tie_break) {
@@ -248,18 +553,24 @@ void PlacementKernel::select_impl(TieBreak tie_break) {
                     : &place_impl<false, TieBreak::kPreferLargerCapacity>;
       run_fn_ = f ? &run_impl<true, TieBreak::kPreferLargerCapacity>
                   : &run_impl<false, TieBreak::kPreferLargerCapacity>;
+      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kPreferLargerCapacity>
+                           : &run_weighted_impl<false, TieBreak::kPreferLargerCapacity>;
       return;
     case TieBreak::kUniform:
       place_fn_ = f ? &place_impl<true, TieBreak::kUniform>
                     : &place_impl<false, TieBreak::kUniform>;
       run_fn_ =
           f ? &run_impl<true, TieBreak::kUniform> : &run_impl<false, TieBreak::kUniform>;
+      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kUniform>
+                           : &run_weighted_impl<false, TieBreak::kUniform>;
       return;
     case TieBreak::kFirstChoice:
       place_fn_ = f ? &place_impl<true, TieBreak::kFirstChoice>
                     : &place_impl<false, TieBreak::kFirstChoice>;
       run_fn_ = f ? &run_impl<true, TieBreak::kFirstChoice>
                   : &run_impl<false, TieBreak::kFirstChoice>;
+      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kFirstChoice>
+                           : &run_weighted_impl<false, TieBreak::kFirstChoice>;
       return;
   }
   NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");
@@ -269,7 +580,17 @@ void PlacementKernel::run(std::uint64_t count, Xoshiro256StarStar& rng) {
   NUBB_REQUIRE_MSG(placed_ + count <= planned_,
                    "kernel asked to place more balls than it was sized for");
   placed_ += count;
+  *view_stale_ = true;
   run_fn_(*this, count, rng);
+}
+
+void PlacementKernel::run_weighted(std::uint64_t count, const BallSizeModel& sizes,
+                                   Xoshiro256StarStar& rng) {
+  NUBB_REQUIRE_MSG(placed_ + count <= planned_,
+                   "kernel asked to place more balls than it was sized for");
+  placed_ += count;
+  *view_stale_ = true;
+  run_weighted_fn_(*this, count, sizes, rng);
 }
 
 }  // namespace nubb

@@ -12,13 +12,23 @@
 /// construction time (the tie-break rule and the comparison width select one
 /// fully specialised inner loop), caches raw pointers to the bin state and
 /// the alias table, and compares loads with plain 64-bit multiplications
-/// whenever `(balls + 1) * max_capacity` cannot overflow, falling back to
-/// the exact 128-bit cross multiplication only when it could.
+/// whenever the worst-case numerator times the largest capacity cannot
+/// overflow, falling back to the exact 128-bit cross multiplication only
+/// when it could.
+///
+/// One kernel, three historical loops: the commit stage adds an integer
+/// `amount` to the destination slot's numerator — 1 for the core game, the
+/// ball's weight for the weighted game — so the unweighted, weighted, and
+/// batched-arrivals paths all run the same fused body. The decide and
+/// commit stages operate on the interleaved (numerator, capacity) BinSlot
+/// layout shared by BinArray and WeightedBinArray, so a random candidate
+/// probe touches one cache line, not two.
 ///
 /// RNG discipline: the kernel consumes random draws in exactly the same
-/// order and quantity as the historic unfused path (d candidate draws, then
-/// one bounded draw only when a tie survives capacity filtering), so every
-/// fixed-seed golden value is bit-identical to the pre-kernel code.
+/// order and quantity as the historic unfused paths (the ball's size draw
+/// where the game is weighted, d candidate draws, then one bounded draw only
+/// when a tie survives capacity filtering), so every fixed-seed golden value
+/// is bit-identical to the pre-kernel code.
 
 #include <cstddef>
 #include <cstdint>
@@ -32,32 +42,52 @@
 
 namespace nubb {
 
+class WeightedBinArray;
+class BallSizeModel;
+
 namespace detail {
 
-/// Fused "choose" stage, shared by the unweighted kernel and the weighted
-/// driver: among `choices[0..d)`, minimise the exact post-allocation load
-/// `(numerators[i] + add) / caps[i]` with set semantics (a bin drawn twice
-/// carries no extra tie-break weight), then apply the tie-break `TB`.
-/// `Fast64` selects 64-bit cross multiplication; the caller guarantees
-/// `(numerators[i] + add) * max(caps)` cannot wrap when it is set.
-/// Consumes at most one bounded RNG draw, and only on a surviving tie —
-/// identical to the historic `choose_destination`.
-template <bool Fast64, TieBreak TB>
-inline std::size_t decide_destination(const std::uint64_t* numerators,
-                                      const std::uint64_t* caps, const std::size_t* choices,
+/// Decide stage's read view of the live interleaved slots: the numerator and
+/// capacity of a candidate share one BinSlot (one cache line).
+struct SlotLoadView {
+  const BinSlot* slots;
+  std::uint64_t num(std::size_t i) const noexcept { return slots[i].num; }
+  std::uint64_t cap(std::size_t i) const noexcept { return slots[i].cap; }
+};
+
+/// Decide on numerators frozen at a batch boundary while capacities (and
+/// commits) stay live — the batched-arrivals staleness contract.
+struct StaleLoadView {
+  const std::uint64_t* nums;
+  const BinSlot* slots;
+  std::uint64_t num(std::size_t i) const noexcept { return nums[i]; }
+  std::uint64_t cap(std::size_t i) const noexcept { return slots[i].cap; }
+};
+
+/// Fused "choose" stage shared by every kernel path: among `choices[0..d)`,
+/// minimise the exact post-allocation load `(view.num(i) + add) / view.cap(i)`
+/// with set semantics (a bin drawn twice carries no extra tie-break weight),
+/// then apply the tie-break `TB`. `add` is the committed amount: 1 for unit
+/// balls, the ball's weight in the weighted game. `Fast64` selects 64-bit
+/// cross multiplication; the caller guarantees `(view.num(i) + add) *
+/// max(caps)` cannot wrap when it is set. Consumes at most one bounded RNG
+/// draw, and only on a surviving tie — identical to the historic
+/// `choose_destination`.
+template <bool Fast64, TieBreak TB, class View>
+inline std::size_t decide_destination(const View& view, const std::size_t* choices,
                                       std::uint32_t d, std::uint64_t add,
                                       Xoshiro256StarStar& rng) {
   constexpr std::uint32_t kMaxChoices = 64;
   std::size_t best[kMaxChoices];
   best[0] = choices[0];
   std::size_t best_count = 1;
-  std::uint64_t best_num = numerators[choices[0]] + add;  // post-allocation numerator
-  std::uint64_t best_cap = caps[choices[0]];
+  std::uint64_t best_num = view.num(choices[0]) + add;  // post-allocation numerator
+  std::uint64_t best_cap = view.cap(choices[0]);
 
   for (std::uint32_t i = 1; i < d; ++i) {
     const std::size_t cand = choices[i];
-    const std::uint64_t num = numerators[cand] + add;
-    const std::uint64_t cap = caps[cand];
+    const std::uint64_t num = view.num(cand) + add;
+    const std::uint64_t cap = view.cap(cand);
     bool less;
     bool equal;
     if constexpr (Fast64) {
@@ -99,11 +129,11 @@ inline std::size_t decide_destination(const std::uint64_t* numerators,
     // Algorithm 1 lines 4-6: keep only maximum-capacity members of B_opt.
     std::uint64_t cmax = 0;
     for (std::size_t j = 0; j < best_count; ++j) {
-      if (caps[best[j]] > cmax) cmax = caps[best[j]];
+      if (view.cap(best[j]) > cmax) cmax = view.cap(best[j]);
     }
     std::size_t filtered = 0;
     for (std::size_t j = 0; j < best_count; ++j) {
-      if (caps[best[j]] == cmax) best[filtered++] = best[j];
+      if (view.cap(best[j]) == cmax) best[filtered++] = best[j];
     }
     if (filtered == 1) return best[0];
     return best[rng.bounded(filtered)];
@@ -114,12 +144,14 @@ inline std::size_t decide_destination(const std::uint64_t* numerators,
 
 /// One game's placement loop, fused and pre-validated. Construct once per
 /// game (construction is O(1)); every driver — sequential, batched,
-/// checkpointed, growth, reallocation — funnels its balls through here.
+/// checkpointed, growth, reallocation, weighted — funnels its balls through
+/// here.
 ///
-/// Pointer caching: the kernel holds raw pointers into the BinArray and the
-/// sampler's alias table. `BinArray::clear()` and `remove_ball()` keep the
-/// kernel valid; `append_bins()` does not (construct a fresh kernel after
-/// growing the array). The sampler must outlive the kernel.
+/// Pointer caching: the kernel holds raw pointers into the bin array's slots
+/// and the sampler's alias table. `clear()` and `BinArray::remove_ball()`
+/// keep the kernel valid; `append_bins()` does not (construct a fresh kernel
+/// after growing the array). The bin array and sampler must outlive the
+/// kernel.
 class PlacementKernel {
  public:
   static constexpr std::uint32_t kMaxChoices = 64;
@@ -133,6 +165,15 @@ class PlacementKernel {
   PlacementKernel(BinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
                   std::uint64_t planned_balls = 0);
 
+  /// Weighted form: the same fused loops committing integer ball weights
+  /// into a WeightedBinArray. `planned_balls` must be explicit (the m = C
+  /// convention is scaled by mean ball size, which the caller owns);
+  /// `max_ball_weight` is the largest weight any single ball can carry —
+  /// together they bound the worst-case numerator for the comparison-width
+  /// choice exactly as `planned_balls` alone does for unit balls.
+  PlacementKernel(WeightedBinArray& bins, const BinSampler& sampler, const GameConfig& cfg,
+                  std::uint64_t planned_balls, std::uint64_t max_ball_weight);
+
   /// Balls this kernel is sized for.
   std::uint64_t planned_balls() const noexcept { return planned_; }
 
@@ -143,44 +184,74 @@ class PlacementKernel {
   /// for tests and diagnostics).
   bool uses_fast64_path() const noexcept { return fast64_; }
 
-  /// Place one ball on the live loads; returns the destination bin.
+  /// Place one unit ball on the live loads; returns the destination bin.
   /// \pre the caller keeps the net ball count within the planned horizon
   ///      (run() checks this; the single-ball form trusts the caller so
   ///      remove-then-place loops like rebalancing stay O(1) per move).
   std::size_t place_one(Xoshiro256StarStar& rng) {
     ++placed_;
-    return place_fn_(*this, counts_, rng);
+    *view_stale_ = true;
+    return place_fn_(*this, nullptr, 1, rng);
   }
 
-  /// Place one ball deciding on `stale_counts` (ball counts frozen at a
+  /// Place one ball of weight `amount` (same precondition as place_one; the
+  /// caller keeps the committed amounts within the planned horizon).
+  std::size_t place_one_amount(std::uint64_t amount, Xoshiro256StarStar& rng) {
+    ++placed_;
+    *view_stale_ = true;
+    return place_fn_(*this, nullptr, amount, rng);
+  }
+
+  /// Place one unit ball deciding on `stale_counts` (ball counts frozen at a
   /// batch boundary, one entry per bin) while committing to the live bins —
   /// the batched-arrivals mode.
   std::size_t place_one_stale(const std::uint64_t* stale_counts, Xoshiro256StarStar& rng) {
     ++placed_;
-    return place_fn_(*this, stale_counts, rng);
+    *view_stale_ = true;
+    return place_fn_(*this, stale_counts, 1, rng);
   }
 
-  /// Place `count` balls on the live loads in one fused loop.
+  /// Place `count` unit balls on the live loads in one fused loop.
   void run(std::uint64_t count, Xoshiro256StarStar& rng);
 
+  /// Place `count` balls whose weights are drawn per ball from `sizes`
+  /// (size draw first, then candidates — the historic weighted RNG order).
+  /// Requires construction over a WeightedBinArray whose `max_ball_weight`
+  /// bound covers everything `sizes` can return.
+  void run_weighted(std::uint64_t count, const BallSizeModel& sizes,
+                    Xoshiro256StarStar& rng);
+
  private:
-  using PlaceFn = std::size_t (*)(PlacementKernel&, const std::uint64_t*,
+  using PlaceFn = std::size_t (*)(PlacementKernel&, const std::uint64_t*, std::uint64_t,
                                   Xoshiro256StarStar&);
   using RunFn = void (*)(PlacementKernel&, std::uint64_t, Xoshiro256StarStar&);
+  using RunWeightedFn = void (*)(PlacementKernel&, std::uint64_t, const BallSizeModel&,
+                                 Xoshiro256StarStar&);
 
   template <bool Fast64, TieBreak TB>
-  static std::size_t place_impl(PlacementKernel& k, const std::uint64_t* counts,
-                                Xoshiro256StarStar& rng);
+  static std::size_t place_impl(PlacementKernel& k, const std::uint64_t* stale_counts,
+                                std::uint64_t amount, Xoshiro256StarStar& rng);
   template <bool Fast64, TieBreak TB>
   static void run_impl(PlacementKernel& k, std::uint64_t count, Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB>
+  static void run_weighted_impl(PlacementKernel& k, std::uint64_t count,
+                                const BallSizeModel& sizes, Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB, class AmountFn>
+  static void run_loop(PlacementKernel& k, std::uint64_t count, AmountFn next_amount,
+                       Xoshiro256StarStar& rng);
 
+  void validate(const BinSampler& sampler, std::size_t bins, const GameConfig& cfg) const;
   void select_impl(TieBreak tie_break);
 
-  BinArray& bins_;
-  const AliasTable* table_ = nullptr;      // null => uniform draw over n_
-  const std::uint64_t* counts_ = nullptr;  // live ball counts (decide stage)
-  std::uint64_t* mut_counts_ = nullptr;    // same array, commit stage
-  const std::uint64_t* caps_ = nullptr;
+  // Raw pointers into the owning bin array (BinArray or WeightedBinArray):
+  // interleaved slots plus the bookkeeping the commit stage maintains with
+  // add_ball/add_weight semantics.
+  BinSlot* slots_ = nullptr;
+  std::uint64_t* total_ = nullptr;
+  Load* max_load_ = nullptr;
+  std::size_t* argmax_ = nullptr;
+  bool* view_stale_ = nullptr;  // flat counts/weights view invalidation
+  const AliasTable* table_ = nullptr;  // null => uniform draw over n_
   std::size_t n_ = 0;
   std::uint32_t d_ = 1;
   bool distinct_ = false;
@@ -189,6 +260,7 @@ class PlacementKernel {
   std::uint64_t placed_ = 0;
   PlaceFn place_fn_ = nullptr;
   RunFn run_fn_ = nullptr;
+  RunWeightedFn run_weighted_fn_ = nullptr;
   // Candidate staging buffer, zeroed once at construction instead of once
   // per ball (the draw stage always overwrites entries [0, d) — kernels are
   // single-threaded scratch, one per worker, never shared).

@@ -21,7 +21,7 @@ class SelectionPolicy {
     kUniform,                 ///< p_i = 1/n, independent of capacity
     kProportionalToCapacity,  ///< p_i = c_i / C (the paper's default)
     kCapacityPower,           ///< p_i proportional to c_i^t (Section 4.5)
-    kTopCapacityOnly,         ///< p_i proportional to c_i for bins with c_i >= threshold, else 0 (Theorem 5)
+    kTopCapacityOnly,         ///< p_i prop. to c_i iff c_i >= threshold, else 0 (Thm 5)
     kCustom                   ///< explicit weight vector
   };
 

@@ -1,7 +1,6 @@
 #include "core/weighted.hpp"
 
 #include <cmath>
-#include <limits>
 
 #include "core/placement_kernel.hpp"
 #include "util/assert.hpp"
@@ -11,18 +10,22 @@ namespace nubb {
 WeightedBinArray::WeightedBinArray(std::vector<std::uint64_t> capacities)
     : capacities_(std::move(capacities)) {
   NUBB_REQUIRE_MSG(!capacities_.empty(), "WeightedBinArray needs at least one bin");
+  slots_.reserve(capacities_.size());
   for (const auto c : capacities_) {
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
     total_capacity_ += c;
+    if (c > max_capacity_) max_capacity_ = c;
+    slots_.push_back(BinSlot{0, c});
   }
-  weights_.assign(capacities_.size(), 0);
 }
 
 void WeightedBinArray::add_weight(std::size_t i, std::uint64_t w) {
   NUBB_REQUIRE_MSG(w >= 1, "ball weight must be positive");
-  weights_[i] += w;
+  weights_view_stale_ = true;
+  BinSlot& s = slots_[i];
+  s.num += w;
   total_weight_ += w;
-  const Load l{weights_[i], capacities_[i]};
+  const Load l{s.num, s.cap};
   if (max_load_ < l) {
     max_load_ = l;
     argmax_ = i;
@@ -30,10 +33,20 @@ void WeightedBinArray::add_weight(std::size_t i, std::uint64_t w) {
 }
 
 void WeightedBinArray::clear() noexcept {
-  weights_.assign(capacities_.size(), 0);
+  for (auto& s : slots_) s.num = 0;
+  weights_view_stale_ = true;
   total_weight_ = 0;
   max_load_ = Load{0, 1};
   argmax_ = 0;
+}
+
+const std::vector<std::uint64_t>& WeightedBinArray::weights() const {
+  if (weights_view_stale_) {
+    weights_view_.resize(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) weights_view_[i] = slots_[i].num;
+    weights_view_stale_ = false;
+  }
+  return weights_view_;
 }
 
 BallSizeModel BallSizeModel::constant(std::uint64_t s) {
@@ -104,91 +117,19 @@ std::uint64_t BallSizeModel::max_size() const {
   return 1;  // unreachable
 }
 
-namespace {
-
-using DecideFn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
-                                 const std::size_t*, std::uint32_t, std::uint64_t,
-                                 Xoshiro256StarStar&);
-
-/// Resolve the tie-break / comparison-width dispatch once per game.
-DecideFn pick_decide(TieBreak tie_break, bool fast64) {
-  switch (tie_break) {
-    case TieBreak::kPreferLargerCapacity:
-      return fast64 ? &detail::decide_destination<true, TieBreak::kPreferLargerCapacity>
-                    : &detail::decide_destination<false, TieBreak::kPreferLargerCapacity>;
-    case TieBreak::kUniform:
-      return fast64 ? &detail::decide_destination<true, TieBreak::kUniform>
-                    : &detail::decide_destination<false, TieBreak::kUniform>;
-    case TieBreak::kFirstChoice:
-      return fast64 ? &detail::decide_destination<true, TieBreak::kFirstChoice>
-                    : &detail::decide_destination<false, TieBreak::kFirstChoice>;
-  }
-  NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");
-  return nullptr;
-}
-
-/// Shared validation for the weighted entry points; mirrors the
-/// PlacementKernel constructor (including the distinct-support bugfix).
-void validate_weighted(const WeightedBinArray& bins, const BinSampler& sampler,
-                       const GameConfig& cfg) {
-  NUBB_REQUIRE_MSG(cfg.choices >= 1, "need at least one choice per ball");
-  NUBB_REQUIRE_MSG(cfg.choices <= PlacementKernel::kMaxChoices,
-                   "more than 64 choices per ball");
-  NUBB_REQUIRE_MSG(sampler.size() == bins.size(), "sampler and bin array size mismatch");
-  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= bins.size(),
-                   "cannot draw more distinct bins than exist");
-  NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= sampler.support_size(),
-                   "distinct choices exceed the sampler support "
-                   "(bins with positive probability)");
-}
-
-/// Draw the candidate set (independent; distinct mode redraws duplicates),
-/// byte-identical in RNG order to the historic per-ball path.
-inline void draw_candidates(const BinSampler& sampler, std::uint32_t d, bool distinct,
-                            Xoshiro256StarStar& rng, std::size_t* out) {
-  if (!distinct) {
-    for (std::uint32_t k = 0; k < d; ++k) out[k] = sampler.sample(rng);
-    return;
-  }
-  for (std::uint32_t k = 0; k < d; ++k) {
-    for (;;) {
-      const std::size_t candidate = sampler.sample(rng);
-      bool seen = false;
-      for (std::uint32_t j = 0; j < k; ++j) {
-        if (out[j] == candidate) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) {
-        out[k] = candidate;
-        break;
-      }
-    }
-  }
-}
-
-}  // namespace
-
 std::size_t place_one_weighted_ball(WeightedBinArray& bins, const BinSampler& sampler,
                                     std::uint64_t w, const GameConfig& cfg,
                                     Xoshiro256StarStar& rng) {
-  validate_weighted(bins, sampler, cfg);
-  std::size_t choices[PlacementKernel::kMaxChoices] = {};
-  draw_candidates(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
-  // Single-ball entry: no horizon information, so stay on the exact
-  // 128-bit comparison path.
-  const std::size_t dest = pick_decide(cfg.tie_break, /*fast64=*/false)(
-      bins.weights().data(), bins.capacities().data(), choices, cfg.choices, w, rng);
-  bins.add_weight(dest, w);
-  return dest;
+  NUBB_REQUIRE_MSG(w >= 1, "ball weight must be positive");
+  // Kernel construction is O(1) and performs exactly the validation this
+  // entry point always performed per ball.
+  PlacementKernel kernel(bins, sampler, cfg, /*planned_balls=*/1, /*max_ball_weight=*/w);
+  return kernel.place_one_amount(w, rng);
 }
 
 WeightedGameResult play_weighted_game(WeightedBinArray& bins, const BinSampler& sampler,
                                       const BallSizeModel& sizes, const GameConfig& cfg,
                                       Xoshiro256StarStar& rng) {
-  validate_weighted(bins, sampler, cfg);
-
   std::uint64_t balls = cfg.balls;
   if (balls == 0) {
     balls = static_cast<std::uint64_t>(
@@ -196,33 +137,8 @@ WeightedGameResult play_weighted_game(WeightedBinArray& bins, const BinSampler& 
     if (balls == 0) balls = 1;
   }
 
-  // 64-bit comparisons are exact iff the largest numerator that can appear
-  // (all planned weight in one bin plus the next ball) times the largest
-  // capacity cannot wrap; every step of the horizon computation is itself
-  // overflow-checked.
-  std::uint64_t cmax = 0;
-  for (const std::uint64_t c : bins.capacities()) {
-    if (c > cmax) cmax = c;
-  }
-  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
-  const std::uint64_t smax = sizes.max_size();
-  bool fast64 = false;
-  if (smax > 0 && balls <= (kU64Max - smax) / smax &&
-      bins.total_weight() <= kU64Max - balls * smax - smax) {
-    const std::uint64_t horizon = bins.total_weight() + balls * smax + smax;
-    fast64 = horizon <= kU64Max / cmax;
-  }
-  const DecideFn decide = pick_decide(cfg.tie_break, fast64);
-
-  const std::uint64_t* weights = bins.weights().data();
-  const std::uint64_t* caps = bins.capacities().data();
-  std::size_t choices[PlacementKernel::kMaxChoices] = {};  // zeroed once, not per ball
-  for (std::uint64_t b = 0; b < balls; ++b) {
-    const std::uint64_t w = sizes.sample(rng);
-    draw_candidates(sampler, cfg.choices, cfg.distinct_choices, rng, choices);
-    const std::size_t dest = decide(weights, caps, choices, cfg.choices, w, rng);
-    bins.add_weight(dest, w);
-  }
+  PlacementKernel kernel(bins, sampler, cfg, balls, sizes.max_size());
+  kernel.run_weighted(balls, sizes, rng);
   return WeightedGameResult{bins.max_load(), bins.argmax_bin(), balls, bins.total_weight()};
 }
 

@@ -7,10 +7,16 @@
 /// section restricts to unit balls; this module implements the general
 /// protocol so the evaluation can probe how the bounds degrade with ball
 /// size variance (an explicit future-work direction).
+///
+/// Since PR 3 the weighted run loop is the placement kernel's run loop: the
+/// kernel commits an arbitrary integer `amount` per ball (1 for the core
+/// game), so this module only owns the weighted state and the ball-size
+/// models and delegates placement to PlacementKernel.
 
 #include <cstdint>
 #include <functional>
 
+#include "core/bin_array.hpp"
 #include "core/game.hpp"
 #include "core/load.hpp"
 #include "core/protocol.hpp"
@@ -19,21 +25,26 @@
 
 namespace nubb {
 
-/// Bins accumulating integer ball *weight* instead of ball count.
-/// Loads are exact rationals weight/capacity; the running maximum is
-/// maintained online exactly as in BinArray.
+/// Bins accumulating integer ball *weight* instead of ball count, stored in
+/// the same interleaved (numerator, capacity) slots as BinArray so the
+/// placement kernel serves both. Loads are exact rationals weight/capacity;
+/// the running maximum is maintained online exactly as in BinArray.
 class WeightedBinArray {
  public:
   /// \pre capacities non-empty; every capacity >= 1.
   explicit WeightedBinArray(std::vector<std::uint64_t> capacities);
 
-  std::size_t size() const noexcept { return capacities_.size(); }
-  std::uint64_t capacity(std::size_t i) const noexcept { return capacities_[i]; }
-  std::uint64_t weight(std::size_t i) const noexcept { return weights_[i]; }
+  std::size_t size() const noexcept { return slots_.size(); }
+  std::uint64_t capacity(std::size_t i) const noexcept { return slots_[i].cap; }
+  std::uint64_t weight(std::size_t i) const noexcept { return slots_[i].num; }
   std::uint64_t total_capacity() const noexcept { return total_capacity_; }
   std::uint64_t total_weight() const noexcept { return total_weight_; }
 
-  Load load(std::size_t i) const noexcept { return Load{weights_[i], capacities_[i]}; }
+  /// Largest single bin capacity (cached; O(1)); selects the kernel's
+  /// load-comparison width.
+  std::uint64_t max_capacity() const noexcept { return max_capacity_; }
+
+  Load load(std::size_t i) const noexcept { return Load{slots_[i].num, slots_[i].cap}; }
   double load_value(std::size_t i) const noexcept { return load(i).value(); }
   double average_load() const noexcept {
     return static_cast<double>(total_weight_) / static_cast<double>(total_capacity_);
@@ -47,16 +58,27 @@ class WeightedBinArray {
 
   void clear() noexcept;
 
+  /// Raw interleaved slots (hot state). Stable across clear().
+  const BinSlot* slot_data() const noexcept { return slots_.data(); }
+
   const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
-  const std::vector<std::uint64_t>& weights() const noexcept { return weights_; }
+
+  /// Per-bin weights as a flat vector: a view materialised on demand and
+  /// cached until the next mutation (see BinArray::ball_counts()).
+  const std::vector<std::uint64_t>& weights() const;
 
  private:
-  std::vector<std::uint64_t> capacities_;
-  std::vector<std::uint64_t> weights_;
+  friend class PlacementKernel;  // commits weight through raw slot pointers
+
+  std::vector<BinSlot> slots_;
+  std::vector<std::uint64_t> capacities_;  // cold copy for samplers/reporting
   std::uint64_t total_capacity_ = 0;
   std::uint64_t total_weight_ = 0;
+  std::uint64_t max_capacity_ = 0;
   Load max_load_{0, 1};
   std::size_t argmax_ = 0;
+  mutable std::vector<std::uint64_t> weights_view_;  // weights() cache
+  mutable bool weights_view_stale_ = true;
 };
 
 /// Random integer ball sizes. Immutable; thread-safe to share.

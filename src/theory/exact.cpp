@@ -111,7 +111,8 @@ std::map<std::vector<std::uint64_t>, double> exact_allocation_distribution(
   NUBB_REQUIRE_MSG(d >= 1, "need at least one choice");
 
   const std::uint64_t tuples = saturating_pow(capacities.size(), d);
-  NUBB_REQUIRE_MSG(tuples < 4096 && m <= 8 && saturating_pow(tuples, static_cast<std::uint32_t>(m)) < 100000000ULL,
+  NUBB_REQUIRE_MSG(tuples < 4096 && m <= 8 &&
+                       saturating_pow(tuples, static_cast<std::uint32_t>(m)) < 100000000ULL,
                    "exact enumeration limited to tiny games (n^d and m too large)");
 
   double total = 0.0;

@@ -21,11 +21,11 @@
 
 namespace nubb {
 
-/// Number of contiguous replication chunks. Fixed (rather than a multiple of
-/// the worker count) so the floating-point merge grouping — and with it
-/// every golden value — is invariant under the thread count. 16 preserves
-/// the PR-1 golden layout (recorded with a 4-thread pool and the then-
-/// current `workers * 4` rule) and still saturates pools of up to 16
+/// Default number of contiguous replication chunks. Fixed (rather than a
+/// multiple of the worker count) so the floating-point merge grouping — and
+/// with it every golden value — is invariant under the thread count. 16
+/// preserves the PR-1 golden layout (recorded with a 4-thread pool and the
+/// then-current `workers * 4` rule) and still saturates pools of up to 16
 /// workers; chunks are equal-sized, so coarser chunking costs no balance.
 inline constexpr std::uint64_t kReplicationChunks = 16;
 
@@ -37,14 +37,23 @@ inline constexpr std::uint64_t kReplicationChunks = 16;
 /// accumulators are merged into `out` in replication order (so even
 /// non-commutative accumulators behave deterministically).
 ///
+/// `chunk_count` overrides the fixed chunk layout (0 keeps the
+/// kReplicationChunks default). Results are deterministic for any fixed
+/// value — independent of the thread count — but two different chunk counts
+/// group the floating-point merges differently, so only the default is
+/// pinned by golden values. Pass more chunks than workers to keep pools
+/// beyond 16 threads busy.
+///
 /// `Acc` requirements: default-constructible, `void merge(const Acc&)`.
 template <typename Acc, typename MakeContext, typename Body>
 void parallel_replications_with_context(std::uint64_t replications, std::uint64_t base_seed,
                                         MakeContext make_context, Body body, Acc& out,
-                                        ThreadPool* pool = nullptr) {
+                                        ThreadPool* pool = nullptr,
+                                        std::uint64_t chunk_count = kReplicationChunks) {
   if (replications == 0) return;
+  if (chunk_count == 0) chunk_count = kReplicationChunks;
   ThreadPool& tp = pool ? *pool : global_thread_pool();
-  const std::uint64_t chunks = std::min<std::uint64_t>(kReplicationChunks, replications);
+  const std::uint64_t chunks = std::min<std::uint64_t>(chunk_count, replications);
   const std::uint64_t per_chunk = (replications + chunks - 1) / chunks;
 
   std::vector<std::future<Acc>> partials;
@@ -72,14 +81,15 @@ void parallel_replications_with_context(std::uint64_t replications, std::uint64_
 /// Context-free variant: `body(rep_index, rng, acc)`.
 template <typename Acc, typename Body>
 void parallel_replications(std::uint64_t replications, std::uint64_t base_seed, Body body,
-                           Acc& out, ThreadPool* pool = nullptr) {
+                           Acc& out, ThreadPool* pool = nullptr,
+                           std::uint64_t chunk_count = kReplicationChunks) {
   struct NoContext {};
   parallel_replications_with_context(
       replications, base_seed, [] { return NoContext{}; },
       [&body](std::uint64_t rep, Xoshiro256StarStar& rng, NoContext&, Acc& local) {
         body(rep, rng, local);
       },
-      out, pool);
+      out, pool, chunk_count);
 }
 
 /// Parallel for over [0, count): `body(i)` with static chunking.

@@ -23,4 +23,14 @@ void Xoshiro256StarStar::jump() noexcept {
   state_ = acc;
 }
 
+std::uint64_t Xoshiro256StarStar::bounded_rejection(std::uint64_t bound, uint128 m) noexcept {
+  auto low = static_cast<std::uint64_t>(m);
+  const std::uint64_t threshold = (0 - bound) % bound;
+  while (low < threshold) {
+    m = static_cast<uint128>(next()) * bound;
+    low = static_cast<std::uint64_t>(m);
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
 }  // namespace nubb

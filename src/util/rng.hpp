@@ -24,6 +24,7 @@
 #include <limits>
 #include <type_traits>
 
+#include "util/inline.hpp"
 #include "util/int128.hpp"
 
 namespace nubb {
@@ -89,7 +90,7 @@ class Xoshiro256StarStar {
   explicit Xoshiro256StarStar(const std::array<std::uint64_t, 4>& state) noexcept
       : state_(state) {}
 
-  std::uint64_t next() noexcept {
+  NUBB_ALWAYS_INLINE std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -114,16 +115,13 @@ class Xoshiro256StarStar {
 
   /// Uniform integer in [0, bound) via Lemire's multiply-shift method.
   /// \pre bound > 0.
-  std::uint64_t bounded(std::uint64_t bound) noexcept {
-    // Fast path: one multiply; rejection only in the (rare) biased region.
-    uint128 m = static_cast<uint128>(next()) * bound;
-    auto low = static_cast<std::uint64_t>(m);
-    if (low < bound) {
-      const std::uint64_t threshold = (0 - bound) % bound;
-      while (low < threshold) {
-        m = static_cast<uint128>(next()) * bound;
-        low = static_cast<std::uint64_t>(m);
-      }
+  NUBB_ALWAYS_INLINE std::uint64_t bounded(std::uint64_t bound) noexcept {
+    // Fast path: one multiply; the (rare) biased region continues in the
+    // out-of-line rejection loop so this body stays small enough to inline
+    // into the fused placement loops, where it is the hottest primitive.
+    const uint128 m = static_cast<uint128>(next()) * bound;
+    if (static_cast<std::uint64_t>(m) < bound) [[unlikely]] {
+      return bounded_rejection(bound, m);
     }
     return static_cast<std::uint64_t>(m >> 64);
   }
@@ -154,6 +152,12 @@ class Xoshiro256StarStar {
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
+
+  /// Cold continuation of bounded(): Lemire's rejection loop, entered with
+  /// the first draw's product `m` whose low half fell below `bound`. Redraws
+  /// exactly as the historic inline loop did, so fixed-seed streams are
+  /// byte-identical.
+  std::uint64_t bounded_rejection(std::uint64_t bound, uint128 m) noexcept;
 
   std::array<std::uint64_t, 4> state_;
 };

@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 
 #include "core/builder.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace nubb {
 namespace {
@@ -252,6 +258,108 @@ TEST(RunnersTest, ResultsAreBitIdenticalAcrossThreadCounts) {
   const auto f8 = fractions_with(8);
   EXPECT_EQ(f1, f2);
   EXPECT_EQ(f1, f8);
+}
+
+// --- ExperimentConfig::chunks override ---------------------------------------
+
+TEST(ChunksOverrideTest, DefaultZeroMatchesTheFixedLayout) {
+  // chunks = 0 must be byte-for-byte the historic fixed-16-chunk layout that
+  // the golden values pin.
+  const auto caps = two_class_capacities(24, 1, 24, 10);
+  ExperimentConfig dflt = quick_exp(100, 424242);
+  ExperimentConfig zero = quick_exp(100, 424242);
+  zero.chunks = 0;
+  const Summary a = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, dflt);
+  const Summary b = max_load_summary(caps, SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, zero);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+}
+
+TEST(ChunksOverrideTest, OverrideCreatesThatManyParallelUnits) {
+  // The fixed 16-chunk default leaves >16-core pools idle; an override must
+  // actually split the replications into `chunks` independently scheduled
+  // units (one worker context each).
+  std::atomic<int> contexts{0};
+  struct NullAcc {
+    void merge(const NullAcc&) {}
+  };
+  NullAcc acc;
+  ThreadPool pool(4);
+  parallel_replications_with_context(
+      /*replications=*/64, /*base_seed=*/1,
+      [&contexts] {
+        ++contexts;
+        return 0;
+      },
+      [](std::uint64_t, Xoshiro256StarStar&, int&, NullAcc&) {}, acc, &pool,
+      /*chunk_count=*/32);
+  EXPECT_EQ(contexts.load(), 32);
+
+  // More chunks than replications clamps to one replication per chunk.
+  contexts = 0;
+  parallel_replications_with_context(
+      /*replications=*/10, /*base_seed=*/1,
+      [&contexts] {
+        ++contexts;
+        return 0;
+      },
+      [](std::uint64_t, Xoshiro256StarStar&, int&, NullAcc&) {}, acc, &pool,
+      /*chunk_count=*/1000);
+  EXPECT_EQ(contexts.load(), 10);
+}
+
+TEST(ChunksOverrideTest, NonDefaultChunksEngageEveryWorker) {
+  // With 8 sleeping chunks on a 4-thread dedicated pool, the work cannot be
+  // drained by a single worker: multiple distinct threads must participate.
+  // (All four virtually always do; >= 2 keeps the assertion scheduler-proof.)
+  std::mutex mu;
+  std::set<std::thread::id> workers;
+  struct NullAcc {
+    void merge(const NullAcc&) {}
+  };
+  NullAcc acc;
+  ThreadPool pool(4);
+  parallel_replications_with_context(
+      /*replications=*/8, /*base_seed=*/2,
+      [&mu, &workers] {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          workers.insert(std::this_thread::get_id());
+        }
+        return 0;
+      },
+      [](std::uint64_t, Xoshiro256StarStar&, int&, NullAcc&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      },
+      acc, &pool, /*chunk_count=*/8);
+  EXPECT_GE(workers.size(), 2u);
+}
+
+TEST(ChunksOverrideTest, OverrideIsThreadCountInvariant) {
+  // The determinism contract holds for any fixed chunk count: results are
+  // bit-identical across pool sizes (only the default is pinned by goldens,
+  // but every value must be reproducible).
+  const auto caps = two_class_capacities(24, 1, 24, 10);
+  auto summary_with = [&caps](std::size_t threads) {
+    ThreadPool pool(threads);
+    ExperimentConfig exp = quick_exp(96, 1337);
+    exp.pool = &pool;
+    exp.chunks = 24;  // > default, exercises the override path
+    return max_load_summary(caps, SelectionPolicy::proportional_to_capacity(), GameConfig{},
+                            exp);
+  };
+  const Summary s1 = summary_with(1);
+  const Summary s4 = summary_with(4);
+  const Summary s24 = summary_with(24);
+  for (const Summary* s : {&s4, &s24}) {
+    EXPECT_EQ(s1.count, s->count);
+    EXPECT_EQ(s1.mean, s->mean);
+    EXPECT_EQ(s1.stddev, s->stddev);
+    EXPECT_EQ(s1.min, s->min);
+    EXPECT_EQ(s1.max, s->max);
+  }
 }
 
 }  // namespace

@@ -44,6 +44,34 @@ TEST(WeightedBinArrayTest, ClearAndPreconditions) {
   EXPECT_THROW(WeightedBinArray({0}), PreconditionError);
 }
 
+TEST(WeightedBinArrayTest, WeightsViewTracksMutations) {
+  // weights() is a materialised-on-demand view over the interleaved slots;
+  // it must refresh after every mutation path (add_weight, clear, and the
+  // kernel-driven game loop).
+  WeightedBinArray bins({1, 2, 4});
+  EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 0, 0}));
+  bins.add_weight(1, 3);
+  EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 3, 0}));
+  const std::vector<std::uint64_t>& first = bins.weights();
+  const std::vector<std::uint64_t>& second = bins.weights();
+  EXPECT_EQ(&first, &second);  // cached between mutations
+  bins.clear();
+  EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 0, 0}));
+
+  const BinSampler sampler = BinSampler::uniform(3);
+  Xoshiro256StarStar rng(7);
+  GameConfig cfg;
+  cfg.balls = 50;
+  play_weighted_game(bins, sampler, BallSizeModel::uniform_range(1, 3), cfg, rng);
+  const std::vector<std::uint64_t>& view = bins.weights();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    EXPECT_EQ(view[i], bins.weight(i)) << "bin " << i;
+    total += view[i];
+  }
+  EXPECT_EQ(total, bins.total_weight());
+}
+
 // --- BallSizeModel ------------------------------------------------------------
 
 TEST(BallSizeModelTest, ConstantAlwaysSame) {
