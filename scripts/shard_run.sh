@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Fan a nubb_run experiment out over N local shard processes and merge.
+#
+# Usage: scripts/shard_run.sh [-j MERGED_JSON] NUBB_RUN SHARD_COUNT [nubb_run options...]
+#
+# Example:
+#   scripts/shard_run.sh -j merged.json ./build/tools/nubb_run 4 \
+#       --caps 500x1,500x10 --reps 100000 --seed 7
+#
+# Each shard runs `nubb_run ... --shard i/N --out state_i.json` in its own
+# process; the final merge folds the collector states in global chunk order,
+# so the merged report is bit-identical to the same single-process run
+# (see README "Distributed runs"). State files live in a temp directory
+# that is removed on exit.
+set -eu
+
+merged_json=""
+if [ "${1:-}" = "-j" ]; then
+  [ "$#" -ge 2 ] || { echo "shard_run.sh: -j needs a file argument" >&2; exit 2; }
+  merged_json=$2
+  shift 2
+fi
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: scripts/shard_run.sh [-j MERGED_JSON] NUBB_RUN SHARD_COUNT [options...]" >&2
+  exit 2
+fi
+
+nubb_run=$1
+shard_count=$2
+shift 2
+
+case "$shard_count" in
+  ''|*[!0-9]*) echo "shard_run.sh: SHARD_COUNT must be a positive integer" >&2; exit 2 ;;
+esac
+[ "$shard_count" -ge 1 ] || { echo "shard_run.sh: SHARD_COUNT must be >= 1" >&2; exit 2; }
+
+state_dir=$(mktemp -d)
+trap 'rm -rf "$state_dir"' EXIT INT TERM
+
+# Fan out one process per shard and remember the pids: plain `wait` would
+# swallow child failures in POSIX sh, so wait per pid and fail on any
+# non-zero status.
+pids=""
+i=0
+while [ "$i" -lt "$shard_count" ]; do
+  "$nubb_run" "$@" --shard "$i/$shard_count" --out "$state_dir/shard_$i.json" &
+  pids="$pids $!"
+  i=$((i + 1))
+done
+
+failed=0
+for pid in $pids; do
+  wait "$pid" || failed=1
+done
+[ "$failed" -eq 0 ] || { echo "shard_run.sh: a shard process failed" >&2; exit 1; }
+
+# Merge in shard order. The state files record the chunk layout, so the
+# merge validates coverage and the fold is order-exact regardless.
+states=""
+i=0
+while [ "$i" -lt "$shard_count" ]; do
+  states="$states $state_dir/shard_$i.json"
+  i=$((i + 1))
+done
+
+if [ -n "$merged_json" ]; then
+  # shellcheck disable=SC2086
+  "$nubb_run" --merge $states --json "$merged_json"
+else
+  # shellcheck disable=SC2086
+  "$nubb_run" --merge $states
+fi

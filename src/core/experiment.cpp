@@ -36,6 +36,23 @@ std::vector<double> VectorMeanCollector::mean() const {
   return out;
 }
 
+void VectorMeanCollector::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.key("sum");
+  w.begin_array();
+  for (const double x : sum_) w.value(x);
+  w.end_array();
+  w.end_object();
+}
+
+VectorMeanCollector VectorMeanCollector::from_json(const JsonValue& v) {
+  VectorMeanCollector c;
+  c.count_ = v.at("count").as_uint64();
+  for (const JsonValue& x : v.at("sum").as_array()) c.sum_.push_back(x.as_double());
+  return c;
+}
+
 void KeyFrequencyCollector::add(std::uint64_t key) { ++counts_[key]; }
 
 void KeyFrequencyCollector::merge(const KeyFrequencyCollector& other) {
@@ -48,6 +65,83 @@ double KeyFrequencyCollector::fraction(std::uint64_t key) const {
   const auto it = counts_.find(key);
   if (it == counts_.end()) return 0.0;
   return static_cast<double>(it->second) / static_cast<double>(trials_);
+}
+
+void KeyFrequencyCollector::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("trials", trials_);
+  w.key("counts");
+  w.begin_array();
+  for (const auto& [key, count] : counts_) {
+    w.begin_array();
+    w.value(key);
+    w.value(count);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+KeyFrequencyCollector KeyFrequencyCollector::from_json(const JsonValue& v) {
+  KeyFrequencyCollector c;
+  c.trials_ = v.at("trials").as_uint64();
+  for (const JsonValue& pair : v.at("counts").as_array()) {
+    const auto& kv = pair.as_array();
+    if (kv.size() != 2) throw JsonError("KeyFrequencyCollector counts entry is not a pair");
+    c.counts_[kv[0].as_uint64()] = kv[1].as_uint64();
+  }
+  return c;
+}
+
+void ClassProfilesCollector::merge(const ClassProfilesCollector& other) {
+  for (const auto& [cap, collector] : other.per_class) per_class[cap].merge(collector);
+}
+
+void ClassProfilesCollector::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("classes");
+  w.begin_array();
+  for (const auto& [cap, collector] : per_class) {
+    w.begin_object();
+    w.kv("capacity", cap);
+    w.key("profile");
+    collector.to_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+ClassProfilesCollector ClassProfilesCollector::from_json(const JsonValue& v) {
+  ClassProfilesCollector c;
+  for (const JsonValue& entry : v.at("classes").as_array()) {
+    c.per_class[entry.at("capacity").as_uint64()] =
+        VectorMeanCollector::from_json(entry.at("profile"));
+  }
+  return c;
+}
+
+void SampleCollector::merge(const SampleCollector& other) {
+  stats.merge(other.stats);
+  values.insert(values.end(), other.values.begin(), other.values.end());
+}
+
+void SampleCollector::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("stats");
+  stats.to_json(w);
+  w.key("values");
+  w.begin_array();
+  for (const double x : values) w.value(x);
+  w.end_array();
+  w.end_object();
+}
+
+SampleCollector SampleCollector::from_json(const JsonValue& v) {
+  SampleCollector c;
+  c.stats = RunningStats::from_json(v.at("stats"));
+  for (const JsonValue& x : v.at("values").as_array()) c.values.push_back(x.as_double());
+  return c;
 }
 
 namespace {
@@ -71,7 +165,7 @@ struct Fixture {
 
 /// Per-worker scratch state: one BinArray (cleared, not reallocated, between
 /// replications) plus a staging buffer for profiles and traces. Built once
-/// per chunk by parallel_replications_with_context.
+/// per chunk by replication_chunk_states.
 struct Worker {
   BinArray bins;
   std::vector<double> scratch;
@@ -79,103 +173,171 @@ struct Worker {
   explicit Worker(const std::vector<std::uint64_t>& caps) : bins(caps) {}
 };
 
+/// Execute this shard's slice of the chunk layout and package the per-chunk
+/// collector states. `body(rep, rng, worker, collector)` is the same
+/// callable the historic full runners used; shard 0 of 1 runs everything.
+template <typename Collector, typename Body>
+ExperimentShard<Collector> run_shard(const std::vector<std::uint64_t>& capacities,
+                                     const ExperimentConfig& exp, Body body) {
+  NUBB_REQUIRE_MSG(exp.shard_count >= 1, "ExperimentConfig::shard_count must be >= 1");
+  NUBB_REQUIRE_MSG(exp.shard_index < exp.shard_count,
+                   "ExperimentConfig::shard_index out of range");
+  const ChunkLayout layout = make_chunk_layout(exp.replications, exp.chunks);
+  const auto [first, last] =
+      shard_chunk_range(layout.chunk_count, exp.shard_index, exp.shard_count);
+
+  ExperimentShard<Collector> shard;
+  shard.replications = exp.replications;
+  shard.base_seed = exp.base_seed;
+  shard.chunk_count = layout.chunk_count;
+  shard.chunks = replication_chunk_states<Collector>(
+      layout, exp.base_seed, [&capacities] { return Worker(capacities); }, body, first, last,
+      exp.pool);
+  return shard;
+}
+
+/// The plain (full-result) runners refuse sharded configs: a shard config
+/// flowing into a full runner would silently yield a partial result.
+void require_unsharded(const ExperimentConfig& exp) {
+  NUBB_REQUIRE_MSG(exp.shard_index == 0 && exp.shard_count == 1,
+                   "sharded ExperimentConfig passed to a full runner; use the *_shard / "
+                   "*_merge API");
+}
+
 }  // namespace
+
+// --- max_load_summary -------------------------------------------------------
+
+ExperimentShard<ScalarCollector> max_load_summary_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  return run_shard<ScalarCollector>(
+      capacities, exp,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, ScalarCollector& local) {
+        const GameResult result = fixture.run_one(rng, w.bins);
+        local.add(result.max_load_value());
+      });
+}
+
+Summary max_load_summary_merge(const std::vector<ExperimentShard<ScalarCollector>>& shards) {
+  return Summary::from(merge_shards(shards).stats);
+}
 
 Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
                          const SelectionPolicy& policy, const GameConfig& game,
                          const ExperimentConfig& exp) {
-  const Fixture fixture(capacities, policy, game);
-  ScalarCollector acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, ScalarCollector& local) {
-        const GameResult result = fixture.run_one(rng, w.bins);
-        local.add(result.max_load_value());
-      },
-      acc, exp.pool, exp.chunks);
-  return Summary::from(acc.stats);
+  require_unsharded(exp);
+  return max_load_summary_merge({max_load_summary_shard(capacities, policy, game, exp)});
 }
 
-std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capacities,
-                                        const SelectionPolicy& policy, const GameConfig& game,
-                                        const ExperimentConfig& exp) {
+// --- mean_sorted_profile ----------------------------------------------------
+
+ExperimentShard<VectorMeanCollector> mean_sorted_profile_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
   const Fixture fixture(capacities, policy, game);
-  VectorMeanCollector acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+  return run_shard<VectorMeanCollector>(
+      capacities, exp,
       [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
                  VectorMeanCollector& local) {
         fixture.run_one(rng, w.bins);
         sorted_load_profile(w.bins, w.scratch);
         local.add(w.scratch);
-      },
-      acc, exp.pool, exp.chunks);
-  return acc.mean();
+      });
 }
 
-std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
+std::vector<double> mean_sorted_profile_merge(
+    const std::vector<ExperimentShard<VectorMeanCollector>>& shards) {
+  return merge_shards(shards).mean();
+}
+
+std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capacities,
+                                        const SelectionPolicy& policy, const GameConfig& game,
+                                        const ExperimentConfig& exp) {
+  require_unsharded(exp);
+  return mean_sorted_profile_merge({mean_sorted_profile_shard(capacities, policy, game, exp)});
+}
+
+// --- mean_class_profiles ----------------------------------------------------
+
+ExperimentShard<ClassProfilesCollector> mean_class_profiles_shard(
     const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
     const GameConfig& game, const ExperimentConfig& exp) {
   const Fixture fixture(capacities, policy, game);
-
-  // One VectorMeanCollector per capacity class, merged as a unit.
-  struct ClassProfiles {
-    std::map<std::uint64_t, VectorMeanCollector> per_class;
-    void merge(const ClassProfiles& other) {
-      for (const auto& [cap, collector] : other.per_class) per_class[cap].merge(collector);
-    }
-  };
-
-  ClassProfiles acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, ClassProfiles& local) {
+  return run_shard<ClassProfilesCollector>(
+      capacities, exp,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
+                 ClassProfilesCollector& local) {
         fixture.run_one(rng, w.bins);
         for (const std::uint64_t cap : distinct_capacities(w.bins)) {
           sorted_class_profile(w.bins, cap, w.scratch);
           local.per_class[cap].add(w.scratch);
         }
-      },
-      acc, exp.pool, exp.chunks);
+      });
+}
 
+std::map<std::uint64_t, std::vector<double>> mean_class_profiles_merge(
+    const std::vector<ExperimentShard<ClassProfilesCollector>>& shards) {
+  const ClassProfilesCollector merged = merge_shards(shards);
   std::map<std::uint64_t, std::vector<double>> out;
-  for (const auto& [cap, collector] : acc.per_class) out[cap] = collector.mean();
+  for (const auto& [cap, collector] : merged.per_class) out[cap] = collector.mean();
+  return out;
+}
+
+std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  require_unsharded(exp);
+  return mean_class_profiles_merge({mean_class_profiles_shard(capacities, policy, game, exp)});
+}
+
+// --- class_of_max_fractions -------------------------------------------------
+
+ExperimentShard<KeyFrequencyCollector> class_of_max_fractions_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  return run_shard<KeyFrequencyCollector>(
+      capacities, exp,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
+                 KeyFrequencyCollector& local) {
+        fixture.run_one(rng, w.bins);
+        local.add_trial();
+        for (const std::uint64_t cap : capacities_attaining_max(w.bins)) local.add(cap);
+      });
+}
+
+std::map<std::uint64_t, double> class_of_max_fractions_merge(
+    const std::vector<ExperimentShard<KeyFrequencyCollector>>& shards) {
+  const KeyFrequencyCollector merged = merge_shards(shards);
+  std::map<std::uint64_t, double> out;
+  for (const auto& [cap, count] : merged.counts()) {
+    out[cap] = static_cast<double>(count) / static_cast<double>(merged.trials());
+  }
   return out;
 }
 
 std::map<std::uint64_t, double> class_of_max_fractions(
     const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
     const GameConfig& game, const ExperimentConfig& exp) {
-  const Fixture fixture(capacities, policy, game);
-  KeyFrequencyCollector acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w,
-                 KeyFrequencyCollector& local) {
-        fixture.run_one(rng, w.bins);
-        local.add_trial();
-        for (const std::uint64_t cap : capacities_attaining_max(w.bins)) local.add(cap);
-      },
-      acc, exp.pool, exp.chunks);
-
-  std::map<std::uint64_t, double> out;
-  for (const auto& [cap, count] : acc.counts()) {
-    out[cap] = static_cast<double>(count) / static_cast<double>(acc.trials());
-  }
-  return out;
+  require_unsharded(exp);
+  return class_of_max_fractions_merge(
+      {class_of_max_fractions_shard(capacities, policy, game, exp)});
 }
 
-std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
-                                   const SelectionPolicy& policy, const GameConfig& game,
-                                   std::uint64_t total_balls, std::uint64_t checkpoint_interval,
-                                   const ExperimentConfig& exp) {
+// --- mean_gap_trace ---------------------------------------------------------
+
+ExperimentShard<VectorMeanCollector> mean_gap_trace_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, std::uint64_t total_balls, std::uint64_t checkpoint_interval,
+    const ExperimentConfig& exp) {
   NUBB_REQUIRE_MSG(checkpoint_interval > 0, "gap trace needs a positive checkpoint interval");
   NUBB_REQUIRE_MSG(total_balls > 0, "gap trace needs at least one ball");
 
   const Fixture fixture(capacities, policy, game);
-  VectorMeanCollector acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
+  return run_shard<VectorMeanCollector>(
+      capacities, exp,
       [&fixture, total_balls, checkpoint_interval](std::uint64_t, Xoshiro256StarStar& rng,
                                                    Worker& w, VectorMeanCollector& local) {
         w.bins.clear();
@@ -189,43 +351,57 @@ std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
                     trace.push_back(cp.max_load.value() - cp.average_load);
                   });
         local.add(trace);
-      },
-      acc, exp.pool, exp.chunks);
-  return acc.mean();
+      });
+}
+
+std::vector<double> mean_gap_trace_merge(
+    const std::vector<ExperimentShard<VectorMeanCollector>>& shards) {
+  return merge_shards(shards).mean();
+}
+
+std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
+                                   const SelectionPolicy& policy, const GameConfig& game,
+                                   std::uint64_t total_balls, std::uint64_t checkpoint_interval,
+                                   const ExperimentConfig& exp) {
+  require_unsharded(exp);
+  return mean_gap_trace_merge(
+      {mean_gap_trace_shard(capacities, policy, game, total_balls, checkpoint_interval, exp)});
+}
+
+// --- max_load_distribution --------------------------------------------------
+
+ExperimentShard<SampleCollector> max_load_distribution_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp) {
+  const Fixture fixture(capacities, policy, game);
+  return run_shard<SampleCollector>(
+      capacities, exp,
+      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, SampleCollector& local) {
+        const GameResult result = fixture.run_one(rng, w.bins);
+        local.add(result.max_load_value());
+      });
+}
+
+MaxLoadDistribution max_load_distribution_merge(
+    const std::vector<ExperimentShard<SampleCollector>>& shards) {
+  const SampleCollector merged = merge_shards(shards);
+  MaxLoadDistribution out;
+  out.summary = Summary::from(merged.stats);
+  if (!merged.values.empty()) {
+    const std::vector<double> qs = quantiles(merged.values, {0.50, 0.95, 0.99});
+    out.q50 = qs[0];
+    out.q95 = qs[1];
+    out.q99 = qs[2];
+  }
+  return out;
 }
 
 MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capacities,
                                           const SelectionPolicy& policy, const GameConfig& game,
                                           const ExperimentConfig& exp) {
-  const Fixture fixture(capacities, policy, game);
-
-  struct DistAcc {
-    RunningStats stats;
-    std::vector<double> values;
-    void merge(const DistAcc& other) {
-      stats.merge(other.stats);
-      values.insert(values.end(), other.values.begin(), other.values.end());
-    }
-  };
-
-  DistAcc acc;
-  parallel_replications_with_context(
-      exp.replications, exp.base_seed, [&fixture] { return Worker(fixture.capacities); },
-      [&fixture](std::uint64_t, Xoshiro256StarStar& rng, Worker& w, DistAcc& local) {
-        const GameResult result = fixture.run_one(rng, w.bins);
-        local.stats.add(result.max_load_value());
-        local.values.push_back(result.max_load_value());
-      },
-      acc, exp.pool, exp.chunks);
-
-  MaxLoadDistribution out;
-  out.summary = Summary::from(acc.stats);
-  if (!acc.values.empty()) {
-    out.q50 = quantile(acc.values, 0.50);
-    out.q95 = quantile(acc.values, 0.95);
-    out.q99 = quantile(acc.values, 0.99);
-  }
-  return out;
+  require_unsharded(exp);
+  return max_load_distribution_merge(
+      {max_load_distribution_shard(capacities, policy, game, exp)});
 }
 
 }  // namespace nubb

@@ -3,7 +3,7 @@
 /// \file experiment.hpp
 /// Monte-Carlo experiment driver: replicate a game many times with
 /// deterministic per-replication seeds, aggregate with mergeable collectors,
-/// optionally in parallel.
+/// optionally in parallel — within one process or sharded across many.
 ///
 /// The high-level runners below cover every measurement shape the paper's
 /// evaluation uses:
@@ -12,14 +12,27 @@
 ///   * mean per-capacity-class sorted profiles            (Figs 12, 13)
 ///   * which capacity class attains the maximum           (Figs 7, 9)
 ///   * trace of (max - average) at checkpoints            (Fig 16)
+///
+/// Every runner comes in three forms: the plain runner (single process,
+/// full result), a `*_shard` runner that executes only the replication
+/// chunks one shard owns and returns their collector states, and a
+/// `*_merge` finalizer that folds shard states — typically round-tripped
+/// through JSON between processes — into the full result. The plain runner
+/// is literally shard 0-of-1 plus the merge, so the sharded path cannot
+/// drift from the golden values: a merged N-shard run is bit-identical to
+/// the single-process run.
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/game.hpp"
 #include "core/metrics.hpp"
 #include "core/probability.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,10 +52,23 @@ struct ExperimentConfig {
   /// counts (the floating-point merge grouping changes), so overrides are
   /// opt-in per experiment.
   std::uint64_t chunks = 0;
+
+  /// Shard coordinates for multi-process runs: the `*_shard` runners
+  /// execute only the replication chunks that shard `shard_index` of
+  /// `shard_count` owns (a contiguous slice of the chunk layout above,
+  /// which itself never depends on the shard split). The default 0-of-1
+  /// owns everything. The plain runners require the default: a sharded
+  /// config silently producing a partial "full" result would be a trap.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
 };
 
 // ---------------------------------------------------------------------------
 // Mergeable collectors (commutative monoids for parallel_replications).
+//
+// Every collector serializes its raw accumulator state with to_json and
+// restores it with from_json; the round trip is bit-exact, so collector
+// states can travel between processes without perturbing merged results.
 // ---------------------------------------------------------------------------
 
 /// Scalar statistic collector.
@@ -50,6 +76,10 @@ struct ScalarCollector {
   RunningStats stats;
   void add(double x) { stats.add(x); }
   void merge(const ScalarCollector& other) { stats.merge(other.stats); }
+  void to_json(JsonWriter& w) const { stats.to_json(w); }
+  static ScalarCollector from_json(const JsonValue& v) {
+    return ScalarCollector{RunningStats::from_json(v)};
+  }
 };
 
 /// Mean of equal-length vectors (sorted profiles, checkpoint traces).
@@ -59,6 +89,9 @@ class VectorMeanCollector {
   void merge(const VectorMeanCollector& other);
   std::vector<double> mean() const;
   std::uint64_t count() const noexcept { return count_; }
+
+  void to_json(JsonWriter& w) const;
+  static VectorMeanCollector from_json(const JsonValue& v);
 
  private:
   std::vector<double> sum_;
@@ -77,29 +110,168 @@ class KeyFrequencyCollector {
   std::uint64_t trials() const noexcept { return trials_; }
   std::map<std::uint64_t, std::uint64_t> counts() const { return counts_; }
 
+  void to_json(JsonWriter& w) const;
+  static KeyFrequencyCollector from_json(const JsonValue& v);
+
  private:
   std::map<std::uint64_t, std::uint64_t> counts_;
   std::uint64_t trials_ = 0;
 };
 
+/// One VectorMeanCollector per capacity class, merged classwise
+/// (mean_class_profiles).
+struct ClassProfilesCollector {
+  std::map<std::uint64_t, VectorMeanCollector> per_class;
+  void merge(const ClassProfilesCollector& other);
+  void to_json(JsonWriter& w) const;
+  static ClassProfilesCollector from_json(const JsonValue& v);
+};
+
+/// Running statistics plus the raw sample, for quantile-style
+/// post-processing (max_load_distribution).
+struct SampleCollector {
+  RunningStats stats;
+  std::vector<double> values;
+  void add(double x) {
+    stats.add(x);
+    values.push_back(x);
+  }
+  void merge(const SampleCollector& other);
+  void to_json(JsonWriter& w) const;
+  static SampleCollector from_json(const JsonValue& v);
+};
+
 // ---------------------------------------------------------------------------
-// High-level runners.
+// Shard state: partial results that merge bit-exactly.
+// ---------------------------------------------------------------------------
+
+/// Partial result of one shard of a replicated experiment: the collector
+/// state of every replication chunk the shard owns, keyed by global chunk
+/// index. Chunks are kept separate rather than pre-merged — that is what
+/// makes the merge exact: `merge_shards` folds all chunks in global chunk
+/// order, replaying the precise floating-point merge sequence of the
+/// single-process run.
+template <typename Collector>
+struct ExperimentShard {
+  std::uint64_t replications = 0;
+  std::uint64_t base_seed = 0;
+  std::uint64_t chunk_count = 0;  ///< resolved layout (non-empty chunks)
+  std::vector<std::pair<std::uint64_t, Collector>> chunks;
+
+  void to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.kv("replications", replications);
+    w.kv("base_seed", base_seed);
+    w.kv("chunk_count", chunk_count);
+    w.key("chunks");
+    w.begin_array();
+    for (const auto& [index, state] : chunks) {
+      w.begin_object();
+      w.kv("index", index);
+      w.key("state");
+      state.to_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  static ExperimentShard from_json(const JsonValue& v) {
+    ExperimentShard shard;
+    shard.replications = v.at("replications").as_uint64();
+    shard.base_seed = v.at("base_seed").as_uint64();
+    shard.chunk_count = v.at("chunk_count").as_uint64();
+    for (const JsonValue& entry : v.at("chunks").as_array()) {
+      shard.chunks.emplace_back(entry.at("index").as_uint64(),
+                                Collector::from_json(entry.at("state")));
+    }
+    return shard;
+  }
+};
+
+/// Fold shard partials in global chunk order into one collector,
+/// bit-identical to the single-process fold. Validates that the shards
+/// describe the same experiment (replications / seed / chunk layout) and
+/// together cover every chunk exactly once; throws std::runtime_error
+/// otherwise (shard files are external input, not caller code).
+template <typename Collector>
+Collector merge_shards(const std::vector<ExperimentShard<Collector>>& shards) {
+  if (shards.empty()) throw std::runtime_error("merge_shards: no shards given");
+  const ExperimentShard<Collector>& head = shards.front();
+  // chunk_count counts non-empty chunks, so a complete shard set carries
+  // exactly chunk_count chunk entries; bounding by what was actually
+  // parsed keeps a corrupt state file a clean error instead of a huge
+  // allocation sized from an untrusted field.
+  std::size_t total_entries = 0;
+  for (const auto& shard : shards) total_entries += shard.chunks.size();
+  if (head.chunk_count > total_entries) {
+    throw std::runtime_error(
+        "merge_shards: shard set carries fewer chunks than the layout requires "
+        "(incomplete or corrupt state)");
+  }
+  std::vector<const Collector*> by_chunk(head.chunk_count, nullptr);
+  for (const auto& shard : shards) {
+    if (shard.replications != head.replications || shard.base_seed != head.base_seed ||
+        shard.chunk_count != head.chunk_count) {
+      throw std::runtime_error("merge_shards: shards describe different experiments");
+    }
+    for (const auto& [index, state] : shard.chunks) {
+      if (index >= head.chunk_count) {
+        throw std::runtime_error("merge_shards: chunk index out of range");
+      }
+      if (by_chunk[index]) {
+        throw std::runtime_error("merge_shards: chunk " + std::to_string(index) +
+                                 " appears in more than one shard");
+      }
+      by_chunk[index] = &state;
+    }
+  }
+  Collector out;
+  for (std::uint64_t c = 0; c < head.chunk_count; ++c) {
+    if (!by_chunk[c]) {
+      throw std::runtime_error("merge_shards: chunk " + std::to_string(c) +
+                               " is missing (incomplete shard set)");
+    }
+    out.merge(*by_chunk[c]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// High-level runners. Each plain runner requires an unsharded config
+// (shard 0 of 1) and equals `*_merge({*_shard(...)})`; the `*_shard` form
+// runs only this shard's chunks (honouring ExperimentConfig::shard_index /
+// shard_count) and the `*_merge` form finalizes any complete shard set.
 // ---------------------------------------------------------------------------
 
 /// Statistics of the final maximum load over replications.
 Summary max_load_summary(const std::vector<std::uint64_t>& capacities,
                          const SelectionPolicy& policy, const GameConfig& game,
                          const ExperimentConfig& exp);
+ExperimentShard<ScalarCollector> max_load_summary_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+Summary max_load_summary_merge(const std::vector<ExperimentShard<ScalarCollector>>& shards);
 
 /// Mean sorted (descending) load profile over replications.
 std::vector<double> mean_sorted_profile(const std::vector<std::uint64_t>& capacities,
                                         const SelectionPolicy& policy, const GameConfig& game,
                                         const ExperimentConfig& exp);
+ExperimentShard<VectorMeanCollector> mean_sorted_profile_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+std::vector<double> mean_sorted_profile_merge(
+    const std::vector<ExperimentShard<VectorMeanCollector>>& shards);
 
 /// Mean sorted profile per capacity class (key = capacity value).
 std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
     const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
     const GameConfig& game, const ExperimentConfig& exp);
+ExperimentShard<ClassProfilesCollector> mean_class_profiles_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+std::map<std::uint64_t, std::vector<double>> mean_class_profiles_merge(
+    const std::vector<ExperimentShard<ClassProfilesCollector>>& shards);
 
 /// For each capacity class, the fraction of replications in which a bin of
 /// that class attains the exact maximum load (ties count for every class
@@ -107,6 +279,11 @@ std::map<std::uint64_t, std::vector<double>> mean_class_profiles(
 std::map<std::uint64_t, double> class_of_max_fractions(
     const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
     const GameConfig& game, const ExperimentConfig& exp);
+ExperimentShard<KeyFrequencyCollector> class_of_max_fractions_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+std::map<std::uint64_t, double> class_of_max_fractions_merge(
+    const std::vector<ExperimentShard<KeyFrequencyCollector>>& shards);
 
 /// Throw `total_balls` balls, recording (max load - average load) after every
 /// `checkpoint_interval` balls; returns the mean trace over replications.
@@ -115,6 +292,12 @@ std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
                                    const SelectionPolicy& policy, const GameConfig& game,
                                    std::uint64_t total_balls, std::uint64_t checkpoint_interval,
                                    const ExperimentConfig& exp);
+ExperimentShard<VectorMeanCollector> mean_gap_trace_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, std::uint64_t total_balls, std::uint64_t checkpoint_interval,
+    const ExperimentConfig& exp);
+std::vector<double> mean_gap_trace_merge(
+    const std::vector<ExperimentShard<VectorMeanCollector>>& shards);
 
 /// Statistics of the final max load *and* the full distribution of the
 /// max-load value (as RunningStats plus min/max); convenience for benches
@@ -128,5 +311,10 @@ struct MaxLoadDistribution {
 MaxLoadDistribution max_load_distribution(const std::vector<std::uint64_t>& capacities,
                                           const SelectionPolicy& policy, const GameConfig& game,
                                           const ExperimentConfig& exp);
+ExperimentShard<SampleCollector> max_load_distribution_shard(
+    const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+    const GameConfig& game, const ExperimentConfig& exp);
+MaxLoadDistribution max_load_distribution_merge(
+    const std::vector<ExperimentShard<SampleCollector>>& shards);
 
 }  // namespace nubb

@@ -23,6 +23,10 @@ class CliParser {
   void add_double(const std::string& name, double default_value, const std::string& help);
   void add_string(const std::string& name, const std::string& default_value,
                   const std::string& help);
+  /// Repeatable string option (default: empty list). `--name a b c` consumes
+  /// following arguments greedily until the next `--option`; `--name=a` and
+  /// repeated occurrences append.
+  void add_string_list(const std::string& name, const std::string& help);
 
   /// Parse argv. Returns false if `--help` was requested (help printed to
   /// stdout) — callers should then exit 0. Throws std::runtime_error on
@@ -33,6 +37,7 @@ class CliParser {
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   const std::string& get_string(const std::string& name) const;
+  const std::vector<std::string>& get_string_list(const std::string& name) const;
 
   /// True if the user explicitly supplied the option on the command line.
   bool was_set(const std::string& name) const;
@@ -40,13 +45,14 @@ class CliParser {
   std::string help_text() const;
 
  private:
-  enum class Kind { kFlag, kInt, kDouble, kString };
+  enum class Kind { kFlag, kInt, kDouble, kString, kStringList };
   struct Option {
     Kind kind;
     std::string help;
     std::string value;      // current value, textual
     std::string fallback;   // default, textual
     bool set_by_user = false;
+    std::vector<std::string> values;  // kStringList only
   };
 
   const Option& lookup(const std::string& name, Kind kind) const;

@@ -1,6 +1,9 @@
 #include "util/json.hpp"
 
+#include <cerrno>
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -79,9 +82,12 @@ void JsonWriter::value(double v) {
     // JSON has no NaN/Inf; emit null per the common convention.
     out_ << "null";
   } else {
-    std::ostringstream os;
-    os << std::setprecision(12) << v;
-    out_ << os.str();
+    // Shortest decimal that parses back to exactly `v`: collector state
+    // must survive a serialize -> parse round trip bit-identically (the
+    // historic setprecision(12) truncated ~5 significant digits away).
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.write(buf, res.ptr - buf);
   }
   if (stack_.empty()) root_written_ = true;
 }
@@ -116,6 +122,363 @@ void JsonWriter::null() {
   before_value();
   out_ << "null";
   if (stack_.empty()) root_written_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue: reader
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent parser over the whole document string. Depth-limited
+/// so hostile nesting cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError("JSON parse error at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    JsonValue v;
+    switch (peek()) {
+      case '{':
+        parse_object(v);
+        break;
+      case '[':
+        parse_array(v);
+        break;
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.scalar_ = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        v.type_ = JsonValue::Type::kNull;
+        break;
+      default:
+        parse_number(v);
+        break;
+    }
+    --depth_;
+    return v;
+  }
+
+  void parse_object(JsonValue& v) {
+    v.type_ = JsonValue::Type::kObject;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      JsonValue member = parse_value();
+      v.members_.emplace_back(std::move(key), std::move(member));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(JsonValue& v) {
+    v.type_ = JsonValue::Type::kArray;
+    expect('[');
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      v.items_.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_utf8(out, parse_codepoint());
+          break;
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  /// \uXXXX, combining surrogate pairs into one code point.
+  std::uint32_t parse_codepoint() {
+    std::uint32_t unit = parse_hex4();
+    if (unit >= 0xD800 && unit <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("high surrogate without low surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      unit = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+    } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    return unit;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out += static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out += static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out += static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return out;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// Validate the number against the JSON grammar and keep the raw token;
+  /// conversion happens in the typed accessors.
+  void parse_number(JsonValue& v) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("digits required after '.'");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("digits required in exponent");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    v.type_ = JsonValue::Type::kNumber;
+    v.scalar_ = text_.substr(start, pos_ - start);
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, JsonValue::Type got) {
+  static const char* const names[] = {"null", "bool", "number", "string", "array", "object"};
+  throw JsonError(std::string("JSON value is ") + names[static_cast<int>(got)] + ", wanted " +
+                  wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+#if defined(__cpp_lib_to_chars)
+  // from_chars mirrors the writer's to_chars: locale-independent and
+  // correctly rounded, so the bit-exact round trip holds under any global
+  // LC_NUMERIC an embedding application may have set.
+  double out = 0.0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), out);
+  if (res.ec == std::errc::result_out_of_range) {
+    throw JsonError("number out of double range: " + scalar_);
+  }
+  if (res.ec != std::errc{} || res.ptr != scalar_.data() + scalar_.size()) {
+    throw JsonError("bad number token: " + scalar_);
+  }
+  return out;
+#else
+  // Standard libraries without floating-point from_chars (libc++ < 20):
+  // strtod is still correctly rounded but reads LC_NUMERIC, so embedders
+  // that set a non-C numeric locale lose the round trip on this path.
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size()) throw JsonError("bad number token: " + scalar_);
+  if (errno == ERANGE && !std::isfinite(out)) {
+    throw JsonError("number out of double range: " + scalar_);
+  }
+  return out;
+#endif
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  std::int64_t out = 0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), out);
+  if (res.ec != std::errc{} || res.ptr != scalar_.data() + scalar_.size()) {
+    throw JsonError("not a 64-bit integer: " + scalar_);
+  }
+  return out;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  std::uint64_t out = 0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), out);
+  if (res.ec != std::errc{} || res.ptr != scalar_.data() + scalar_.size()) {
+    throw JsonError("not an unsigned 64-bit integer: " + scalar_);
+  }
+  return out;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw JsonError("missing JSON object key: " + key);
+  return *v;
 }
 
 void JsonWriter::write_string(const std::string& s) {

@@ -1,15 +1,25 @@
 #pragma once
 
 /// \file json.hpp
-/// Minimal streaming JSON writer for machine-readable experiment output
-/// (`nubb_run --json`, bench post-processing). Write-only, no DOM: the
-/// writer tracks the nesting structure and enforces well-formedness with
-/// precondition checks, so malformed output is impossible rather than
-/// merely unlikely.
+/// Minimal JSON support for machine-readable experiment state and output.
+///
+/// `JsonWriter` is a streaming emitter (`nubb_run --json`, bench
+/// post-processing, shard state files): no DOM, the writer tracks the
+/// nesting structure and enforces well-formedness with precondition
+/// checks, so malformed output is impossible rather than merely unlikely.
+/// Doubles are emitted as the shortest decimal that round-trips exactly
+/// (std::to_chars), so serialize -> parse reproduces every bit.
+///
+/// `JsonValue` is the reader counterpart: a small DOM parsed with
+/// `JsonValue::parse`, used to load shard state written by other
+/// processes. Number tokens are kept verbatim and converted on access, so
+/// integer width and floating-point bits survive the round trip.
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nubb {
@@ -66,6 +76,60 @@ class JsonWriter {
   std::vector<bool> has_items_;  // parallel to stack_
   bool pending_key_ = false;     // a key was written, value expected
   bool root_written_ = false;
+};
+
+/// Thrown by `JsonValue::parse` on malformed input and by the typed
+/// accessors on type/range mismatches. Derives from std::runtime_error
+/// (not PreconditionError): the usual source is an external state file,
+/// i.e. bad input rather than a caller bug.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed JSON document node. Small recursive DOM sized for experiment
+/// state files, not a general-purpose library: objects are stored as
+/// insertion-ordered (key, value) vectors with linear lookup.
+///
+/// Numbers keep their raw source token and convert on access, which makes
+/// the reader exact by construction: a double written by JsonWriter (which
+/// emits shortest-round-trip decimals) parses back to the identical bits,
+/// and 64-bit counts never detour through a double.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one complete JSON document; trailing non-whitespace is an
+  /// error. Throws JsonError with a character offset on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+
+  /// Typed accessors; throw JsonError when the node has a different type
+  /// (or, for the integer accessors, when the number token is fractional,
+  /// signed, or out of range).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// Object member lookup: null pointer / JsonError when absent.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // string value, or the raw number token
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace nubb

@@ -11,9 +11,20 @@
 ///     so the result is bit-identical for any ThreadPool size, including 1;
 ///   * the per-replication results are folded into an accumulator type `Acc`
 ///     that is a commutative monoid (`merge`).
+///
+/// The same contract extends across processes: the chunk layout
+/// (`ChunkLayout`) is a pure function of (replications, chunk_count), so a
+/// shard that runs only the chunks in `shard_chunk_range` produces per-chunk
+/// accumulators identical to the ones a single-process run would have built
+/// for those chunks. Folding all shards' chunk states in global chunk order
+/// then replays the single-process merge sequence exactly — floating-point
+/// grouping included — which is what `experiment.hpp`'s shard runners build
+/// on.
 
+#include <algorithm>
 #include <cstdint>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -29,39 +40,74 @@ namespace nubb {
 /// workers; chunks are equal-sized, so coarser chunking costs no balance.
 inline constexpr std::uint64_t kReplicationChunks = 16;
 
-/// Run `replications` independent trials with per-chunk worker state.
+/// Resolved contiguous chunk layout for a replication range. `chunk_count`
+/// counts only non-empty chunks, so indices [0, chunk_count) enumerate
+/// exactly the chunks a run executes; the boundaries are identical to the
+/// historic inline computation, so every golden value is preserved.
+struct ChunkLayout {
+  std::uint64_t replications = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t per_chunk = 0;
+
+  std::uint64_t begin(std::uint64_t chunk) const noexcept { return chunk * per_chunk; }
+  std::uint64_t end(std::uint64_t chunk) const noexcept {
+    return std::min(begin(chunk) + per_chunk, replications);
+  }
+};
+
+/// Layout for `replications` trials split into (at most) `chunk_count`
+/// chunks; 0 requests the pinned kReplicationChunks default.
+inline ChunkLayout make_chunk_layout(std::uint64_t replications,
+                                     std::uint64_t chunk_count = kReplicationChunks) {
+  ChunkLayout layout;
+  layout.replications = replications;
+  if (replications == 0) return layout;
+  if (chunk_count == 0) chunk_count = kReplicationChunks;
+  const std::uint64_t chunks = std::min<std::uint64_t>(chunk_count, replications);
+  layout.per_chunk = (replications + chunks - 1) / chunks;
+  // Ceil rounding can leave trailing chunks empty (e.g. 100 replications in
+  // 16 requested chunks -> 15 chunks of 7); count only the real ones.
+  layout.chunk_count = (replications + layout.per_chunk - 1) / layout.per_chunk;
+  return layout;
+}
+
+/// The contiguous range [first, last) of chunk indices that shard
+/// `shard_index` of `shard_count` owns. Balanced split; shards beyond the
+/// chunk count get empty ranges. \pre shard_index < shard_count.
+inline std::pair<std::uint64_t, std::uint64_t> shard_chunk_range(std::uint64_t chunk_count,
+                                                                 std::uint64_t shard_index,
+                                                                 std::uint64_t shard_count) {
+  return {shard_index * chunk_count / shard_count,
+          (shard_index + 1) * chunk_count / shard_count};
+}
+
+/// Run the replication chunks [chunk_first, chunk_last) of `layout` in
+/// parallel and return each chunk's accumulator, keyed by global chunk
+/// index, in chunk order. This is the primitive under both the in-process
+/// driver (which folds the states immediately) and the multi-process shard
+/// runners (which serialize them): chunk states never depend on which
+/// process or thread computed them.
+///
 /// `make_context()` is invoked once per chunk (on the worker) to build
 /// scratch state — bin arrays, reusable buffers — that
-/// `body(rep_index, rng, context, acc)` may mutate freely across the chunk's
-/// replications; contexts never migrate between chunks. The chunk-local
-/// accumulators are merged into `out` in replication order (so even
-/// non-commutative accumulators behave deterministically).
-///
-/// `chunk_count` overrides the fixed chunk layout (0 keeps the
-/// kReplicationChunks default). Results are deterministic for any fixed
-/// value — independent of the thread count — but two different chunk counts
-/// group the floating-point merges differently, so only the default is
-/// pinned by golden values. Pass more chunks than workers to keep pools
-/// beyond 16 threads busy.
+/// `body(rep_index, rng, context, acc)` may mutate freely across the
+/// chunk's replications; contexts never migrate between chunks.
 ///
 /// `Acc` requirements: default-constructible, `void merge(const Acc&)`.
 template <typename Acc, typename MakeContext, typename Body>
-void parallel_replications_with_context(std::uint64_t replications, std::uint64_t base_seed,
-                                        MakeContext make_context, Body body, Acc& out,
-                                        ThreadPool* pool = nullptr,
-                                        std::uint64_t chunk_count = kReplicationChunks) {
-  if (replications == 0) return;
-  if (chunk_count == 0) chunk_count = kReplicationChunks;
+std::vector<std::pair<std::uint64_t, Acc>> replication_chunk_states(
+    const ChunkLayout& layout, std::uint64_t base_seed, MakeContext make_context, Body body,
+    std::uint64_t chunk_first, std::uint64_t chunk_last, ThreadPool* pool = nullptr) {
+  std::vector<std::pair<std::uint64_t, Acc>> states;
+  chunk_last = std::min(chunk_last, layout.chunk_count);
+  if (chunk_first >= chunk_last) return states;
   ThreadPool& tp = pool ? *pool : global_thread_pool();
-  const std::uint64_t chunks = std::min<std::uint64_t>(chunk_count, replications);
-  const std::uint64_t per_chunk = (replications + chunks - 1) / chunks;
 
   std::vector<std::future<Acc>> partials;
-  partials.reserve(chunks);
-  for (std::uint64_t c = 0; c < chunks; ++c) {
-    const std::uint64_t begin = c * per_chunk;
-    const std::uint64_t end = std::min(begin + per_chunk, replications);
-    if (begin >= end) break;
+  partials.reserve(chunk_last - chunk_first);
+  for (std::uint64_t c = chunk_first; c < chunk_last; ++c) {
+    const std::uint64_t begin = layout.begin(c);
+    const std::uint64_t end = layout.end(c);
     partials.push_back(tp.submit([begin, end, base_seed, &make_context, &body]() {
       Acc local;
       auto context = make_context();
@@ -72,10 +118,34 @@ void parallel_replications_with_context(std::uint64_t replications, std::uint64_
       return local;
     }));
   }
-  for (auto& f : partials) {
-    Acc part = f.get();
-    out.merge(part);
+  states.reserve(partials.size());
+  for (std::uint64_t c = chunk_first; c < chunk_last; ++c) {
+    states.emplace_back(c, partials[c - chunk_first].get());
   }
+  return states;
+}
+
+/// Run `replications` independent trials with per-chunk worker state (see
+/// `replication_chunk_states` for the context/body contract). The
+/// chunk-local accumulators are merged into `out` in replication order (so
+/// even non-commutative accumulators behave deterministically).
+///
+/// `chunk_count` overrides the fixed chunk layout (0 keeps the
+/// kReplicationChunks default). Results are deterministic for any fixed
+/// value — independent of the thread count — but two different chunk counts
+/// group the floating-point merges differently, so only the default is
+/// pinned by golden values. Pass more chunks than workers to keep pools
+/// beyond 16 threads busy.
+template <typename Acc, typename MakeContext, typename Body>
+void parallel_replications_with_context(std::uint64_t replications, std::uint64_t base_seed,
+                                        MakeContext make_context, Body body, Acc& out,
+                                        ThreadPool* pool = nullptr,
+                                        std::uint64_t chunk_count = kReplicationChunks) {
+  if (replications == 0) return;
+  const ChunkLayout layout = make_chunk_layout(replications, chunk_count);
+  auto states = replication_chunk_states<Acc>(layout, base_seed, make_context, body, 0,
+                                              layout.chunk_count, pool);
+  for (auto& state : states) out.merge(state.second);
 }
 
 /// Context-free variant: `body(rep_index, rng, acc)`.

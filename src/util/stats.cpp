@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace nubb {
 
@@ -55,6 +56,26 @@ double RunningStats::ci_half_width(double confidence) const {
   return normal_z(confidence) * std_error();
 }
 
+void RunningStats::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.kv("mean", mean_);
+  w.kv("m2", m2_);
+  w.kv("min", min_);
+  w.kv("max", max_);
+  w.end_object();
+}
+
+RunningStats RunningStats::from_json(const JsonValue& v) {
+  RunningStats s;
+  s.count_ = v.at("count").as_uint64();
+  s.mean_ = v.at("mean").as_double();
+  s.m2_ = v.at("m2").as_double();
+  s.min_ = v.at("min").as_double();
+  s.max_ = v.at("max").as_double();
+  return s;
+}
+
 Summary Summary::from(const RunningStats& s) {
   Summary out;
   out.count = s.count();
@@ -73,15 +94,33 @@ std::string Summary::to_string() const {
   return os.str();
 }
 
-double quantile(std::vector<double> values, double q) {
-  NUBB_REQUIRE_MSG(!values.empty(), "quantile of empty sample");
+namespace {
+
+/// R-7 quantile of an already-sorted sample.
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
   NUBB_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
-  std::sort(values.begin(), values.end());
-  const double pos = q * static_cast<double>(values.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
   const auto hi = static_cast<std::size_t>(std::ceil(pos));
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] + frac * (values[hi] - values[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::vector<double> values, double q) {
+  NUBB_REQUIRE_MSG(!values.empty(), "quantile of empty sample");
+  std::sort(values.begin(), values.end());
+  return quantile_of_sorted(values, q);
+}
+
+std::vector<double> quantiles(std::vector<double> values, const std::vector<double>& qs) {
+  NUBB_REQUIRE_MSG(!values.empty(), "quantile of empty sample");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_of_sorted(values, q));
+  return out;
 }
 
 double chi_square_statistic(const std::vector<std::uint64_t>& observed,

@@ -15,6 +15,9 @@
 
 namespace nubb {
 
+class JsonValue;
+class JsonWriter;
+
 /// Online mean / variance / min / max with merge support.
 class RunningStats {
  public:
@@ -40,6 +43,14 @@ class RunningStats {
   /// Half-width of the normal-approximation confidence interval at the given
   /// two-sided confidence level (supported: 0.90, 0.95, 0.99).
   double ci_half_width(double confidence = 0.95) const;
+
+  /// Serialize the raw accumulator state (count and moments, not derived
+  /// statistics) as a JSON object. The round trip through from_json is
+  /// bit-exact: every accessor and every subsequent merge behaves
+  /// identically to the last bit, which is what lets shard processes ship
+  /// partial results without perturbing merged golden values.
+  void to_json(JsonWriter& w) const;
+  static RunningStats from_json(const JsonValue& v);
 
  private:
   std::uint64_t count_ = 0;
@@ -69,6 +80,12 @@ struct Summary {
 /// the "R-7" definition used by numpy's default). Sorts a copy: O(n log n).
 /// \pre values non-empty, 0 <= q <= 1.
 double quantile(std::vector<double> values, double q);
+
+/// Several quantiles of one sample, sorting the copy once instead of once
+/// per level. Results are positionally matched to `qs` and identical to
+/// calling `quantile(values, q)` per level.
+/// \pre values non-empty, every q in [0,1].
+std::vector<double> quantiles(std::vector<double> values, const std::vector<double>& qs);
 
 /// Pearson chi-square goodness-of-fit statistic of observed counts against
 /// expected probabilities. \pre sizes match; expected probabilities sum ~1.

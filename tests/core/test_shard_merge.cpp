@@ -1,0 +1,255 @@
+/// Shard-merge equivalence suite: for every high-level runner in
+/// core/experiment.hpp, running the replications as 1 process must be
+/// bit-identical to running them as N shard processes whose collector
+/// states travel through the JSON serialization path and are merged.
+/// EXPECT_EQ on doubles is deliberate — the contract is exact equality,
+/// not tolerance.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/builder.hpp"
+#include "core/experiment.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+namespace nubb {
+namespace {
+
+ExperimentConfig shard_exp(std::uint64_t shard_index, std::uint64_t shard_count,
+                           std::uint64_t reps = 100, std::uint64_t seed = 0xD15C0) {
+  ExperimentConfig exp;
+  exp.replications = reps;
+  exp.base_seed = seed;
+  exp.shard_index = shard_index;
+  exp.shard_count = shard_count;
+  return exp;
+}
+
+/// Serialize -> parse -> reconstruct, exactly what the nubb_run state files
+/// do between processes.
+template <typename Collector>
+ExperimentShard<Collector> json_roundtrip(const ExperimentShard<Collector>& shard) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  shard.to_json(w);
+  EXPECT_TRUE(w.complete());
+  return ExperimentShard<Collector>::from_json(JsonValue::parse(os.str()));
+}
+
+/// Run `shard_fn(exp)` for every shard of an N-way split, round-trip each
+/// state through JSON, and return the shard set ready to merge.
+template <typename Collector, typename ShardFn>
+std::vector<ExperimentShard<Collector>> run_sharded(std::uint64_t shard_count,
+                                                    ShardFn shard_fn) {
+  std::vector<ExperimentShard<Collector>> shards;
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    shards.push_back(json_roundtrip(shard_fn(shard_exp(i, shard_count))));
+  }
+  return shards;
+}
+
+const std::vector<std::uint64_t>& test_caps() {
+  static const std::vector<std::uint64_t> caps = two_class_capacities(24, 1, 24, 10);
+  return caps;
+}
+
+TEST(ShardMergeTest, MaxLoadSummaryIsBitIdentical) {
+  const Summary single = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<ScalarCollector>(n, [](const ExperimentConfig& exp) {
+      return max_load_summary_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                    GameConfig{}, exp);
+    });
+    const Summary merged = max_load_summary_merge(shards);
+    EXPECT_EQ(merged.count, single.count) << n << " shards";
+    EXPECT_EQ(merged.mean, single.mean) << n << " shards";
+    EXPECT_EQ(merged.stddev, single.stddev) << n << " shards";
+    EXPECT_EQ(merged.std_error, single.std_error) << n << " shards";
+    EXPECT_EQ(merged.min, single.min) << n << " shards";
+    EXPECT_EQ(merged.max, single.max) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, MeanSortedProfileIsBitIdentical) {
+  const auto single = mean_sorted_profile(test_caps(),
+                                          SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<VectorMeanCollector>(n, [](const ExperimentConfig& exp) {
+      return mean_sorted_profile_shard(test_caps(),
+                                       SelectionPolicy::proportional_to_capacity(),
+                                       GameConfig{}, exp);
+    });
+    EXPECT_EQ(mean_sorted_profile_merge(shards), single) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, MeanClassProfilesIsBitIdentical) {
+  const auto single = mean_class_profiles(test_caps(),
+                                          SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<ClassProfilesCollector>(n, [](const ExperimentConfig& exp) {
+      return mean_class_profiles_shard(test_caps(),
+                                       SelectionPolicy::proportional_to_capacity(),
+                                       GameConfig{}, exp);
+    });
+    EXPECT_EQ(mean_class_profiles_merge(shards), single) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, ClassOfMaxFractionsIsBitIdentical) {
+  const auto single = class_of_max_fractions(test_caps(),
+                                             SelectionPolicy::proportional_to_capacity(),
+                                             GameConfig{}, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<KeyFrequencyCollector>(n, [](const ExperimentConfig& exp) {
+      return class_of_max_fractions_shard(test_caps(),
+                                          SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, exp);
+    });
+    EXPECT_EQ(class_of_max_fractions_merge(shards), single) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, MeanGapTraceIsBitIdentical) {
+  const auto single = mean_gap_trace(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, /*total_balls=*/480,
+                                     /*checkpoint_interval=*/48, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<VectorMeanCollector>(n, [](const ExperimentConfig& exp) {
+      return mean_gap_trace_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                  GameConfig{}, 480, 48, exp);
+    });
+    EXPECT_EQ(mean_gap_trace_merge(shards), single) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, MaxLoadDistributionIsBitIdentical) {
+  const auto single = max_load_distribution(test_caps(),
+                                            SelectionPolicy::proportional_to_capacity(),
+                                            GameConfig{}, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<SampleCollector>(n, [](const ExperimentConfig& exp) {
+      return max_load_distribution_shard(test_caps(),
+                                         SelectionPolicy::proportional_to_capacity(),
+                                         GameConfig{}, exp);
+    });
+    const MaxLoadDistribution merged = max_load_distribution_merge(shards);
+    EXPECT_EQ(merged.summary.count, single.summary.count) << n << " shards";
+    EXPECT_EQ(merged.summary.mean, single.summary.mean) << n << " shards";
+    EXPECT_EQ(merged.summary.stddev, single.summary.stddev) << n << " shards";
+    EXPECT_EQ(merged.q50, single.q50) << n << " shards";
+    EXPECT_EQ(merged.q95, single.q95) << n << " shards";
+    EXPECT_EQ(merged.q99, single.q99) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, ShardsBeyondChunkCountAreEmptyButMergeable) {
+  // 100 replications resolve to 16 chunks; a 32-way split leaves half the
+  // shards with no chunks. They must still serialize and merge cleanly.
+  const Summary single = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, shard_exp(0, 1));
+  const auto shards = run_sharded<ScalarCollector>(32, [](const ExperimentConfig& exp) {
+    return max_load_summary_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                  GameConfig{}, exp);
+  });
+  std::size_t empty_shards = 0;
+  for (const auto& s : shards) empty_shards += s.chunks.empty() ? 1 : 0;
+  EXPECT_GT(empty_shards, 0u);
+  EXPECT_EQ(max_load_summary_merge(shards).mean, single.mean);
+}
+
+TEST(ShardMergeTest, ShardsPartitionTheChunksExactly) {
+  // Every chunk appears in exactly one shard, and shard ranges follow the
+  // balanced contiguous split of the resolved layout.
+  for (const std::uint64_t reps : {100u, 10u, 1000u}) {
+    for (const std::uint64_t n : {1u, 2u, 4u, 16u, 7u}) {
+      const ChunkLayout layout = make_chunk_layout(reps, 0);
+      std::vector<bool> seen(layout.chunk_count, false);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto [first, last] = shard_chunk_range(layout.chunk_count, i, n);
+        for (std::uint64_t c = first; c < last; ++c) {
+          EXPECT_FALSE(seen[c]);
+          seen[c] = true;
+        }
+      }
+      for (std::uint64_t c = 0; c < layout.chunk_count; ++c) {
+        EXPECT_TRUE(seen[c]) << "chunk " << c << " unowned for reps=" << reps << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ShardMergeTest, MergeValidatesShardSets) {
+  auto make = [](const ExperimentConfig& exp) {
+    return max_load_summary_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                  GameConfig{}, exp);
+  };
+  const auto s0 = make(shard_exp(0, 2));
+  const auto s1 = make(shard_exp(1, 2));
+
+  // Incomplete set: missing chunks.
+  EXPECT_THROW(max_load_summary_merge({s0}), std::runtime_error);
+  // Duplicated chunks.
+  EXPECT_THROW(max_load_summary_merge({s0, s0}), std::runtime_error);
+  // Mismatched experiment (different seed).
+  const auto other = make(shard_exp(1, 2, 100, 999));
+  EXPECT_THROW(max_load_summary_merge({s0, other}), std::runtime_error);
+  // Empty set.
+  EXPECT_THROW(max_load_summary_merge({}), std::runtime_error);
+  // The correct set merges.
+  EXPECT_NO_THROW(max_load_summary_merge({s0, s1}));
+  // Shard order must not matter: the fold is by global chunk index.
+  EXPECT_EQ(max_load_summary_merge({s1, s0}).mean, max_load_summary_merge({s0, s1}).mean);
+}
+
+TEST(ShardMergeTest, FullRunnersRejectShardedConfigs) {
+  EXPECT_THROW(max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                GameConfig{}, shard_exp(1, 2)),
+               PreconditionError);
+  EXPECT_THROW(max_load_distribution(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, shard_exp(0, 2)),
+               PreconditionError);
+}
+
+TEST(ShardMergeTest, ShardRunnersValidateCoordinates) {
+  EXPECT_THROW(max_load_summary_shard(test_caps(),
+                                      SelectionPolicy::proportional_to_capacity(), GameConfig{},
+                                      shard_exp(0, 0)),
+               PreconditionError);
+  ExperimentConfig bad = shard_exp(3, 2);
+  EXPECT_THROW(max_load_summary_shard(test_caps(),
+                                      SelectionPolicy::proportional_to_capacity(), GameConfig{},
+                                      bad),
+               PreconditionError);
+}
+
+TEST(ShardMergeTest, ChunkOverrideShardsStayBitIdentical) {
+  // Sharding composes with ExperimentConfig::chunks: a 64-chunk layout cut
+  // into 4 shards still reproduces the 64-chunk single-process result.
+  ExperimentConfig single_exp = shard_exp(0, 1, 256, 4242);
+  single_exp.chunks = 64;
+  const Summary single = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                          GameConfig{}, single_exp);
+  std::vector<ExperimentShard<ScalarCollector>> shards;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ExperimentConfig exp = shard_exp(i, 4, 256, 4242);
+    exp.chunks = 64;
+    shards.push_back(json_roundtrip(max_load_summary_shard(
+        test_caps(), SelectionPolicy::proportional_to_capacity(), GameConfig{}, exp)));
+  }
+  const Summary merged = max_load_summary_merge(shards);
+  EXPECT_EQ(merged.mean, single.mean);
+  EXPECT_EQ(merged.stddev, single.stddev);
+  EXPECT_EQ(merged.min, single.min);
+  EXPECT_EQ(merged.max, single.max);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -108,6 +108,74 @@ TEST(CliTest, MalformedNumberThrows) {
   EXPECT_THROW(cli2.parse(dbl_args.argc(), dbl_args.argv()), std::runtime_error);
 }
 
+TEST(CliTest, TrailingJunkInNumbersThrows) {
+  // Regression: bare stoll/stod accept trailing garbage, so "--reps 5x"
+  // used to silently parse as 5. The whole token must be consumed.
+  for (const char* bad : {"5x", "1 2", "0x10", "++1"}) {
+    CliParser cli = make_parser();
+    Argv args({"--reps", bad});
+    EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error) << bad;
+  }
+  for (const char* bad : {"1e3z", "1.5.5", "2.0 "}) {
+    CliParser cli = make_parser();
+    Argv args({"--scale", bad});
+    EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error) << bad;
+  }
+  // Scientific notation itself stays valid for doubles.
+  CliParser ok = make_parser();
+  Argv good({"--scale=1e3"});
+  ASSERT_TRUE(ok.parse(good.argc(), good.argv()));
+  EXPECT_DOUBLE_EQ(ok.get_double("scale"), 1000.0);
+}
+
+TEST(CliTest, EmptyNumericValueThrows) {
+  CliParser cli = make_parser();
+  Argv int_args({"--reps="});
+  EXPECT_THROW(cli.parse(int_args.argc(), int_args.argv()), std::runtime_error);
+
+  CliParser cli2 = make_parser();
+  Argv dbl_args({"--scale="});
+  EXPECT_THROW(cli2.parse(dbl_args.argc(), dbl_args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, StringListConsumesGreedily) {
+  CliParser cli = make_parser();
+  cli.add_string_list("merge", "files");
+  Argv args({"--merge", "a.json", "b.json", "c.json", "--reps", "7"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_string_list("merge"),
+            (std::vector<std::string>{"a.json", "b.json", "c.json"}));
+  EXPECT_EQ(cli.get_int("reps"), 7);
+  EXPECT_TRUE(cli.was_set("merge"));
+}
+
+TEST(CliTest, StringListEqualsAndRepeatsAppend) {
+  CliParser cli = make_parser();
+  cli.add_string_list("merge", "files");
+  Argv args({"--merge=a.json", "--merge", "b.json", "c.json"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_string_list("merge"),
+            (std::vector<std::string>{"a.json", "b.json", "c.json"}));
+}
+
+TEST(CliTest, StringListDefaultsEmptyAndRequiresValues) {
+  CliParser cli = make_parser();
+  cli.add_string_list("merge", "files");
+  Argv none({});
+  ASSERT_TRUE(cli.parse(none.argc(), none.argv()));
+  EXPECT_TRUE(cli.get_string_list("merge").empty());
+
+  CliParser cli2 = make_parser();
+  cli2.add_string_list("merge", "files");
+  Argv bare({"--merge"});
+  EXPECT_THROW(cli2.parse(bare.argc(), bare.argv()), std::runtime_error);
+
+  CliParser cli3 = make_parser();
+  cli3.add_string_list("merge", "files");
+  Argv followed({"--merge", "--verbose"});
+  EXPECT_THROW(cli3.parse(followed.argc(), followed.argv()), std::runtime_error);
+}
+
 TEST(CliTest, FlagWithValueThrows) {
   CliParser cli = make_parser();
   Argv args({"--verbose=1"});

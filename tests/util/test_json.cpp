@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace nubb {
 namespace {
@@ -94,6 +97,120 @@ TEST(JsonWriterTest, StringEscaping) {
 TEST(JsonWriterTest, ControlCharactersAreUnicodeEscaped) {
   const std::string out = render([](JsonWriter& j) { j.value(std::string("\x01")); });
   EXPECT_EQ(out, "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripBitExactly) {
+  // Regression for the historic setprecision(12) truncation: the writer
+  // must emit enough digits that parse(serialize(x)) == x for every bit.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          3.141592653589793,
+                          -0.0,
+                          1e-300,
+                          5e-324,  // smallest denormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          1.3175,
+                          0.01369879685139828};
+  for (const double x : cases) {
+    const std::string text = render([x](JsonWriter& j) { j.value(x); });
+    const double back = JsonValue::parse(text).as_double();
+    EXPECT_EQ(std::signbit(x), std::signbit(back)) << text;
+    EXPECT_EQ(x, back) << text;
+  }
+
+  Xoshiro256StarStar rng(2026);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const std::string text = render([x](JsonWriter& j) { j.value(x); });
+    EXPECT_EQ(x, JsonValue::parse(text).as_double()) << text;
+  }
+}
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("42").as_uint64(), 42u);
+  EXPECT_EQ(JsonValue::parse("-42").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.5e3").as_double(), 1500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("  42  ").as_uint64(), 42u);  // surrounding whitespace
+}
+
+TEST(JsonValueTest, IntegersKeepFullWidth) {
+  // A detour through double would corrupt counts above 2^53.
+  const auto max_u64 = std::numeric_limits<std::uint64_t>::max();
+  const std::string text = render([max_u64](JsonWriter& j) { j.value(max_u64); });
+  EXPECT_EQ(JsonValue::parse(text).as_uint64(), max_u64);
+
+  const auto min_i64 = std::numeric_limits<std::int64_t>::min();
+  const std::string text2 = render([min_i64](JsonWriter& j) { j.value(min_i64); });
+  EXPECT_EQ(JsonValue::parse(text2).as_int64(), min_i64);
+}
+
+TEST(JsonValueTest, ParsesNestedStructures) {
+  const JsonValue v =
+      JsonValue::parse(R"({"series":[{"x":1},{"x":2}],"name":"run","ok":true})");
+  EXPECT_EQ(v.type(), JsonValue::Type::kObject);
+  const auto& series = v.at("series").as_array();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].at("x").as_uint64(), 1u);
+  EXPECT_EQ(series[1].at("x").as_uint64(), 2u);
+  EXPECT_EQ(v.at("name").as_string(), "run");
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(JsonValueTest, ParsesEmptyContainers) {
+  EXPECT_TRUE(JsonValue::parse("{}").members().empty());
+  EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+}
+
+TEST(JsonValueTest, DecodesEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("quote\" slash\\ newline\n tab\t")").as_string(),
+            "quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xC3\xA9");          // é
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(), "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(JsonValueTest, WriterEscapesRoundTrip) {
+  const std::string original = "quote\" slash\\ newline\n tab\t ctrl\x01 done";
+  const std::string text = render([&original](JsonWriter& j) { j.value(original); });
+  EXPECT_EQ(JsonValue::parse(text).as_string(), original);
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "tru", "nul", "01", "1.", "1e", "-",
+                          "\"unterminated", "\"bad\\q\"", "\"\\u12g4\"", "{\"a\" 1}",
+                          "{\"a\":1,}", "[1 2]", "1 2", "{\"a\":}"}) {
+    EXPECT_THROW(JsonValue::parse(bad), JsonError) << bad;
+  }
+  // Unpaired surrogates in escapes.
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), JsonError);
+  EXPECT_THROW(JsonValue::parse(R"("\ude00")"), JsonError);
+}
+
+TEST(JsonValueTest, RejectsHostileNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += '[';
+  EXPECT_THROW(JsonValue::parse(deep), JsonError);
+}
+
+TEST(JsonValueTest, TypeMismatchesThrow) {
+  const JsonValue v = JsonValue::parse("[1,\"x\"]");
+  EXPECT_THROW(v.as_bool(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.members(), JsonError);
+  EXPECT_THROW(v.at("k"), JsonError);
+  EXPECT_THROW(v.as_array()[0].as_string(), JsonError);
+  EXPECT_THROW(v.as_array()[1].as_uint64(), JsonError);
+  EXPECT_THROW(JsonValue::parse("-1").as_uint64(), JsonError);
+  EXPECT_THROW(JsonValue::parse("1.5").as_uint64(), JsonError);
+  EXPECT_THROW(JsonValue::parse("18446744073709551616").as_uint64(), JsonError);  // 2^64
 }
 
 TEST(JsonWriterTest, MisuseIsRejected) {

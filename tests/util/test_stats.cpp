@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace nubb {
@@ -139,6 +141,70 @@ TEST(QuantileTest, RejectsBadInput) {
   EXPECT_THROW(quantile({}, 0.5), PreconditionError);
   EXPECT_THROW(quantile({1.0}, -0.1), PreconditionError);
   EXPECT_THROW(quantile({1.0}, 1.1), PreconditionError);
+}
+
+TEST(QuantileTest, MultiQuantileMatchesSingleCalls) {
+  Xoshiro256StarStar rng(91);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(-3.0, 9.0));
+  const std::vector<double> qs = {0.0, 0.25, 0.5, 0.95, 0.99, 1.0};
+  const std::vector<double> multi = quantiles(xs, qs);
+  ASSERT_EQ(multi.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    // Identical computation after one shared sort: exact equality, not NEAR.
+    EXPECT_EQ(multi[i], quantile(xs, qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(QuantileTest, MultiQuantileRejectsBadInput) {
+  EXPECT_THROW(quantiles({}, {0.5}), PreconditionError);
+  EXPECT_THROW(quantiles({1.0}, {0.5, 1.5}), PreconditionError);
+  EXPECT_TRUE(quantiles({1.0}, {}).empty());
+}
+
+// --- JSON round trip --------------------------------------------------------
+
+namespace {
+
+RunningStats json_roundtrip(const RunningStats& s) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  s.to_json(w);
+  return RunningStats::from_json(JsonValue::parse(os.str()));
+}
+
+}  // namespace
+
+TEST(RunningStatsTest, JsonRoundTripIsBitExact) {
+  Xoshiro256StarStar rng(77);
+  RunningStats s;
+  for (int i = 0; i < 1234; ++i) s.add(rng.uniform(-1e3, 1e7));
+
+  const RunningStats back = json_roundtrip(s);
+  EXPECT_EQ(back.count(), s.count());
+  // Exact equality on every accessor: the serialized state must preserve
+  // all 64 bits of each moment, or sharded merges would drift.
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.variance(), s.variance());
+  EXPECT_EQ(back.min(), s.min());
+  EXPECT_EQ(back.max(), s.max());
+
+  // Merging restored state behaves identically to merging the original.
+  RunningStats other;
+  for (int i = 0; i < 99; ++i) other.add(rng.uniform(0.0, 1.0));
+  RunningStats merged_orig = s;
+  merged_orig.merge(other);
+  RunningStats merged_back = back;
+  merged_back.merge(other);
+  EXPECT_EQ(merged_back.mean(), merged_orig.mean());
+  EXPECT_EQ(merged_back.variance(), merged_orig.variance());
+}
+
+TEST(RunningStatsTest, JsonRoundTripOfEmptyState) {
+  const RunningStats back = json_roundtrip(RunningStats{});
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_EQ(back.mean(), 0.0);
+  EXPECT_EQ(back.variance(), 0.0);
 }
 
 // --- chi-square ----------------------------------------------------------------

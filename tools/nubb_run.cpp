@@ -16,11 +16,21 @@
 ///   # randomised capacities (Section 4.2) or power-law populations
 ///   nubb_run --random-mean 4 --n 10000
 ///   nubb_run --zipf-alpha 1.5 --zipf-max 64 --n 2000
-
-#include <iostream>
-#include <sstream>
+///
+/// Sharded multi-process runs: each shard process runs its slice of the
+/// replication chunks and writes its collector state as JSON; the merge
+/// step folds the states in global chunk order, reproducing the
+/// single-process result bit-identically (scripts/shard_run.sh wraps the
+/// fan-out):
+///
+///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 0/4 --out s0.json
+///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 1/4 --out s1.json
+///   ...
+///   nubb_run --merge s0.json s1.json s2.json s3.json
 
 #include <fstream>
+#include <iostream>
+#include <sstream>
 
 #include "core/nubb.hpp"
 #include "theory/bounds.hpp"
@@ -33,6 +43,8 @@
 using namespace nubb;
 
 namespace {
+
+constexpr const char* kShardFormat = "nubb.shard.v1";
 
 /// Parse "500x1,500x10" into a capacity vector (classes stay contiguous).
 std::vector<std::uint64_t> parse_caps(const std::string& spec) {
@@ -68,6 +80,251 @@ TieBreak parse_tie_break(const std::string& name) {
   throw std::runtime_error("unknown --tie-break (capacity|uniform|first): " + name);
 }
 
+/// Parse "i/N" shard coordinates.
+std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& spec) {
+  const auto slash = spec.find('/');
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  bool ok = slash != std::string::npos;
+  if (ok) {
+    try {
+      std::size_t pos_i = 0;
+      std::size_t pos_n = 0;
+      const std::string i_str = spec.substr(0, slash);
+      const std::string n_str = spec.substr(slash + 1);
+      index = std::stoull(i_str, &pos_i);
+      count = std::stoull(n_str, &pos_n);
+      ok = !i_str.empty() && !n_str.empty() && pos_i == i_str.size() && pos_n == n_str.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || count == 0 || index >= count) {
+    throw std::runtime_error("bad --shard (expected INDEX/COUNT with INDEX < COUNT): " + spec);
+  }
+  return {index, count};
+}
+
+/// FNV-1a over the capacity vector: a cheap fingerprint so --merge can
+/// refuse shard files produced from different bin configurations.
+std::uint64_t caps_fingerprint(const std::vector<std::uint64_t>& caps) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint64_t c : caps) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (c >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+/// Everything the report and the shard-state config block need to describe
+/// one experiment, independent of whether the caps vector is in memory
+/// (fresh run) or only its metadata survived (merge of state files).
+struct RunMeta {
+  std::uint64_t n = 0;
+  std::uint64_t total_capacity = 0;
+  std::uint64_t caps_hash = 0;
+  std::string policy;
+  std::uint64_t choices = 0;
+  std::string tie_break;
+  std::uint64_t balls = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t chunks = 0;
+  bool profile = false;
+  bool classes = false;
+
+  void to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.kv("n", n);
+    w.kv("total_capacity", total_capacity);
+    w.kv("caps_hash", caps_hash);
+    w.kv("policy", policy);
+    w.kv("choices", choices);
+    w.kv("tie_break", tie_break);
+    w.kv("balls", balls);
+    w.kv("replications", replications);
+    w.kv("seed", seed);
+    w.kv("chunks", chunks);
+    w.kv("profile", profile);
+    w.kv("classes", classes);
+    w.end_object();
+  }
+
+  static RunMeta from_json(const JsonValue& v) {
+    RunMeta m;
+    m.n = v.at("n").as_uint64();
+    m.total_capacity = v.at("total_capacity").as_uint64();
+    m.caps_hash = v.at("caps_hash").as_uint64();
+    m.policy = v.at("policy").as_string();
+    m.choices = v.at("choices").as_uint64();
+    m.tie_break = v.at("tie_break").as_string();
+    m.balls = v.at("balls").as_uint64();
+    m.replications = v.at("replications").as_uint64();
+    m.seed = v.at("seed").as_uint64();
+    m.chunks = v.at("chunks").as_uint64();
+    m.profile = v.at("profile").as_bool();
+    m.classes = v.at("classes").as_bool();
+    return m;
+  }
+
+  bool operator==(const RunMeta& other) const = default;
+};
+
+void print_report(const RunMeta& meta, const MaxLoadDistribution& dist) {
+  TextTable table("nubb_run: n=" + std::to_string(meta.n) +
+                  ", C=" + std::to_string(meta.total_capacity) +
+                  ", m=" + std::to_string(meta.balls) + ", d=" + std::to_string(meta.choices) +
+                  ", policy=" + meta.policy + ", reps=" + std::to_string(meta.replications));
+  table.set_header({"metric", "value"});
+  table.add_row({"mean max load", TextTable::num(dist.summary.mean)});
+  table.add_row({"std error", TextTable::num(dist.summary.std_error, 6)});
+  table.add_row({"95% CI half-width", TextTable::num(dist.summary.ci_half_width_95(), 6)});
+  table.add_row({"median / q95 / q99",
+                 TextTable::num(dist.q50) + " / " + TextTable::num(dist.q95) + " / " +
+                     TextTable::num(dist.q99)});
+  table.add_row({"min / max observed",
+                 TextTable::num(dist.summary.min) + " / " + TextTable::num(dist.summary.max)});
+  table.add_row({"average load m/C",
+                 TextTable::num(static_cast<double>(meta.balls) /
+                                static_cast<double>(meta.total_capacity))});
+  table.add_row({"Theorem-3 bound (+4)",
+                 TextTable::num(bounds::theorem3_bound(
+                     static_cast<double>(meta.n),
+                     std::max<std::uint32_t>(static_cast<std::uint32_t>(meta.choices), 2),
+                     4.0))});
+  std::cout << table;
+}
+
+void print_profile(const std::vector<double>& profile) {
+  TextTable pt("mean sorted load profile (rank: load)");
+  pt.set_header({"rank", "mean load"});
+  const std::size_t stride = std::max<std::size_t>(1, profile.size() / 20);
+  for (std::size_t i = 0; i < profile.size(); i += stride) {
+    pt.add_row({TextTable::num(static_cast<std::uint64_t>(i)), TextTable::num(profile[i])});
+  }
+  std::cout << pt;
+}
+
+void print_classes(const std::map<std::uint64_t, double>& fractions) {
+  TextTable ct("capacity class attaining the maximum (fraction of runs)");
+  ct.set_header({"capacity", "fraction"});
+  for (const auto& [cap, frac] : fractions) {
+    ct.add_row({TextTable::num(cap), TextTable::num(frac)});
+  }
+  std::cout << ct;
+}
+
+void write_json_report(const std::string& path, const RunMeta& meta,
+                       const MaxLoadDistribution& dist, double elapsed_seconds) {
+  std::ofstream jf(path);
+  if (!jf) throw std::runtime_error("cannot open --json file: " + path);
+  JsonWriter j(jf);
+  j.begin_object();
+  j.kv("n", meta.n);
+  j.kv("total_capacity", meta.total_capacity);
+  j.kv("balls", meta.balls);
+  j.kv("choices", meta.choices);
+  j.kv("policy", meta.policy);
+  j.kv("replications", meta.replications);
+  j.kv("seed", meta.seed);
+  j.key("max_load");
+  j.begin_object();
+  j.kv("mean", dist.summary.mean);
+  j.kv("std_error", dist.summary.std_error);
+  j.kv("median", dist.q50);
+  j.kv("q95", dist.q95);
+  j.kv("q99", dist.q99);
+  j.kv("min", dist.summary.min);
+  j.kv("max", dist.summary.max);
+  j.end_object();
+  j.kv("elapsed_seconds", elapsed_seconds);
+  j.end_object();
+  jf << "\n";
+}
+
+/// Shard mode: run this shard's chunk slice of every requested collector
+/// and write the state file that --merge consumes.
+void write_shard_state(const std::string& path, const RunMeta& meta,
+                       std::uint64_t shard_index, std::uint64_t shard_count,
+                       const ExperimentShard<SampleCollector>& max_load,
+                       const ExperimentShard<VectorMeanCollector>* profile,
+                       const ExperimentShard<KeyFrequencyCollector>* classes) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open --out file: " + path);
+  JsonWriter j(out);
+  j.begin_object();
+  j.kv("format", kShardFormat);
+  j.key("config");
+  meta.to_json(j);
+  j.kv("shard_index", shard_index);
+  j.kv("shard_count", shard_count);
+  j.key("collectors");
+  j.begin_object();
+  j.key("max_load");
+  max_load.to_json(j);
+  if (profile) {
+    j.key("profile");
+    profile->to_json(j);
+  }
+  if (classes) {
+    j.key("classes");
+    classes->to_json(j);
+  }
+  j.end_object();
+  j.end_object();
+  out << "\n";
+}
+
+/// Merge mode: load shard state files, validate that they belong to one
+/// experiment, fold in chunk order, and report exactly like a fresh run.
+int run_merge(const std::vector<std::string>& files, const std::string& json_path) {
+  Timer timer;
+  RunMeta meta;
+  std::vector<ExperimentShard<SampleCollector>> max_load_shards;
+  std::vector<ExperimentShard<VectorMeanCollector>> profile_shards;
+  std::vector<ExperimentShard<KeyFrequencyCollector>> classes_shards;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i]);
+    if (!in) throw std::runtime_error("cannot open shard file: " + files[i]);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(text.str());
+    if (doc.at("format").as_string() != kShardFormat) {
+      throw std::runtime_error(files[i] + ": not a " + std::string(kShardFormat) + " file");
+    }
+    const RunMeta file_meta = RunMeta::from_json(doc.at("config"));
+    if (i == 0) {
+      meta = file_meta;
+    } else if (!(file_meta == meta)) {
+      throw std::runtime_error(files[i] +
+                               ": shard was produced by a different experiment config than " +
+                               files[0]);
+    }
+    const JsonValue& collectors = doc.at("collectors");
+    max_load_shards.push_back(
+        ExperimentShard<SampleCollector>::from_json(collectors.at("max_load")));
+    if (meta.profile) {
+      profile_shards.push_back(
+          ExperimentShard<VectorMeanCollector>::from_json(collectors.at("profile")));
+    }
+    if (meta.classes) {
+      classes_shards.push_back(
+          ExperimentShard<KeyFrequencyCollector>::from_json(collectors.at("classes")));
+    }
+  }
+
+  const MaxLoadDistribution dist = max_load_distribution_merge(max_load_shards);
+  print_report(meta, dist);
+  if (meta.profile) print_profile(mean_sorted_profile_merge(profile_shards));
+  if (meta.classes) print_classes(class_of_max_fractions_merge(classes_shards));
+  if (!json_path.empty()) write_json_report(json_path, meta, dist, timer.seconds());
+  std::cout << "elapsed: " << TextTable::num(timer.seconds(), 2) << "s\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,9 +345,19 @@ int main(int argc, char** argv) {
   cli.add_int("batch", 1, "batch size (> 1 = stale-information parallel arrivals)");
   cli.add_int("reps", 1000, "Monte-Carlo replications");
   cli.add_int("seed", 1, "base RNG seed");
+  cli.add_int("chunks", 0,
+              "replication chunk count (0 = the pinned 16-chunk layout; raise it to "
+              "shard/thread wider — all shards of one run must agree)");
   cli.add_flag("profile", "also print the mean sorted load profile");
   cli.add_flag("classes", "also print which capacity class attains the maximum");
   cli.add_string("json", "", "write the results as JSON to this file");
+  cli.add_string("shard", "",
+                 "run only shard INDEX/COUNT of the replication chunks and write the "
+                 "collector state with --out");
+  cli.add_string("out", "", "output file for the --shard state");
+  cli.add_string_list("merge",
+                      "merge shard state files (from --shard runs) and report the combined "
+                      "result; bit-identical to the unsharded run");
   cli.add_flag("version", "print the library version and exit");
 
   try {
@@ -98,6 +365,14 @@ int main(int argc, char** argv) {
     if (cli.flag("version")) {
       std::cout << "nubb_run " << version_string() << "\n";
       return 0;
+    }
+
+    // --- merge mode: everything comes from the state files ------------------
+    if (!cli.get_string_list("merge").empty()) {
+      if (!cli.get_string("shard").empty()) {
+        throw std::runtime_error("--merge and --shard are mutually exclusive");
+      }
+      return run_merge(cli.get_string_list("merge"), cli.get_string("json"));
     }
 
     // --- materialise the bin array ------------------------------------------
@@ -132,11 +407,59 @@ int main(int argc, char** argv) {
     ExperimentConfig exp;
     exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
     exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_int("chunks") < 0) {
+      throw std::runtime_error("--chunks must be >= 0");
+    }
+    exp.chunks = static_cast<std::uint64_t>(cli.get_int("chunks"));
+
+    RunMeta meta;
+    meta.n = caps.size();
+    meta.total_capacity = C;
+    meta.caps_hash = caps_fingerprint(caps);
+    meta.policy = policy.describe();
+    meta.choices = cfg.choices;
+    meta.tie_break = cli.get_string("tie-break");
+    meta.balls = cfg.balls;
+    meta.replications = exp.replications;
+    meta.seed = exp.base_seed;
+    meta.chunks = exp.chunks;
+    meta.profile = cli.flag("profile");
+    meta.classes = cli.flag("classes");
 
     Timer timer;
-
-    // --- run -------------------------------------------------------------------
     const auto batch = static_cast<std::uint64_t>(cli.get_int("batch"));
+
+    // --- shard mode: run this slice, write state, exit -----------------------
+    if (!cli.get_string("shard").empty()) {
+      if (cli.get_string("out").empty()) {
+        throw std::runtime_error("--shard requires --out FILE for the state");
+      }
+      if (batch > 1) {
+        throw std::runtime_error("--shard does not support --batch > 1 yet");
+      }
+      if (!cli.get_string("json").empty()) {
+        throw std::runtime_error(
+            "--shard writes state to --out, not results; use --json on the --merge step");
+      }
+      const auto [shard_index, shard_count] = parse_shard(cli.get_string("shard"));
+      exp.shard_index = shard_index;
+      exp.shard_count = shard_count;
+
+      const auto max_load = max_load_distribution_shard(caps, policy, cfg, exp);
+      ExperimentShard<VectorMeanCollector> profile;
+      ExperimentShard<KeyFrequencyCollector> classes;
+      if (meta.profile) profile = mean_sorted_profile_shard(caps, policy, cfg, exp);
+      if (meta.classes) classes = class_of_max_fractions_shard(caps, policy, cfg, exp);
+      write_shard_state(cli.get_string("out"), meta, shard_index, shard_count, max_load,
+                        meta.profile ? &profile : nullptr, meta.classes ? &classes : nullptr);
+      std::cout << "shard " << shard_index << "/" << shard_count << ": wrote "
+                << cli.get_string("out") << " (" << max_load.chunks.size() << " of "
+                << max_load.chunk_count << " chunks), elapsed "
+                << TextTable::num(timer.seconds(), 2) << "s\n";
+      return 0;
+    }
+
+    // --- run -----------------------------------------------------------------
     MaxLoadDistribution dist;
     if (batch <= 1) {
       dist = max_load_distribution(caps, policy, cfg, exp);
@@ -154,80 +477,18 @@ int main(int argc, char** argv) {
         values.push_back(bins.max_load().value());
       }
       dist.summary = Summary::from(stats);
-      dist.q50 = quantile(values, 0.5);
-      dist.q95 = quantile(values, 0.95);
-      dist.q99 = quantile(values, 0.99);
+      const std::vector<double> qs = quantiles(values, {0.5, 0.95, 0.99});
+      dist.q50 = qs[0];
+      dist.q95 = qs[1];
+      dist.q99 = qs[2];
     }
 
-    // --- report ------------------------------------------------------------------
-    TextTable table("nubb_run: n=" + std::to_string(caps.size()) + ", C=" + std::to_string(C) +
-                    ", m=" + std::to_string(cfg.balls) + ", d=" + std::to_string(cfg.choices) +
-                    ", policy=" + policy.describe() + ", reps=" +
-                    std::to_string(exp.replications));
-    table.set_header({"metric", "value"});
-    table.add_row({"mean max load", TextTable::num(dist.summary.mean)});
-    table.add_row({"std error", TextTable::num(dist.summary.std_error, 6)});
-    table.add_row({"95% CI half-width", TextTable::num(dist.summary.ci_half_width_95(), 6)});
-    table.add_row({"median / q95 / q99",
-                   TextTable::num(dist.q50) + " / " + TextTable::num(dist.q95) + " / " +
-                       TextTable::num(dist.q99)});
-    table.add_row({"min / max observed",
-                   TextTable::num(dist.summary.min) + " / " + TextTable::num(dist.summary.max)});
-    table.add_row({"average load m/C",
-                   TextTable::num(static_cast<double>(cfg.balls) / static_cast<double>(C))});
-    table.add_row({"Theorem-3 bound (+4)",
-                   TextTable::num(bounds::theorem3_bound(
-                       static_cast<double>(caps.size()),
-                       std::max<std::uint32_t>(cfg.choices, 2), 4.0))});
-    std::cout << table;
-
-    if (cli.flag("profile")) {
-      const auto profile = mean_sorted_profile(caps, policy, cfg, exp);
-      TextTable pt("mean sorted load profile (rank: load)");
-      pt.set_header({"rank", "mean load"});
-      const std::size_t stride = std::max<std::size_t>(1, profile.size() / 20);
-      for (std::size_t i = 0; i < profile.size(); i += stride) {
-        pt.add_row({TextTable::num(static_cast<std::uint64_t>(i)),
-                    TextTable::num(profile[i])});
-      }
-      std::cout << pt;
-    }
-
-    if (cli.flag("classes")) {
-      const auto fractions = class_of_max_fractions(caps, policy, cfg, exp);
-      TextTable ct("capacity class attaining the maximum (fraction of runs)");
-      ct.set_header({"capacity", "fraction"});
-      for (const auto& [cap, frac] : fractions) {
-        ct.add_row({TextTable::num(cap), TextTable::num(frac)});
-      }
-      std::cout << ct;
-    }
-
+    // --- report --------------------------------------------------------------
+    print_report(meta, dist);
+    if (meta.profile) print_profile(mean_sorted_profile(caps, policy, cfg, exp));
+    if (meta.classes) print_classes(class_of_max_fractions(caps, policy, cfg, exp));
     if (!cli.get_string("json").empty()) {
-      std::ofstream jf(cli.get_string("json"));
-      if (!jf) throw std::runtime_error("cannot open --json file");
-      JsonWriter j(jf);
-      j.begin_object();
-      j.kv("n", static_cast<std::uint64_t>(caps.size()));
-      j.kv("total_capacity", C);
-      j.kv("balls", cfg.balls);
-      j.kv("choices", static_cast<std::uint64_t>(cfg.choices));
-      j.kv("policy", policy.describe());
-      j.kv("replications", exp.replications);
-      j.kv("seed", exp.base_seed);
-      j.key("max_load");
-      j.begin_object();
-      j.kv("mean", dist.summary.mean);
-      j.kv("std_error", dist.summary.std_error);
-      j.kv("median", dist.q50);
-      j.kv("q95", dist.q95);
-      j.kv("q99", dist.q99);
-      j.kv("min", dist.summary.min);
-      j.kv("max", dist.summary.max);
-      j.end_object();
-      j.kv("elapsed_seconds", timer.seconds());
-      j.end_object();
-      jf << "\n";
+      write_json_report(cli.get_string("json"), meta, dist, timer.seconds());
     }
 
     std::cout << "elapsed: " << TextTable::num(timer.seconds(), 2) << "s\n";

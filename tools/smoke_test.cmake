@@ -3,8 +3,9 @@
 # Invoked as:
 #   cmake -DNUBB_RUN=<path> -DWORK_DIR=<dir> -P smoke_test.cmake
 #
-# Checks: exit codes, table output shape, JSON output shape, and that a bad
-# flag fails with a non-zero exit code.
+# Checks: exit codes, table output shape, JSON output shape, that a bad
+# flag fails with a non-zero exit code, and that a sharded run merged via
+# --merge reproduces the unsharded JSON results bit-for-bit.
 
 if(NOT NUBB_RUN)
   message(FATAL_ERROR "NUBB_RUN not set")
@@ -42,6 +43,64 @@ endforeach()
 string(FIND "${json}" "\"total_capacity\":220" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "JSON total_capacity should be 220 for --caps 20x1,20x10:\n${json}")
+endif()
+
+# --- shard + merge reproduces the unsharded run bit-identically --------------
+set(shard0 "${WORK_DIR}/smoke_shard0.json")
+set(shard1 "${WORK_DIR}/smoke_shard1.json")
+set(merged_json "${WORK_DIR}/smoke_merged.json")
+file(REMOVE "${shard0}" "${shard1}" "${merged_json}")
+
+foreach(shard 0 1)
+  execute_process(
+    COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --reps 50 --seed 7
+            --shard "${shard}/2" --out "${WORK_DIR}/smoke_shard${shard}.json"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nubb_run --shard ${shard}/2 exited with ${rc}\nstderr:\n${err}")
+  endif()
+endforeach()
+
+file(READ "${shard0}" shard0_json)
+string(FIND "${shard0_json}" "nubb.shard.v1" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "shard state file missing format marker:\n${shard0_json}")
+endif()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" --merge "${shard0}" "${shard1}" --json "${merged_json}"
+  OUTPUT_VARIABLE merge_out
+  ERROR_VARIABLE merge_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --merge exited with ${rc}\nstderr:\n${merge_err}")
+endif()
+
+# The merged max_load block must equal the unsharded run's to the last
+# character (both runs share seed 7 and caps 20x1,20x10 above); only
+# elapsed_seconds may differ between the two files.
+file(READ "${json_file}" single_json)
+file(READ "${merged_json}" merged_json_text)
+string(REGEX MATCH "\"max_load\":{[^}]*}" single_max "${single_json}")
+string(REGEX MATCH "\"max_load\":{[^}]*}" merged_max "${merged_json_text}")
+if(single_max STREQUAL "")
+  message(FATAL_ERROR "could not extract max_load from unsharded JSON:\n${single_json}")
+endif()
+if(NOT single_max STREQUAL merged_max)
+  message(FATAL_ERROR "shard-merge result differs from the unsharded run:\n"
+                      "unsharded: ${single_max}\nmerged:    ${merged_max}")
+endif()
+
+# Merging an incomplete shard set must fail loudly.
+execute_process(
+  COMMAND "${NUBB_RUN}" --merge "${shard0}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --merge with a missing shard should fail but exited 0")
 endif()
 
 # --- --version prints the semver and exits 0 --------------------------------
