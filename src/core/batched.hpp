@@ -11,6 +11,11 @@
 /// `ext_batched_arrivals` bench measures how much staleness costs across
 /// heterogeneous arrays (the classic result for uniform bins: an additive
 /// O(batch/n) term — heterogeneity turns out not to change that shape).
+///
+/// Monte-Carlo replication of this process goes through the generic engine:
+/// set `GameConfig::batch > 1` and every experiment runner / scenario
+/// (except the checkpointed gap trace) runs, shards, and merges the batched
+/// game exactly like the sequential one.
 
 #include <cstdint>
 

@@ -1,38 +1,55 @@
 #pragma once
 
 /// \file experiment.hpp
-/// Monte-Carlo experiment driver: replicate a game many times with
+/// Monte-Carlo replication engine: replicate a game many times with
 /// deterministic per-replication seeds, aggregate with mergeable collectors,
 /// optionally in parallel — within one process or sharded across many.
 ///
-/// The high-level runners below cover every measurement shape the paper's
-/// evaluation uses:
+/// The layer has three pieces:
+///
+///   * **Collectors** — commutative monoids (`merge`) with bit-exact JSON
+///     round trips, so partial results can travel between processes without
+///     perturbing merged values. `KeyedCollector` and `MultiCollector`
+///     compose any collector per key / into tuples, so one replication pass
+///     can feed several measurements at once.
+///   * **The engine** — `replicate_shard` runs one per-replication `body`
+///     over this shard's slice of the replication chunk layout and packages
+///     the per-chunk collector states; `merge_shards` folds a complete
+///     shard set in global chunk order, replaying the exact floating-point
+///     merge sequence of a single-process run. `replicate` is literally
+///     shard 0-of-1 plus the merge, so the sharded path cannot drift from
+///     the golden values: a merged N-shard run is bit-identical to the
+///     single-process run.
+///   * **Runners** — the measurement shapes the paper's evaluation uses,
+///     each a thin descriptor over the engine (see experiment.cpp): a
+///     per-replication body plus a finalizer, from which the plain /
+///     `*_shard` / `*_merge` triple is generated.
+///
+/// Runner coverage:
 ///   * scalar statistics of the final maximum load        (Figs 6, 8, 14, 15, 17, 18)
 ///   * mean sorted load profile                           (Figs 1-5, 10, 11)
 ///   * mean per-capacity-class sorted profiles            (Figs 12, 13)
 ///   * which capacity class attains the maximum           (Figs 7, 9)
 ///   * trace of (max - average) at checkpoints            (Fig 16)
 ///
-/// Every runner comes in three forms: the plain runner (single process,
-/// full result), a `*_shard` runner that executes only the replication
-/// chunks one shard owns and returns their collector states, and a
-/// `*_merge` finalizer that folds shard states — typically round-tripped
-/// through JSON between processes — into the full result. The plain runner
-/// is literally shard 0-of-1 plus the merge, so the sharded path cannot
-/// drift from the golden values: a merged N-shard run is bit-identical to
-/// the single-process run.
+/// Higher-level, string-keyed experiment dispatch (the `nubb_run
+/// --experiment` registry) lives in core/scenario.hpp on top of this
+/// engine.
 
 #include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/game.hpp"
 #include "core/metrics.hpp"
 #include "core/probability.hpp"
+#include "util/assert.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -64,7 +81,7 @@ struct ExperimentConfig {
 };
 
 // ---------------------------------------------------------------------------
-// Mergeable collectors (commutative monoids for parallel_replications).
+// Mergeable collectors (commutative monoids for the replication engine).
 //
 // Every collector serializes its raw accumulator state with to_json and
 // restores it with from_json; the round trip is bit-exact, so collector
@@ -108,7 +125,7 @@ class KeyFrequencyCollector {
   /// Fraction of replications in which `key` occurred.
   double fraction(std::uint64_t key) const;
   std::uint64_t trials() const noexcept { return trials_; }
-  std::map<std::uint64_t, std::uint64_t> counts() const { return counts_; }
+  const std::map<std::uint64_t, std::uint64_t>& counts() const noexcept { return counts_; }
 
   void to_json(JsonWriter& w) const;
   static KeyFrequencyCollector from_json(const JsonValue& v);
@@ -118,14 +135,46 @@ class KeyFrequencyCollector {
   std::uint64_t trials_ = 0;
 };
 
-/// One VectorMeanCollector per capacity class, merged classwise
-/// (mean_class_profiles).
-struct ClassProfilesCollector {
-  std::map<std::uint64_t, VectorMeanCollector> per_class;
-  void merge(const ClassProfilesCollector& other);
-  void to_json(JsonWriter& w) const;
-  static ClassProfilesCollector from_json(const JsonValue& v);
+/// One `Collector` per uint64 key, merged keywise. Keys appear on first
+/// `add`-style touch of `per_key[k]`; merging unions the key sets.
+template <typename Collector>
+struct KeyedCollector {
+  std::map<std::uint64_t, Collector> per_key;
+
+  void merge(const KeyedCollector& other) {
+    for (const auto& [key, collector] : other.per_key) per_key[key].merge(collector);
+  }
+
+  void to_json(JsonWriter& w) const {
+    w.begin_object();
+    w.key("entries");
+    w.begin_array();
+    for (const auto& [key, collector] : per_key) {
+      w.begin_object();
+      w.kv("key", key);
+      w.key("state");
+      collector.to_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  static KeyedCollector from_json(const JsonValue& v) {
+    KeyedCollector out;
+    for (const JsonValue& entry : v.at("entries").as_array()) {
+      const std::uint64_t key = entry.at("key").as_uint64();
+      if (out.per_key.count(key)) {
+        throw JsonError("KeyedCollector: duplicate key " + std::to_string(key));
+      }
+      out.per_key[key] = Collector::from_json(entry.at("state"));
+    }
+    return out;
+  }
 };
+
+/// One VectorMeanCollector per capacity class (mean_class_profiles).
+using ClassProfilesCollector = KeyedCollector<VectorMeanCollector>;
 
 /// Running statistics plus the raw sample, for quantile-style
 /// post-processing (max_load_distribution).
@@ -139,6 +188,58 @@ struct SampleCollector {
   void merge(const SampleCollector& other);
   void to_json(JsonWriter& w) const;
   static SampleCollector from_json(const JsonValue& v);
+};
+
+/// Tuple of collectors fed by one replication pass: a single engine run can
+/// measure several quantities at once instead of replaying the games once
+/// per collector. Serializes as a JSON array in part order.
+template <typename... Parts>
+struct MultiCollector {
+  std::tuple<Parts...> parts;
+
+  template <std::size_t I>
+  auto& part() noexcept {
+    return std::get<I>(parts);
+  }
+  template <std::size_t I>
+  const auto& part() const noexcept {
+    return std::get<I>(parts);
+  }
+
+  void merge(const MultiCollector& other) {
+    merge_impl(other, std::index_sequence_for<Parts...>{});
+  }
+
+  void to_json(JsonWriter& w) const {
+    w.begin_array();
+    std::apply([&w](const Parts&... ps) { (ps.to_json(w), ...); }, parts);
+    w.end_array();
+  }
+
+  static MultiCollector from_json(const JsonValue& v) {
+    const std::vector<JsonValue>& items = v.as_array();
+    if (items.size() != sizeof...(Parts)) {
+      throw JsonError("MultiCollector: expected " + std::to_string(sizeof...(Parts)) +
+                      " parts, got " + std::to_string(items.size()));
+    }
+    MultiCollector out;
+    from_json_impl(out, items, std::index_sequence_for<Parts...>{});
+    return out;
+  }
+
+ private:
+  template <std::size_t... Is>
+  void merge_impl(const MultiCollector& other, std::index_sequence<Is...>) {
+    (std::get<Is>(parts).merge(std::get<Is>(other.parts)), ...);
+  }
+
+  template <std::size_t... Is>
+  static void from_json_impl(MultiCollector& out, const std::vector<JsonValue>& items,
+                             std::index_sequence<Is...>) {
+    ((std::get<Is>(out.parts) =
+          std::tuple_element_t<Is, std::tuple<Parts...>>::from_json(items[Is])),
+     ...);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -238,10 +339,90 @@ Collector merge_shards(const std::vector<ExperimentShard<Collector>>& shards) {
 }
 
 // ---------------------------------------------------------------------------
+// The replication engine.
+// ---------------------------------------------------------------------------
+
+/// Shared per-experiment fixture: the sampler is immutable and thread-safe,
+/// so it is built once and shared across replications. `run_one` plays one
+/// complete game on a cleared bin array, dispatching to the batched
+/// (stale-information) process when `GameConfig::batch > 1`.
+class GameFixture {
+ public:
+  GameFixture(const std::vector<std::uint64_t>& capacities, const SelectionPolicy& policy,
+              const GameConfig& game)
+      : sampler_(BinSampler::from_policy(policy, capacities)), game_(game) {}
+
+  GameResult run_one(Xoshiro256StarStar& rng, BinArray& bins) const;
+
+  const BinSampler& sampler() const noexcept { return sampler_; }
+  const GameConfig& game() const noexcept { return game_; }
+
+ private:
+  BinSampler sampler_;
+  GameConfig game_;
+};
+
+/// Per-worker scratch state: one BinArray (cleared, not reallocated, between
+/// replications) plus a staging buffer for profiles and traces. Built once
+/// per chunk by the engine; never migrates between chunks.
+struct ReplicationScratch {
+  BinArray bins;
+  std::vector<double> scratch;
+
+  explicit ReplicationScratch(const std::vector<std::uint64_t>& capacities)
+      : bins(capacities) {}
+};
+
+/// The plain (full-result) entry points refuse sharded configs: a shard
+/// config flowing into a full runner would silently yield a partial result.
+inline void require_unsharded(const ExperimentConfig& exp) {
+  NUBB_REQUIRE_MSG(exp.shard_index == 0 && exp.shard_count == 1,
+                   "sharded ExperimentConfig passed to a full runner; use the *_shard / "
+                   "*_merge API");
+}
+
+/// One engine pass: execute this shard's slice of the replication chunk
+/// layout and package the per-chunk collector states.
+/// `body(rep, rng, scratch, collector)` performs one replication; shard
+/// 0-of-1 runs everything. Every runner and scenario is a `body` plus a
+/// finalizer over the merged collector — nothing else re-implements
+/// collection or merging.
+template <typename Collector, typename Body>
+ExperimentShard<Collector> replicate_shard(const std::vector<std::uint64_t>& capacities,
+                                           const ExperimentConfig& exp, Body body) {
+  NUBB_REQUIRE_MSG(exp.shard_count >= 1, "ExperimentConfig::shard_count must be >= 1");
+  NUBB_REQUIRE_MSG(exp.shard_index < exp.shard_count,
+                   "ExperimentConfig::shard_index out of range");
+  const ChunkLayout layout = make_chunk_layout(exp.replications, exp.chunks);
+  const auto [first, last] =
+      shard_chunk_range(layout.chunk_count, exp.shard_index, exp.shard_count);
+
+  ExperimentShard<Collector> shard;
+  shard.replications = exp.replications;
+  shard.base_seed = exp.base_seed;
+  shard.chunk_count = layout.chunk_count;
+  shard.chunks = replication_chunk_states<Collector>(
+      layout, exp.base_seed, [&capacities] { return ReplicationScratch(capacities); }, body,
+      first, last, exp.pool);
+  return shard;
+}
+
+/// Full-result engine pass: shard 0-of-1 plus the merge, the single code
+/// path that keeps sharded and plain runs bit-identical by construction.
+template <typename Collector, typename Body>
+Collector replicate(const std::vector<std::uint64_t>& capacities, const ExperimentConfig& exp,
+                    Body body) {
+  require_unsharded(exp);
+  return merge_shards<Collector>({replicate_shard<Collector>(capacities, exp, body)});
+}
+
+// ---------------------------------------------------------------------------
 // High-level runners. Each plain runner requires an unsharded config
 // (shard 0 of 1) and equals `*_merge({*_shard(...)})`; the `*_shard` form
 // runs only this shard's chunks (honouring ExperimentConfig::shard_index /
 // shard_count) and the `*_merge` form finalizes any complete shard set.
+// All honour GameConfig::batch except mean_gap_trace (checkpoints require
+// the sequential process).
 // ---------------------------------------------------------------------------
 
 /// Statistics of the final maximum load over replications.
@@ -288,6 +469,7 @@ std::map<std::uint64_t, double> class_of_max_fractions_merge(
 /// Throw `total_balls` balls, recording (max load - average load) after every
 /// `checkpoint_interval` balls; returns the mean trace over replications.
 /// The trace length is ceil(total_balls / checkpoint_interval).
+/// \pre GameConfig::batch <= 1 (the batched process has no checkpoints).
 std::vector<double> mean_gap_trace(const std::vector<std::uint64_t>& capacities,
                                    const SelectionPolicy& policy, const GameConfig& game,
                                    std::uint64_t total_balls, std::uint64_t checkpoint_interval,

@@ -30,6 +30,15 @@ struct GameConfig {
   /// different bins were seen). The paper's analysis uses independent
   /// choices (duplicates possible); distinct mode exists for ablations.
   bool distinct_choices = false;
+
+  /// Arrival batch size. 1 is the paper's sequential process; > 1 means
+  /// balls arrive in rounds of `batch` whose decisions observe the loads as
+  /// of the round start (stale information, see batched.hpp). Consumed by
+  /// the replication engine (`GameFixture::run_one`) and
+  /// `play_batched_game`; the sequential entry points (`place_one_ball`,
+  /// `play_game`, `play_game_heights`) model the batch = 1 process and
+  /// ignore this field.
+  std::uint64_t batch = 1;
 };
 
 /// Snapshot handed to checkpoint callbacks during a game.

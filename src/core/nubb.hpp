@@ -32,4 +32,5 @@
 #include "core/protocol.hpp"
 #include "core/reallocation.hpp"
 #include "core/sampler.hpp"
+#include "core/scenario.hpp"
 #include "core/weighted.hpp"

@@ -18,8 +18,9 @@
 /// accumulators identical to the ones a single-process run would have built
 /// for those chunks. Folding all shards' chunk states in global chunk order
 /// then replays the single-process merge sequence exactly — floating-point
-/// grouping included — which is what `experiment.hpp`'s shard runners build
-/// on.
+/// grouping included — which is what the replication engine
+/// (`experiment.hpp`'s `replicate_shard` / `merge_shards`, and every runner
+/// and scenario on top of it) builds on.
 
 #include <algorithm>
 #include <cstdint>

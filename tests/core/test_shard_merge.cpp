@@ -12,6 +12,7 @@
 
 #include "core/builder.hpp"
 #include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -228,6 +229,96 @@ TEST(ShardMergeTest, ShardRunnersValidateCoordinates) {
                                       SelectionPolicy::proportional_to_capacity(), GameConfig{},
                                       bad),
                PreconditionError);
+}
+
+TEST(ShardMergeTest, BatchedModeIsBitIdentical) {
+  // Batched arrivals ride the same engine: GameConfig::batch > 1 must shard
+  // and merge exactly like the sequential process, for every runner shape.
+  GameConfig batched;
+  batched.batch = 4;
+  const auto single = max_load_distribution(test_caps(),
+                                            SelectionPolicy::proportional_to_capacity(),
+                                            batched, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<SampleCollector>(n, [&batched](const ExperimentConfig& exp) {
+      return max_load_distribution_shard(test_caps(),
+                                         SelectionPolicy::proportional_to_capacity(), batched,
+                                         exp);
+    });
+    const MaxLoadDistribution merged = max_load_distribution_merge(shards);
+    EXPECT_EQ(merged.summary.count, single.summary.count) << n << " shards";
+    EXPECT_EQ(merged.summary.mean, single.summary.mean) << n << " shards";
+    EXPECT_EQ(merged.summary.stddev, single.summary.stddev) << n << " shards";
+    EXPECT_EQ(merged.q50, single.q50) << n << " shards";
+    EXPECT_EQ(merged.q95, single.q95) << n << " shards";
+    EXPECT_EQ(merged.q99, single.q99) << n << " shards";
+  }
+
+  const Summary seq_summary = max_load_summary(test_caps(),
+                                               SelectionPolicy::proportional_to_capacity(),
+                                               GameConfig{}, shard_exp(0, 1));
+  const Summary batch_summary = max_load_summary(test_caps(),
+                                                 SelectionPolicy::proportional_to_capacity(),
+                                                 batched, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<ScalarCollector>(n, [&batched](const ExperimentConfig& exp) {
+      return max_load_summary_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                    batched, exp);
+    });
+    EXPECT_EQ(max_load_summary_merge(shards).mean, batch_summary.mean) << n << " shards";
+  }
+  // Staleness changes the process: the batched mean must differ from the
+  // sequential one (astronomically unlikely to coincide exactly).
+  EXPECT_NE(batch_summary.mean, seq_summary.mean);
+}
+
+ScenarioSpec scenario_spec(const ExperimentConfig& exp, std::uint64_t batch = 1) {
+  ScenarioSpec spec;
+  spec.capacities = test_caps();
+  spec.game.batch = batch;
+  spec.exp = exp;
+  return spec;
+}
+
+TEST(ShardMergeTest, ClassMaxLoadScenarioIsBitIdentical) {
+  const auto single = class_max_load_merge({class_max_load_shard(scenario_spec(shard_exp(0, 1)))});
+  ASSERT_EQ(single.size(), 2u);  // the two capacity classes of test_caps()
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    std::vector<ExperimentShard<KeyedCollector<ScalarCollector>>> shards;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      shards.push_back(json_roundtrip(class_max_load_shard(scenario_spec(shard_exp(i, n)))));
+    }
+    const auto merged = class_max_load_merge(shards);
+    ASSERT_EQ(merged.size(), single.size()) << n << " shards";
+    for (const auto& [cap, s] : single) {
+      EXPECT_EQ(merged.at(cap).count, s.count) << n << " shards, class " << cap;
+      EXPECT_EQ(merged.at(cap).mean, s.mean) << n << " shards, class " << cap;
+      EXPECT_EQ(merged.at(cap).stddev, s.stddev) << n << " shards, class " << cap;
+      EXPECT_EQ(merged.at(cap).min, s.min) << n << " shards, class " << cap;
+      EXPECT_EQ(merged.at(cap).max, s.max) << n << " shards, class " << cap;
+    }
+  }
+}
+
+TEST(ShardMergeTest, HitEveryBinScenarioIsBitIdentical) {
+  // Batched variant on purpose: a registry scenario sharded over the
+  // batched game exercises engine, scenario, and batch port at once.
+  const Summary single =
+      hit_every_bin_merge({hit_every_bin_shard(scenario_spec(shard_exp(0, 1), /*batch=*/3))});
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    std::vector<ExperimentShard<ScalarCollector>> shards;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      shards.push_back(
+          json_roundtrip(hit_every_bin_shard(scenario_spec(shard_exp(i, n), /*batch=*/3))));
+    }
+    const Summary merged = hit_every_bin_merge(shards);
+    EXPECT_EQ(merged.count, single.count) << n << " shards";
+    EXPECT_EQ(merged.mean, single.mean) << n << " shards";
+    EXPECT_EQ(merged.stddev, single.stddev) << n << " shards";
+  }
+  // The indicator is a probability.
+  EXPECT_GE(single.mean, 0.0);
+  EXPECT_LE(single.mean, 1.0);
 }
 
 TEST(ShardMergeTest, ChunkOverrideShardsStayBitIdentical) {

@@ -1,8 +1,9 @@
 /// nubb_run — general-purpose experiment driver.
 ///
 /// Runs a Monte-Carlo balls-into-bins experiment described entirely on the
-/// command line, so downstream users can explore configurations without
-/// writing C++. Examples:
+/// command line, dispatching through the scenario registry
+/// (core/scenario.hpp): `--list` names every registered experiment,
+/// `--experiment NAME` picks one (default: max-load). Examples:
 ///
 ///   # the paper's Figure-6 midpoint: 500 small + 500 big bins
 ///   nubb_run --caps 500x1,500x10
@@ -13,15 +14,21 @@
 ///   # Section 4.5 tuned exponent and a full profile dump
 ///   nubb_run --caps 50x1,50x3 --policy power --exponent 2.1 --profile
 ///
+///   # registry scenarios beyond the default
+///   nubb_run --list
+///   nubb_run --caps 500x1,500x10 --experiment class-max-load
+///   nubb_run --caps 200x1 --experiment hit-every-bin --balls-factor 6
+///
 ///   # randomised capacities (Section 4.2) or power-law populations
 ///   nubb_run --random-mean 4 --n 10000
 ///   nubb_run --zipf-alpha 1.5 --zipf-max 64 --n 2000
 ///
-/// Sharded multi-process runs: each shard process runs its slice of the
+/// Sharded multi-process runs work for every experiment, including batched
+/// arrivals (`--batch > 1`): each shard process runs its slice of the
 /// replication chunks and writes its collector state as JSON; the merge
 /// step folds the states in global chunk order, reproducing the
 /// single-process result bit-identically (scripts/shard_run.sh wraps the
-/// fan-out):
+/// fan-out and can resume interrupted runs via --check-state):
 ///
 ///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 0/4 --out s0.json
 ///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 1/4 --out s1.json
@@ -30,10 +37,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/nubb.hpp"
-#include "theory/bounds.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -44,7 +51,7 @@ using namespace nubb;
 
 namespace {
 
-constexpr const char* kShardFormat = "nubb.shard.v1";
+constexpr const char* kShardFormat = "nubb.shard.v2";
 
 /// Parse "500x1,500x10" into a capacity vector (classes stay contiguous).
 std::vector<std::uint64_t> parse_caps(const std::string& spec) {
@@ -105,196 +112,79 @@ std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& spec) {
   return {index, count};
 }
 
-/// FNV-1a over the capacity vector: a cheap fingerprint so --merge can
-/// refuse shard files produced from different bin configurations.
-std::uint64_t caps_fingerprint(const std::vector<std::uint64_t>& caps) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const std::uint64_t c : caps) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (c >> (8 * byte)) & 0xFF;
-      h *= 0x100000001B3ULL;
-    }
-  }
-  return h;
+JsonValue load_json_file(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + what + ": " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return JsonValue::parse(text.str());
 }
 
-/// Everything the report and the shard-state config block need to describe
-/// one experiment, independent of whether the caps vector is in memory
-/// (fresh run) or only its metadata survived (merge of state files).
-struct RunMeta {
-  std::uint64_t n = 0;
-  std::uint64_t total_capacity = 0;
-  std::uint64_t caps_hash = 0;
-  std::string policy;
-  std::uint64_t choices = 0;
-  std::string tie_break;
-  std::uint64_t balls = 0;
-  std::uint64_t replications = 0;
-  std::uint64_t seed = 0;
-  std::uint64_t chunks = 0;
-  bool profile = false;
-  bool classes = false;
-
-  void to_json(JsonWriter& w) const {
-    w.begin_object();
-    w.kv("n", n);
-    w.kv("total_capacity", total_capacity);
-    w.kv("caps_hash", caps_hash);
-    w.kv("policy", policy);
-    w.kv("choices", choices);
-    w.kv("tie_break", tie_break);
-    w.kv("balls", balls);
-    w.kv("replications", replications);
-    w.kv("seed", seed);
-    w.kv("chunks", chunks);
-    w.kv("profile", profile);
-    w.kv("classes", classes);
-    w.end_object();
+void require_shard_format(const JsonValue& doc, const std::string& path) {
+  if (doc.at("format").as_string() != kShardFormat) {
+    throw std::runtime_error(path + ": not a " + std::string(kShardFormat) + " file");
   }
-
-  static RunMeta from_json(const JsonValue& v) {
-    RunMeta m;
-    m.n = v.at("n").as_uint64();
-    m.total_capacity = v.at("total_capacity").as_uint64();
-    m.caps_hash = v.at("caps_hash").as_uint64();
-    m.policy = v.at("policy").as_string();
-    m.choices = v.at("choices").as_uint64();
-    m.tie_break = v.at("tie_break").as_string();
-    m.balls = v.at("balls").as_uint64();
-    m.replications = v.at("replications").as_uint64();
-    m.seed = v.at("seed").as_uint64();
-    m.chunks = v.at("chunks").as_uint64();
-    m.profile = v.at("profile").as_bool();
-    m.classes = v.at("classes").as_bool();
-    return m;
-  }
-
-  bool operator==(const RunMeta& other) const = default;
-};
-
-void print_report(const RunMeta& meta, const MaxLoadDistribution& dist) {
-  TextTable table("nubb_run: n=" + std::to_string(meta.n) +
-                  ", C=" + std::to_string(meta.total_capacity) +
-                  ", m=" + std::to_string(meta.balls) + ", d=" + std::to_string(meta.choices) +
-                  ", policy=" + meta.policy + ", reps=" + std::to_string(meta.replications));
-  table.set_header({"metric", "value"});
-  table.add_row({"mean max load", TextTable::num(dist.summary.mean)});
-  table.add_row({"std error", TextTable::num(dist.summary.std_error, 6)});
-  table.add_row({"95% CI half-width", TextTable::num(dist.summary.ci_half_width_95(), 6)});
-  table.add_row({"median / q95 / q99",
-                 TextTable::num(dist.q50) + " / " + TextTable::num(dist.q95) + " / " +
-                     TextTable::num(dist.q99)});
-  table.add_row({"min / max observed",
-                 TextTable::num(dist.summary.min) + " / " + TextTable::num(dist.summary.max)});
-  table.add_row({"average load m/C",
-                 TextTable::num(static_cast<double>(meta.balls) /
-                                static_cast<double>(meta.total_capacity))});
-  table.add_row({"Theorem-3 bound (+4)",
-                 TextTable::num(bounds::theorem3_bound(
-                     static_cast<double>(meta.n),
-                     std::max<std::uint32_t>(static_cast<std::uint32_t>(meta.choices), 2),
-                     4.0))});
-  std::cout << table;
 }
 
-void print_profile(const std::vector<double>& profile) {
-  TextTable pt("mean sorted load profile (rank: load)");
-  pt.set_header({"rank", "mean load"});
-  const std::size_t stride = std::max<std::size_t>(1, profile.size() / 20);
-  for (std::size_t i = 0; i < profile.size(); i += stride) {
-    pt.add_row({TextTable::num(static_cast<std::uint64_t>(i)), TextTable::num(profile[i])});
+/// `--list`: one line per registered experiment, `NAME  description`.
+void print_experiment_list(std::ostream& out) {
+  const auto scenarios = ScenarioRegistry::global().list();
+  std::size_t width = 0;
+  for (const Scenario* s : scenarios) width = std::max(width, s->name().size());
+  out << "registered experiments (pick with --experiment NAME):\n";
+  for (const Scenario* s : scenarios) {
+    out << "  " << s->name() << std::string(width - s->name().size() + 2, ' ')
+        << s->description() << "\n";
   }
-  std::cout << pt;
 }
 
-void print_classes(const std::map<std::uint64_t, double>& fractions) {
-  TextTable ct("capacity class attaining the maximum (fraction of runs)");
-  ct.set_header({"capacity", "fraction"});
-  for (const auto& [cap, frac] : fractions) {
-    ct.add_row({TextTable::num(cap), TextTable::num(frac)});
+/// Report plumbing shared by fresh runs and `--merge`: write the JSON
+/// envelope (when requested), hand the positioned ReportContext to
+/// `produce` — which runs the scenario's typed fold or its shard-state
+/// merge — and close with the elapsed time. One code path for both, so
+/// the two report formats cannot drift.
+template <typename ProduceFn>
+int report_run(const RunMeta& meta, const std::string& json_path, const Timer& timer,
+               ProduceFn produce) {
+  std::optional<std::ofstream> json_file;
+  std::optional<JsonWriter> json;
+  if (!json_path.empty()) {
+    json_file.emplace(json_path);
+    if (!*json_file) throw std::runtime_error("cannot open --json file: " + json_path);
+    json.emplace(*json_file);
+    json->begin_object();
+    json->kv("experiment", meta.experiment);
+    json->kv("n", meta.n);
+    json->kv("total_capacity", meta.total_capacity);
+    json->kv("balls", meta.balls);
+    json->kv("batch", meta.batch);
+    json->kv("choices", meta.choices);
+    json->kv("policy", meta.policy);
+    json->kv("replications", meta.replications);
+    json->kv("seed", meta.seed);
   }
-  std::cout << ct;
-}
 
-void write_json_report(const std::string& path, const RunMeta& meta,
-                       const MaxLoadDistribution& dist, double elapsed_seconds) {
-  std::ofstream jf(path);
-  if (!jf) throw std::runtime_error("cannot open --json file: " + path);
-  JsonWriter j(jf);
-  j.begin_object();
-  j.kv("n", meta.n);
-  j.kv("total_capacity", meta.total_capacity);
-  j.kv("balls", meta.balls);
-  j.kv("choices", meta.choices);
-  j.kv("policy", meta.policy);
-  j.kv("replications", meta.replications);
-  j.kv("seed", meta.seed);
-  j.key("max_load");
-  j.begin_object();
-  j.kv("mean", dist.summary.mean);
-  j.kv("std_error", dist.summary.std_error);
-  j.kv("median", dist.q50);
-  j.kv("q95", dist.q95);
-  j.kv("q99", dist.q99);
-  j.kv("min", dist.summary.min);
-  j.kv("max", dist.summary.max);
-  j.end_object();
-  j.kv("elapsed_seconds", elapsed_seconds);
-  j.end_object();
-  jf << "\n";
-}
+  produce(ReportContext{meta, std::cout, json ? &*json : nullptr});
 
-/// Shard mode: run this shard's chunk slice of every requested collector
-/// and write the state file that --merge consumes.
-void write_shard_state(const std::string& path, const RunMeta& meta,
-                       std::uint64_t shard_index, std::uint64_t shard_count,
-                       const ExperimentShard<SampleCollector>& max_load,
-                       const ExperimentShard<VectorMeanCollector>* profile,
-                       const ExperimentShard<KeyFrequencyCollector>* classes) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open --out file: " + path);
-  JsonWriter j(out);
-  j.begin_object();
-  j.kv("format", kShardFormat);
-  j.key("config");
-  meta.to_json(j);
-  j.kv("shard_index", shard_index);
-  j.kv("shard_count", shard_count);
-  j.key("collectors");
-  j.begin_object();
-  j.key("max_load");
-  max_load.to_json(j);
-  if (profile) {
-    j.key("profile");
-    profile->to_json(j);
+  if (json) {
+    json->kv("elapsed_seconds", timer.seconds());
+    json->end_object();
+    *json_file << "\n";
   }
-  if (classes) {
-    j.key("classes");
-    classes->to_json(j);
-  }
-  j.end_object();
-  j.end_object();
-  out << "\n";
+  std::cout << "elapsed: " << TextTable::num(timer.seconds(), 2) << "s\n";
+  return 0;
 }
 
 /// Merge mode: load shard state files, validate that they belong to one
-/// experiment, fold in chunk order, and report exactly like a fresh run.
+/// experiment, and hand the scenario the collector states.
 int run_merge(const std::vector<std::string>& files, const std::string& json_path) {
   Timer timer;
   RunMeta meta;
-  std::vector<ExperimentShard<SampleCollector>> max_load_shards;
-  std::vector<ExperimentShard<VectorMeanCollector>> profile_shards;
-  std::vector<ExperimentShard<KeyFrequencyCollector>> classes_shards;
+  std::vector<JsonValue> states;
 
   for (std::size_t i = 0; i < files.size(); ++i) {
-    std::ifstream in(files[i]);
-    if (!in) throw std::runtime_error("cannot open shard file: " + files[i]);
-    std::ostringstream text;
-    text << in.rdbuf();
-    const JsonValue doc = JsonValue::parse(text.str());
-    if (doc.at("format").as_string() != kShardFormat) {
-      throw std::runtime_error(files[i] + ": not a " + std::string(kShardFormat) + " file");
-    }
+    const JsonValue doc = load_json_file(files[i], "shard file");
+    require_shard_format(doc, files[i]);
     const RunMeta file_meta = RunMeta::from_json(doc.at("config"));
     if (i == 0) {
       meta = file_meta;
@@ -303,25 +193,35 @@ int run_merge(const std::vector<std::string>& files, const std::string& json_pat
                                ": shard was produced by a different experiment config than " +
                                files[0]);
     }
-    const JsonValue& collectors = doc.at("collectors");
-    max_load_shards.push_back(
-        ExperimentShard<SampleCollector>::from_json(collectors.at("max_load")));
-    if (meta.profile) {
-      profile_shards.push_back(
-          ExperimentShard<VectorMeanCollector>::from_json(collectors.at("profile")));
-    }
-    if (meta.classes) {
-      classes_shards.push_back(
-          ExperimentShard<KeyFrequencyCollector>::from_json(collectors.at("classes")));
+    states.push_back(doc.at("state"));
+  }
+  if (states.empty()) throw std::runtime_error("--merge needs at least one state file");
+
+  const Scenario& scenario = ScenarioRegistry::global().require(meta.experiment);
+  return report_run(meta, json_path, timer, [&scenario, &states](const ReportContext& ctx) {
+    scenario.merge_and_report(states, ctx);
+  });
+}
+
+/// `--check-state`: does an existing state file belong to this exact
+/// experiment configuration (and shard coordinate, when given), and does
+/// its collector state parse? Powers scripts/shard_run.sh resume — exit 0
+/// means the shard can be skipped, non-zero means it must be (re-)run.
+int run_check_state(const Scenario& scenario, const RunMeta& meta, const std::string& path,
+                    const std::optional<std::pair<std::uint64_t, std::uint64_t>>& shard) {
+  const JsonValue doc = load_json_file(path, "state file");
+  require_shard_format(doc, path);
+  if (!(RunMeta::from_json(doc.at("config")) == meta)) {
+    throw std::runtime_error(path + ": state was produced by a different experiment config");
+  }
+  if (shard) {
+    if (doc.at("shard_index").as_uint64() != shard->first ||
+        doc.at("shard_count").as_uint64() != shard->second) {
+      throw std::runtime_error(path + ": state belongs to a different shard coordinate");
     }
   }
-
-  const MaxLoadDistribution dist = max_load_distribution_merge(max_load_shards);
-  print_report(meta, dist);
-  if (meta.profile) print_profile(mean_sorted_profile_merge(profile_shards));
-  if (meta.classes) print_classes(class_of_max_fractions_merge(classes_shards));
-  if (!json_path.empty()) write_json_report(json_path, meta, dist, timer.seconds());
-  std::cout << "elapsed: " << TextTable::num(timer.seconds(), 2) << "s\n";
+  scenario.check_state(doc.at("state"));
+  std::cout << "state ok: " << path << "\n";
   return 0;
 }
 
@@ -343,13 +243,18 @@ int main(int argc, char** argv) {
   cli.add_string("tie-break", "capacity", "capacity (Algorithm 1) | uniform | first");
   cli.add_double("balls-factor", 1.0, "m = factor * C");
   cli.add_int("batch", 1, "batch size (> 1 = stale-information parallel arrivals)");
+  cli.add_string("experiment", "max-load",
+                 "registered experiment to run (see --list for the registry)");
+  cli.add_flag("list", "list the registered experiments and exit");
   cli.add_int("reps", 1000, "Monte-Carlo replications");
   cli.add_int("seed", 1, "base RNG seed");
   cli.add_int("chunks", 0,
               "replication chunk count (0 = the pinned 16-chunk layout; raise it to "
               "shard/thread wider — all shards of one run must agree)");
-  cli.add_flag("profile", "also print the mean sorted load profile");
-  cli.add_flag("classes", "also print which capacity class attains the maximum");
+  cli.add_int("checkpoint", 0,
+              "gap-trace checkpoint interval in balls (0 = balls/10, at least 1)");
+  cli.add_flag("profile", "also print the mean sorted load profile (max-load)");
+  cli.add_flag("classes", "also print which capacity class attains the maximum (max-load)");
   cli.add_string("json", "", "write the results as JSON to this file");
   cli.add_string("shard", "",
                  "run only shard INDEX/COUNT of the replication chunks and write the "
@@ -358,6 +263,9 @@ int main(int argc, char** argv) {
   cli.add_string_list("merge",
                       "merge shard state files (from --shard runs) and report the combined "
                       "result; bit-identical to the unsharded run");
+  cli.add_string("check-state", "",
+                 "validate an existing --shard state file against this configuration "
+                 "(exit 0 iff a resumed run may skip the shard)");
   cli.add_flag("version", "print the library version and exit");
 
   try {
@@ -366,14 +274,28 @@ int main(int argc, char** argv) {
       std::cout << "nubb_run " << version_string() << "\n";
       return 0;
     }
+    if (cli.flag("list")) {
+      print_experiment_list(std::cout);
+      return 0;
+    }
 
     // --- merge mode: everything comes from the state files ------------------
     if (!cli.get_string_list("merge").empty()) {
       if (!cli.get_string("shard").empty()) {
         throw std::runtime_error("--merge and --shard are mutually exclusive");
       }
+      if (!cli.get_string("check-state").empty()) {
+        throw std::runtime_error("--merge and --check-state are mutually exclusive");
+      }
+      if (cli.was_set("experiment")) {
+        throw std::runtime_error(
+            "--merge derives the experiment from the state files; drop --experiment");
+      }
       return run_merge(cli.get_string_list("merge"), cli.get_string("json"));
     }
+
+    const Scenario& scenario =
+        ScenarioRegistry::global().require(cli.get_string("experiment"));
 
     // --- materialise the bin array ------------------------------------------
     std::vector<std::uint64_t> caps;
@@ -394,105 +316,108 @@ int main(int argc, char** argv) {
     std::uint64_t C = 0;
     for (const auto c : caps) C += c;
 
-    const SelectionPolicy policy =
-        parse_policy(cli.get_string("policy"), cli.get_double("exponent"),
-                     static_cast<std::uint64_t>(cli.get_int("threshold")));
-
-    GameConfig cfg;
-    cfg.choices = static_cast<std::uint32_t>(cli.get_int("d"));
-    cfg.tie_break = parse_tie_break(cli.get_string("tie-break"));
-    cfg.balls = static_cast<std::uint64_t>(cli.get_double("balls-factor") *
-                                           static_cast<double>(C));
-
-    ExperimentConfig exp;
-    exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
-    exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    if (cli.get_int("chunks") < 0) {
-      throw std::runtime_error("--chunks must be >= 0");
+    ScenarioSpec spec;
+    spec.capacities = std::move(caps);
+    spec.policy = parse_policy(cli.get_string("policy"), cli.get_double("exponent"),
+                               static_cast<std::uint64_t>(cli.get_int("threshold")));
+    spec.game.choices = static_cast<std::uint32_t>(cli.get_int("d"));
+    spec.game.tie_break = parse_tie_break(cli.get_string("tie-break"));
+    spec.game.balls = static_cast<std::uint64_t>(cli.get_double("balls-factor") *
+                                                 static_cast<double>(C));
+    // Resolve the library's "0 means m = C" convention here so RunMeta (and
+    // with it every report and state-file config block) records the ball
+    // count that actually runs.
+    if (spec.game.balls == 0) spec.game.balls = C;
+    if (cli.get_int("batch") < 1) throw std::runtime_error("--batch must be >= 1");
+    spec.game.batch = static_cast<std::uint64_t>(cli.get_int("batch"));
+    spec.exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
+    spec.exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_int("chunks") < 0) throw std::runtime_error("--chunks must be >= 0");
+    spec.exp.chunks = static_cast<std::uint64_t>(cli.get_int("chunks"));
+    spec.profile = cli.flag("profile");
+    spec.classes = cli.flag("classes");
+    if (cli.get_int("checkpoint") < 0) throw std::runtime_error("--checkpoint must be >= 0");
+    spec.checkpoint_interval = static_cast<std::uint64_t>(cli.get_int("checkpoint"));
+    if (spec.checkpoint_interval == 0) {
+      spec.checkpoint_interval = std::max<std::uint64_t>(1, spec.game.balls / 10);
     }
-    exp.chunks = static_cast<std::uint64_t>(cli.get_int("chunks"));
 
     RunMeta meta;
-    meta.n = caps.size();
+    meta.experiment = scenario.name();
+    meta.n = spec.capacities.size();
     meta.total_capacity = C;
-    meta.caps_hash = caps_fingerprint(caps);
-    meta.policy = policy.describe();
-    meta.choices = cfg.choices;
+    meta.caps_hash = caps_fingerprint(spec.capacities);
+    meta.policy = spec.policy.describe();
+    meta.choices = spec.game.choices;
     meta.tie_break = cli.get_string("tie-break");
-    meta.balls = cfg.balls;
-    meta.replications = exp.replications;
-    meta.seed = exp.base_seed;
-    meta.chunks = exp.chunks;
-    meta.profile = cli.flag("profile");
-    meta.classes = cli.flag("classes");
+    meta.balls = spec.game.balls;
+    meta.batch = spec.game.batch;
+    meta.replications = spec.exp.replications;
+    meta.seed = spec.exp.base_seed;
+    meta.chunks = spec.exp.chunks;
+    meta.checkpoint = spec.checkpoint_interval;
+    meta.profile = spec.profile;
+    meta.classes = spec.classes;
+    // Zero the fields this scenario never reads, so shard sets differing
+    // only in irrelevant flags still merge / resume.
+    scenario.normalize_meta(meta);
 
     Timer timer;
-    const auto batch = static_cast<std::uint64_t>(cli.get_int("batch"));
+
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> shard;
+    if (!cli.get_string("shard").empty()) shard = parse_shard(cli.get_string("shard"));
+
+    // --- check-state mode: validate an existing shard state, run nothing ----
+    if (!cli.get_string("check-state").empty()) {
+      return run_check_state(scenario, meta, cli.get_string("check-state"), shard);
+    }
 
     // --- shard mode: run this slice, write state, exit -----------------------
-    if (!cli.get_string("shard").empty()) {
+    if (shard) {
       if (cli.get_string("out").empty()) {
         throw std::runtime_error("--shard requires --out FILE for the state");
-      }
-      if (batch > 1) {
-        throw std::runtime_error("--shard does not support --batch > 1 yet");
       }
       if (!cli.get_string("json").empty()) {
         throw std::runtime_error(
             "--shard writes state to --out, not results; use --json on the --merge step");
       }
-      const auto [shard_index, shard_count] = parse_shard(cli.get_string("shard"));
-      exp.shard_index = shard_index;
-      exp.shard_count = shard_count;
+      spec.exp.shard_index = shard->first;
+      spec.exp.shard_count = shard->second;
 
-      const auto max_load = max_load_distribution_shard(caps, policy, cfg, exp);
-      ExperimentShard<VectorMeanCollector> profile;
-      ExperimentShard<KeyFrequencyCollector> classes;
-      if (meta.profile) profile = mean_sorted_profile_shard(caps, policy, cfg, exp);
-      if (meta.classes) classes = class_of_max_fractions_shard(caps, policy, cfg, exp);
-      write_shard_state(cli.get_string("out"), meta, shard_index, shard_count, max_load,
-                        meta.profile ? &profile : nullptr, meta.classes ? &classes : nullptr);
-      std::cout << "shard " << shard_index << "/" << shard_count << ": wrote "
-                << cli.get_string("out") << " (" << max_load.chunks.size() << " of "
-                << max_load.chunk_count << " chunks), elapsed "
-                << TextTable::num(timer.seconds(), 2) << "s\n";
+      // Build the whole document in memory first — the engine pass runs
+      // inside the state serialization, and a failure mid-run must not
+      // leave a truncated-but-plausible state file at the target path.
+      std::ostringstream doc;
+      JsonWriter j(doc);
+      j.begin_object();
+      j.kv("format", kShardFormat);
+      j.key("config");
+      meta.to_json(j);
+      j.kv("shard_index", shard->first);
+      j.kv("shard_count", shard->second);
+      j.key("state");
+      scenario.run_shard(spec, j);
+      j.end_object();
+
+      const std::string out_path = cli.get_string("out");
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot open --out file: " + out_path);
+      out << doc.str() << "\n";
+
+      const ChunkLayout layout = make_chunk_layout(spec.exp.replications, spec.exp.chunks);
+      const auto [first, last] =
+          shard_chunk_range(layout.chunk_count, shard->first, shard->second);
+      std::cout << "shard " << shard->first << "/" << shard->second << ": wrote " << out_path
+                << " (" << (last - first) << " of " << layout.chunk_count
+                << " chunks), elapsed " << TextTable::num(timer.seconds(), 2) << "s\n";
       return 0;
     }
 
-    // --- run -----------------------------------------------------------------
-    MaxLoadDistribution dist;
-    if (batch <= 1) {
-      dist = max_load_distribution(caps, policy, cfg, exp);
-    } else {
-      // Batched mode is not wired into the distribution runner; replicate by
-      // hand with the same deterministic seeding.
-      RunningStats stats;
-      std::vector<double> values;
-      const BinSampler sampler = BinSampler::from_policy(policy, caps);
-      for (std::uint64_t r = 0; r < exp.replications; ++r) {
-        BinArray bins(caps);
-        Xoshiro256StarStar rng(seed_for_replication(exp.base_seed, r));
-        play_batched_game(bins, sampler, cfg, batch, rng);
-        stats.add(bins.max_load().value());
-        values.push_back(bins.max_load().value());
-      }
-      dist.summary = Summary::from(stats);
-      const std::vector<double> qs = quantiles(values, {0.5, 0.95, 0.99});
-      dist.q50 = qs[0];
-      dist.q95 = qs[1];
-      dist.q99 = qs[2];
-    }
-
-    // --- report --------------------------------------------------------------
-    print_report(meta, dist);
-    if (meta.profile) print_profile(mean_sorted_profile(caps, policy, cfg, exp));
-    if (meta.classes) print_classes(class_of_max_fractions(caps, policy, cfg, exp));
-    if (!cli.get_string("json").empty()) {
-      write_json_report(cli.get_string("json"), meta, dist, timer.seconds());
-    }
-
-    std::cout << "elapsed: " << TextTable::num(timer.seconds(), 2) << "s\n";
-    return 0;
+    // --- full run: shard 0-of-1 plus the merge, folded in memory ------------
+    return report_run(meta, cli.get_string("json"), timer,
+                      [&scenario, &spec](const ReportContext& ctx) {
+                        scenario.run_and_report(spec, ctx);
+                      });
   } catch (const std::exception& e) {
     std::cerr << "nubb_run: " << e.what() << "\n";
     return 1;

@@ -64,7 +64,7 @@ foreach(shard 0 1)
 endforeach()
 
 file(READ "${shard0}" shard0_json)
-string(FIND "${shard0_json}" "nubb.shard.v1" pos)
+string(FIND "${shard0_json}" "nubb.shard.v2" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "shard state file missing format marker:\n${shard0_json}")
 endif()
@@ -101,6 +101,99 @@ execute_process(
   RESULT_VARIABLE rc)
 if(rc EQUAL 0)
   message(FATAL_ERROR "nubb_run --merge with a missing shard should fail but exited 0")
+endif()
+
+# --- every registered experiment runs (names discovered via --list) ----------
+execute_process(
+  COMMAND "${NUBB_RUN}" --list
+  OUTPUT_VARIABLE list_out
+  ERROR_VARIABLE list_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --list exited with ${rc}\nstderr:\n${list_err}")
+endif()
+string(REGEX MATCHALL "\n  [a-z0-9-]+" experiment_lines "${list_out}")
+set(experiment_names "")
+foreach(line IN LISTS experiment_lines)
+  string(STRIP "${line}" name)
+  list(APPEND experiment_names "${name}")
+endforeach()
+list(LENGTH experiment_names experiment_count)
+if(experiment_count LESS 4)
+  message(FATAL_ERROR "nubb_run --list names ${experiment_count} experiments, expected >= 4:\n${list_out}")
+endif()
+foreach(name IN LISTS experiment_names)
+  execute_process(
+    COMMAND "${NUBB_RUN}" --caps 8x1,8x4 --reps 8 --seed 3 --experiment "${name}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nubb_run --experiment ${name} exited with ${rc}\nstderr:\n${err}")
+  endif()
+  string(FIND "${out}" "elapsed" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "nubb_run --experiment ${name} produced no report:\n${out}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${NUBB_RUN}" --caps 8x1,8x4 --reps 8 --experiment no-such-experiment
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --experiment no-such-experiment should fail but exited 0")
+endif()
+
+# --- batched shard + merge reproduces the unsharded batched run --------------
+set(batched_json "${WORK_DIR}/smoke_batched.json")
+set(batched_shard0 "${WORK_DIR}/smoke_batched_shard0.json")
+set(batched_shard1 "${WORK_DIR}/smoke_batched_shard1.json")
+set(batched_merged "${WORK_DIR}/smoke_batched_merged.json")
+file(REMOVE "${batched_json}" "${batched_shard0}" "${batched_shard1}" "${batched_merged}")
+
+execute_process(
+  COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --batch 4 --reps 50 --seed 7
+          --json "${batched_json}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --batch 4 exited with ${rc}\nstderr:\n${err}")
+endif()
+
+foreach(shard 0 1)
+  execute_process(
+    COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --batch 4 --reps 50 --seed 7
+            --shard "${shard}/2" --out "${WORK_DIR}/smoke_batched_shard${shard}.json"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nubb_run --batch 4 --shard ${shard}/2 exited with ${rc}\nstderr:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" --merge "${batched_shard0}" "${batched_shard1}"
+          --json "${batched_merged}"
+  OUTPUT_VARIABLE merge_out
+  ERROR_VARIABLE merge_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --merge (batched) exited with ${rc}\nstderr:\n${merge_err}")
+endif()
+
+file(READ "${batched_json}" batched_single_json)
+file(READ "${batched_merged}" batched_merged_json)
+string(REGEX MATCH "\"max_load\":{[^}]*}" batched_single_max "${batched_single_json}")
+string(REGEX MATCH "\"max_load\":{[^}]*}" batched_merged_max "${batched_merged_json}")
+if(batched_single_max STREQUAL "")
+  message(FATAL_ERROR "could not extract max_load from unsharded batched JSON:\n${batched_single_json}")
+endif()
+if(NOT batched_single_max STREQUAL batched_merged_max)
+  message(FATAL_ERROR "batched shard-merge result differs from the unsharded run:\n"
+                      "unsharded: ${batched_single_max}\nmerged:    ${batched_merged_max}")
 endif()
 
 # --- --version prints the semver and exits 0 --------------------------------
