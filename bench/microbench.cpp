@@ -331,8 +331,26 @@ BenchResult measure(std::string name, std::string algorithm, std::string profile
   return r;
 }
 
-/// Full-game benchmark body shared by the kernel and reference variants.
-template <bool UseKernel>
+/// Which placement implementation a full-game benchmark exercises: the
+/// frozen pre-kernel reference, the fused kernel on the locked v1 stream,
+/// or the kernel on the batch-drawn v2 stream (docs/stream-v2.md).
+enum class BenchImpl { kReference, kKernel, kKernelV2 };
+
+const char* impl_tag(BenchImpl impl) {
+  switch (impl) {
+    case BenchImpl::kReference:
+      return "reference";
+    case BenchImpl::kKernel:
+      return "kernel";
+    case BenchImpl::kKernelV2:
+      return "kernel_v2";
+  }
+  return "kernel";
+}
+
+/// Full-game benchmark body shared by the kernel (both streams) and
+/// reference variants.
+template <BenchImpl Impl>
 BenchResult bench_game(const std::string& algorithm, const std::string& profile,
                        const std::vector<std::uint64_t>& caps, const GameConfig& cfg,
                        std::uint64_t reps, std::uint64_t seed) {
@@ -345,26 +363,29 @@ BenchResult bench_game(const std::string& algorithm, const std::string& profile,
     return total;
   }();
   Xoshiro256StarStar rng(seed);
-  const char* impl = UseKernel ? "kernel" : "reference";
+  const char* impl = impl_tag(Impl);
   const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
-  if constexpr (UseKernel) {
+  GameConfig game = cfg;
+  if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
+  if constexpr (Impl != BenchImpl::kReference) {
     BinArray bins(caps);
-    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &cfg, &rng] {
+    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &game, &rng] {
       bins.clear();
-      play_game(bins, sampler, cfg, rng);
+      play_game(bins, sampler, game, rng);
     });
   } else {
     ReferenceBins bins(caps);
-    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &cfg, &rng] {
+    return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &game, &rng] {
       bins.clear();
-      reference_play_game(bins, sampler, cfg, rng);
+      reference_play_game(bins, sampler, game, rng);
     });
   }
 }
 
-/// Weighted-game benchmark body: the fused kernel path vs the frozen
-/// pre-kernel per-ball weighted path, on the same ball count and seeds.
-template <bool UseKernel>
+/// Weighted-game benchmark body: the fused kernel path (either stream) vs
+/// the frozen pre-kernel per-ball weighted path, on the same ball count and
+/// seeds.
+template <BenchImpl Impl>
 BenchResult bench_weighted(const std::string& algorithm, const std::string& profile,
                            const std::vector<std::uint64_t>& caps, const BallSizeModel& sizes,
                            const GameConfig& cfg, std::uint64_t balls, std::uint64_t reps,
@@ -372,11 +393,12 @@ BenchResult bench_weighted(const std::string& algorithm, const std::string& prof
   const BinSampler sampler =
       BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
   Xoshiro256StarStar rng(seed);
-  const char* impl = UseKernel ? "kernel" : "reference";
+  const char* impl = impl_tag(Impl);
   const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
   GameConfig game = cfg;
   game.balls = balls;
-  if constexpr (UseKernel) {
+  if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
+  if constexpr (Impl != BenchImpl::kReference) {
     WeightedBinArray bins(caps);
     return measure(name, algorithm, profile, impl, balls, reps,
                    [&bins, &sampler, &sizes, &game, &rng] {
@@ -453,23 +475,33 @@ int main(int argc, char** argv) {
   GameConfig d3 = d2;
   d3.choices = 3;
 
-  // The acceptance pair: Greedy[2] on the mixed 1:10 profile.
-  results.push_back(bench_game<false>("greedy_d2", "mixed_1_10", mixed_small, d2, reps,
-                                      opt.seed + 3));
-  results.push_back(bench_game<true>("greedy_d2", "mixed_1_10", mixed_small, d2, reps,
-                                     opt.seed + 3));
-  results.push_back(bench_game<false>("greedy_d2", "mixed_1_10_100k", mixed_large, d2, reps,
-                                      opt.seed + 4));
-  results.push_back(bench_game<true>("greedy_d2", "mixed_1_10_100k", mixed_large, d2, reps,
-                                     opt.seed + 4));
-  results.push_back(bench_game<false>("greedy_d2", "uniform_c2_4096", uniform_c2, d2, reps,
-                                      opt.seed + 5));
-  results.push_back(bench_game<true>("greedy_d2", "uniform_c2_4096", uniform_c2, d2, reps,
-                                     opt.seed + 5));
-  results.push_back(bench_game<false>("greedy_d3", "mixed_1_10", mixed_small, d3, reps,
-                                      opt.seed + 6));
-  results.push_back(bench_game<true>("greedy_d3", "mixed_1_10", mixed_small, d3, reps,
-                                     opt.seed + 6));
+  // The acceptance pairs: Greedy[2] on the mixed 1:10 profile, each with the
+  // locked v1 stream and the batch-drawn v2 stream against the same frozen
+  // reference.
+  results.push_back(bench_game<BenchImpl::kReference>("greedy_d2", "mixed_1_10", mixed_small,
+                                                      d2, reps, opt.seed + 3));
+  results.push_back(bench_game<BenchImpl::kKernel>("greedy_d2", "mixed_1_10", mixed_small, d2,
+                                                   reps, opt.seed + 3));
+  results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "mixed_1_10", mixed_small,
+                                                     d2, reps, opt.seed + 3));
+  results.push_back(bench_game<BenchImpl::kReference>("greedy_d2", "mixed_1_10_100k",
+                                                      mixed_large, d2, reps, opt.seed + 4));
+  results.push_back(bench_game<BenchImpl::kKernel>("greedy_d2", "mixed_1_10_100k", mixed_large,
+                                                   d2, reps, opt.seed + 4));
+  results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "mixed_1_10_100k",
+                                                     mixed_large, d2, reps, opt.seed + 4));
+  results.push_back(bench_game<BenchImpl::kReference>("greedy_d2", "uniform_c2_4096",
+                                                      uniform_c2, d2, reps, opt.seed + 5));
+  results.push_back(bench_game<BenchImpl::kKernel>("greedy_d2", "uniform_c2_4096", uniform_c2,
+                                                   d2, reps, opt.seed + 5));
+  results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "uniform_c2_4096",
+                                                     uniform_c2, d2, reps, opt.seed + 5));
+  results.push_back(bench_game<BenchImpl::kReference>("greedy_d3", "mixed_1_10", mixed_small,
+                                                      d3, reps, opt.seed + 6));
+  results.push_back(bench_game<BenchImpl::kKernel>("greedy_d3", "mixed_1_10", mixed_small, d3,
+                                                   reps, opt.seed + 6));
+  results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d3", "mixed_1_10", mixed_small,
+                                                     d3, reps, opt.seed + 6));
 
   // --- Kernel-only modes (no pre-PR analogue at full speed) ---
   {
@@ -498,10 +530,15 @@ int main(int argc, char** argv) {
       balls_per_game =
           play_weighted_game(probe, probe_sampler, sizes, cfg, probe_rng).balls_thrown;
     }
-    results.push_back(bench_weighted<false>("weighted_u1_4", "mixed_1_10", mixed_small,
-                                            sizes, cfg, balls_per_game, reps, opt.seed + 8));
-    results.push_back(bench_weighted<true>("weighted_u1_4", "mixed_1_10", mixed_small, sizes,
-                                           cfg, balls_per_game, reps, opt.seed + 8));
+    results.push_back(bench_weighted<BenchImpl::kReference>("weighted_u1_4", "mixed_1_10",
+                                                            mixed_small, sizes, cfg,
+                                                            balls_per_game, reps, opt.seed + 8));
+    results.push_back(bench_weighted<BenchImpl::kKernel>("weighted_u1_4", "mixed_1_10",
+                                                         mixed_small, sizes, cfg,
+                                                         balls_per_game, reps, opt.seed + 8));
+    results.push_back(bench_weighted<BenchImpl::kKernelV2>("weighted_u1_4", "mixed_1_10",
+                                                           mixed_small, sizes, cfg,
+                                                           balls_per_game, reps, opt.seed + 8));
   }
 
   if (!opt.quiet) {
@@ -516,11 +553,13 @@ int main(int argc, char** argv) {
   };
   std::vector<Speedup> speedups;
   for (const auto& r : results) {
-    if (r.impl != "kernel") continue;
+    if (r.impl != "kernel" && r.impl != "kernel_v2") continue;
     for (const auto& ref : results) {
       if (ref.impl == "reference" && ref.algorithm == r.algorithm &&
           ref.profile == r.profile && ref.ops_per_sec > 0.0) {
-        speedups.push_back({r.algorithm + "/" + r.profile, r.ops_per_sec / ref.ops_per_sec});
+        std::string key = r.algorithm + "/" + r.profile;
+        if (r.impl == "kernel_v2") key += "/v2";
+        speedups.push_back({std::move(key), r.ops_per_sec / ref.ops_per_sec});
       }
     }
   }

@@ -39,6 +39,12 @@ struct GameConfig {
   /// `play_game`, `play_game_heights`) model the batch = 1 process and
   /// ignore this field.
   std::uint64_t batch = 1;
+
+  /// RNG draw-order stream (see RngStream). kV1 is the locked default every
+  /// golden value is pinned to; kV2 is the batch-drawn fast path, selected
+  /// with `nubb_run --stream v2`. The realised process distribution is the
+  /// same for both; fixed-seed outcomes are not.
+  RngStream stream = RngStream::kV1;
 };
 
 /// Snapshot handed to checkpoint callbacks during a game.

@@ -1,6 +1,8 @@
 #include "core/placement_kernel.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "core/weighted.hpp"
 #include "util/inline.hpp"
@@ -19,6 +21,10 @@ void PlacementKernel::validate(const BinSampler& sampler, std::size_t bins,
   NUBB_REQUIRE_MSG(!cfg.distinct_choices || cfg.choices <= sampler.support_size(),
                    "distinct choices exceed the sampler support "
                    "(bins with positive probability)");
+  // Stream v2 stages resolved candidates as 32-bit indices (half the buffer
+  // traffic of size_t; the alias table is 32-bit already).
+  NUBB_REQUIRE_MSG(cfg.stream == RngStream::kV1 || bins <= 0xFFFFFFFFull,
+                   "stream v2 supports at most 2^32 bins");
 }
 
 PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
@@ -34,6 +40,7 @@ PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
   n_ = bins.size();
   d_ = cfg.choices;
   distinct_ = cfg.distinct_choices;
+  stream_ = cfg.stream;
   planned_ = planned_balls != 0
                  ? planned_balls
                  : (cfg.balls != 0 ? cfg.balls : bins.total_capacity());
@@ -67,6 +74,7 @@ PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampl
   n_ = bins.size();
   d_ = cfg.choices;
   distinct_ = cfg.distinct_choices;
+  stream_ = cfg.stream;
   planned_ = planned_balls;
 
   // 64-bit comparisons are exact iff the largest numerator that can appear
@@ -79,24 +87,100 @@ PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampl
       bins.total_weight() <= kU64Max - planned_ * max_ball_weight - max_ball_weight) {
     const std::uint64_t horizon =
         bins.total_weight() + planned_ * max_ball_weight + max_ball_weight;
-    fast64_ = horizon <= kU64Max / cmax;
+    // <= (kU64Max - 1) / cmax, not kU64Max / cmax: the fused composite-key
+    // compare in the stream-v2 resolve adds 1 to a cross product, so every
+    // product must stay at most 2^64 - 2. (Both arithmetic paths are exact,
+    // so shifting the cutover by one is unobservable in results.)
+    fast64_ = horizon <= (kU64Max - 1) / cmax;
   }
 
   select_impl(cfg.tie_break);
 }
 
-template <bool Fast64, TieBreak TB>
+namespace {
+
+/// Branchless `c ? a : b` on unsigned integers. The ternary spelling is NOT
+/// equivalent in practice: gcc if-converts it only sometimes (it kept the
+/// kFirstChoice fold branchless but compiled the kPreferLargerCapacity pick
+/// as a jump around the selects), and a ~50/50 data-dependent jump in the
+/// resolve loop costs ~15 cycles per ball in mispredicts. The xor-mask form
+/// cannot be turned back into a branch.
+template <class T>
+NUBB_ALWAYS_INLINE inline T csel(bool c, T a, T b) {
+  static_assert(std::is_unsigned_v<T>);
+  const T mask = static_cast<T>(0) - static_cast<T>(c);
+  return static_cast<T>(b ^ ((b ^ a) & mask));
+}
+
+/// One stream-v2 candidate draw under an alias table: a single 64-bit word
+/// serves as both the slot draw and the acceptance mantissa. The word is
+/// drawn through the same 128-bit product and low-half rejection as
+/// Xoshiro256StarStar::bounded (`reject` is the hoisted `2^64 mod n`), so
+/// the slot is exactly uniform; the acceptance mantissa is bits 11..63 of
+/// the accepted low half, whose residual non-uniformity (a grid of spacing
+/// n over [reject, 2^64)) is below the 2^-53 threshold quantisation shared
+/// with stream v1. Part of the docs/stream-v2.md contract.
+NUBB_ALWAYS_INLINE inline std::size_t draw_candidate_v2(const std::uint64_t* const threshold,
+                                                        const std::uint32_t* const alias,
+                                                        const std::uint64_t n,
+                                                        const std::uint64_t reject,
+                                                        Xoshiro256StarStar& rng) {
+  std::uint64_t lo;
+  std::uint64_t hi;
+  for (;;) {
+    const uint128 m = static_cast<uint128>(rng.next()) * n;
+    lo = static_cast<std::uint64_t>(m);
+    hi = static_cast<std::uint64_t>(m >> 64);
+    if (lo >= reject) [[likely]] break;
+  }
+  const auto slot = static_cast<std::uint32_t>(hi);
+  const std::uint32_t al = alias[slot];
+  // Unconditional alias load + forced conditional move: the accept test on
+  // real profiles is a coin flip (mixed 1:10 rejects ~40% of slots), which
+  // as a branch costs more in mispredicts than the extra L1 load — and the
+  // ternary spelling did compile to a jump around an out-of-line alias path.
+  return static_cast<std::size_t>(csel((lo >> 11) < threshold[slot], slot, al));
+}
+
+}  // namespace
+
+template <bool Fast64, TieBreak TB, RngStream S>
 std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t* stale_counts,
                                         std::uint64_t amount, Xoshiro256StarStar& rng) {
   const std::uint32_t d = k.d_;
   std::size_t* const choices = k.choices_;
 
-  // --- draw: byte-identical to the historic per-ball path ---
+  // --- draw ---
+  // v1: byte-identical to the historic per-ball path (interleaved per
+  // candidate). v2: a one-ball block of the documented batch order — d
+  // single-word candidate draws (slot and acceptance mantissa from the same
+  // bounded product under an alias table), then one tie word when d >= 2.
+  // Distinct mode consumes the v1 rejection order under both streams (the
+  // redraw count is data-dependent, so there is nothing to batch).
+  std::uint64_t tie_word = 0;
   if (!k.distinct_) {
     if (k.table_ != nullptr) {
-      for (std::uint32_t i = 0; i < d; ++i) choices[i] = k.table_->sample(rng);
+      if constexpr (S == RngStream::kV2) {
+        const std::uint64_t* const threshold = k.table_->threshold_data();
+        const std::uint32_t* const alias = k.table_->alias_data();
+        const std::uint64_t n = k.n_;
+        const std::uint64_t reject = (0 - n) % n;
+        for (std::uint32_t i = 0; i < d; ++i) {
+          choices[i] = draw_candidate_v2(threshold, alias, n, reject, rng);
+        }
+      } else {
+        for (std::uint32_t i = 0; i < d; ++i) choices[i] = k.table_->sample(rng);
+      }
     } else {
       rng.bounded_fill(k.n_, choices, d);
+    }
+    if constexpr (S == RngStream::kV2) {
+      if (d >= 2) {
+        // One-ball block: the ball's tie material is the low bit (d = 2),
+        // the low 32-bit field (d = 3), or the whole tie word (d >= 4).
+        const std::uint64_t w = rng.next();
+        tie_word = d == 3 ? (w & 0xFFFFFFFFull) : w;
+      }
     }
   } else {
     // Redraw duplicates; d is at most the sampler support (checked at
@@ -123,12 +207,17 @@ std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t*
 
   // --- choose: on the live slots, or on a frozen numerator snapshot ---
   std::size_t dest;
+  const bool pretied = S == RngStream::kV2 && !k.distinct_;
   if (stale_counts != nullptr) {
-    dest = detail::decide_destination<Fast64, TB>(
-        detail::StaleLoadView{stale_counts, k.slots_}, choices, d, amount, rng);
+    const detail::StaleLoadView view{stale_counts, k.slots_};
+    dest = pretied ? detail::decide_destination_pretied<Fast64, TB>(view, choices, d, amount,
+                                                                    tie_word)
+                   : detail::decide_destination<Fast64, TB>(view, choices, d, amount, rng);
   } else {
-    dest = detail::decide_destination<Fast64, TB>(detail::SlotLoadView{k.slots_}, choices, d,
-                                                  amount, rng);
+    const detail::SlotLoadView view{k.slots_};
+    dest = pretied ? detail::decide_destination_pretied<Fast64, TB>(view, choices, d, amount,
+                                                                    tie_word)
+                   : detail::decide_destination<Fast64, TB>(view, choices, d, amount, rng);
   }
 
   // --- commit: add_ball/add_weight semantics through the cached pointers ---
@@ -237,6 +326,33 @@ NUBB_ALWAYS_INLINE inline void load_less_equal(std::uint64_t num_a, std::uint64_
   }
 }
 
+/// Fused composite-key comparison for kPreferLargerCapacity: `beats` is
+/// "key_a strictly precedes key_b" under (load ascending, capacity
+/// descending), `tied` is full key equality. Exact on integers:
+/// lhs < rhs gives beats regardless of the bump; lhs == rhs promotes to
+/// beats exactly when cap_a > cap_b; lhs > rhs implies lhs >= rhs + 1 so
+/// the bump cannot flip it. The +1 cannot wrap — the Fast64 gate caps
+/// every cross product at 2^64 - 2, and 128-bit products are below
+/// 2^128 - 1 by construction. Three operations cheaper per pair than
+/// assembling the same bits from load_less_equal plus capacity tests,
+/// which is what the Greedy[3] resolve budget needed.
+template <bool Fast64>
+NUBB_ALWAYS_INLINE inline void key_beats_tied(std::uint64_t num_a, std::uint64_t cap_a,
+                                              std::uint64_t num_b, std::uint64_t cap_b,
+                                              bool& beats, bool& tied) {
+  if constexpr (Fast64) {
+    const std::uint64_t lhs = num_a * cap_b;
+    const std::uint64_t rhs = num_b * cap_a;
+    beats = lhs < rhs + static_cast<std::uint64_t>(cap_a > cap_b);
+    tied = (lhs == rhs) & (cap_a == cap_b);
+  } else {
+    const uint128 lhs = static_cast<uint128>(num_a) * cap_b;
+    const uint128 rhs = static_cast<uint128>(num_b) * cap_a;
+    beats = lhs < rhs + static_cast<uint128>(cap_a > cap_b);
+    tied = (lhs == rhs) & (cap_a == cap_b);
+  }
+}
+
 /// Commit `amount` into `dest` whose post-allocation numerator and capacity
 /// the decide stage already holds in registers; update the running maximum.
 template <bool Fast64>
@@ -251,7 +367,13 @@ NUBB_ALWAYS_INLINE inline void commit_known(BinSlot* slots, std::size_t dest,
   } else {
     greater = Load{t.max_num, t.max_cap} < Load{num, cap};
   }
-  if (greater) {
+  // Deliberately a branch, not a conditional move: the maximum changes a
+  // vanishing fraction of balls once the run warms up, and an if-converted
+  // update (gcc spills argmax) threads a store-to-load-forwarding chain
+  // through every iteration of the resolve loops. [[unlikely]] alone does
+  // not stop gcc's if-conversion here; the barrier does.
+  if (greater) [[unlikely]] {
+    NUBB_FORCE_BRANCH();
     t.max_num = num;
     t.max_cap = cap;
     t.argmax = dest;
@@ -264,6 +386,45 @@ NUBB_ALWAYS_INLINE inline void commit_amount(BinSlot* slots, std::size_t dest,
                                              std::uint64_t amount, RunTotals& t) {
   const BinSlot s = slots[dest];
   commit_known<Fast64>(slots, dest, s.num + amount, s.cap, amount, t);
+}
+
+/// Decide-and-commit for one Greedy[2] ball whose candidates are already
+/// resolved: the straight-line body shared by the v1 loop (candidates drawn
+/// per ball) and the stream-v2 loop (candidates read from the block buffer).
+/// Consumes at most one bounded draw, on a surviving tie.
+template <bool Fast64, TieBreak TB>
+NUBB_ALWAYS_INLINE inline void resolve_ball_d2(BinSlot* const slots, const std::size_t c0,
+                                               const std::size_t c1, const std::uint64_t w,
+                                               RunTotals& t, Xoshiro256StarStar& rng) {
+  if (c0 == c1) {
+    commit_amount<Fast64>(slots, c0, w, t);  // a duplicate pair is the set {c0}
+    return;
+  }
+  const BinSlot s0 = slots[c0];
+  const BinSlot s1 = slots[c1];
+  const std::uint64_t n0 = s0.num + w;
+  const std::uint64_t n1 = s1.num + w;
+  bool c1_less;
+  bool equal;
+  load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, c1_less, equal);
+  bool pick1;
+  if (c1_less) {
+    pick1 = true;
+  } else if (!equal) {
+    pick1 = false;
+  } else if constexpr (TB == TieBreak::kFirstChoice) {
+    pick1 = false;
+  } else if constexpr (TB == TieBreak::kUniform) {
+    pick1 = rng.bounded(2) != 0;
+  } else {
+    // Prefer the larger capacity; uniform only between equal ones.
+    pick1 = s0.cap == s1.cap ? rng.bounded(2) != 0 : s1.cap > s0.cap;
+  }
+  if (pick1) {
+    commit_known<Fast64>(slots, c1, n1, s1.cap, w, t);
+  } else {
+    commit_known<Fast64>(slots, c0, n0, s0.cap, w, t);
+  }
 }
 
 /// Greedy[2], the workhorse of every figure: straight-line body, no
@@ -280,57 +441,19 @@ NUBB_NOINLINE RunTotals run_d2(BinSlot* const slots, const std::uint64_t* const 
     const std::uint64_t w = next_amount(rng);
     std::size_t c[2];
     draw_candidates<2>(threshold, alias, n, rng, c);
-    const std::size_t c0 = c[0];
-    const std::size_t c1 = c[1];
-    if (c0 == c1) {
-      commit_amount<Fast64>(slots, c0, w, t);  // a duplicate pair is the set {c0}
-      continue;
-    }
-    const BinSlot s0 = slots[c0];
-    const BinSlot s1 = slots[c1];
-    const std::uint64_t n0 = s0.num + w;
-    const std::uint64_t n1 = s1.num + w;
-    bool c1_less;
-    bool equal;
-    load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, c1_less, equal);
-    bool pick1;
-    if (c1_less) {
-      pick1 = true;
-    } else if (!equal) {
-      pick1 = false;
-    } else if constexpr (TB == TieBreak::kFirstChoice) {
-      pick1 = false;
-    } else if constexpr (TB == TieBreak::kUniform) {
-      pick1 = rng.bounded(2) != 0;
-    } else {
-      // Prefer the larger capacity; uniform only between equal ones.
-      pick1 = s0.cap == s1.cap ? rng.bounded(2) != 0 : s1.cap > s0.cap;
-    }
-    if (pick1) {
-      commit_known<Fast64>(slots, c1, n1, s1.cap, w, t);
-    } else {
-      commit_known<Fast64>(slots, c0, n0, s0.cap, w, t);
-    }
+    resolve_ball_d2<Fast64, TB>(slots, c[0], c[1], w, t, rng);
   }
   return t;
 }
 
-/// Greedy[3]: the decide fold unrolled over exactly three candidates — no
-/// candidate buffer, no 64-entry best set, same set semantics and tie-break
-/// order as decide_destination.
-template <bool Fast64, TieBreak TB, class AmountFn>
-NUBB_NOINLINE RunTotals run_d3(BinSlot* const slots, const std::uint64_t* const threshold,
-                               const std::uint32_t* const alias, const std::uint64_t n,
-                               const std::uint64_t count, AmountFn next_amount, RunTotals t,
-                               Xoshiro256StarStar& rng) {
-  for (std::uint64_t ball = 0; ball < count; ++ball) {
-    const std::uint64_t w = next_amount(rng);
-    std::size_t c[3];
-    draw_candidates<3>(threshold, alias, n, rng, c);
-    const std::size_t c0 = c[0];
-    const std::size_t c1 = c[1];
-    const std::size_t c2 = c[2];
-
+/// Decide-and-commit for one Greedy[3] ball with resolved candidates — the
+/// register fold shared by the v1 and stream-v2 Greedy[3] loops.
+template <bool Fast64, TieBreak TB>
+NUBB_ALWAYS_INLINE inline void resolve_ball_d3(BinSlot* const slots, const std::size_t c0,
+                                               const std::size_t c1, const std::size_t c2,
+                                               const std::uint64_t w, RunTotals& t,
+                                               Xoshiro256StarStar& rng) {
+  {
     // Fold the candidates left-to-right, keeping the best set with set
     // semantics exactly like decide_destination (duplicates carry no
     // tie-break weight). Ties are the common case for d = 3 on integer
@@ -392,7 +515,7 @@ NUBB_NOINLINE RunTotals run_d3(BinSlot* const slots, const std::uint64_t* const 
 
     if (bc == 1) {
       commit_known<Fast64>(slots, m0, mn0, mp0, w, t);
-      continue;
+      return;
     }
     if constexpr (TB == TieBreak::kFirstChoice) {
       commit_known<Fast64>(slots, m0, mn0, mp0, w, t);  // recorded in choice order
@@ -435,6 +558,22 @@ NUBB_NOINLINE RunTotals run_d3(BinSlot* const slots, const std::uint64_t* const 
       const std::uint64_t pick = fc == 1 ? 0 : rng.bounded(fc);
       commit_known<Fast64>(slots, fi[pick], fn[pick], fp[pick], w, t);
     }
+  }
+}
+
+/// Greedy[3]: the decide fold unrolled over exactly three candidates — no
+/// candidate buffer, no 64-entry best set, same set semantics and tie-break
+/// order as decide_destination.
+template <bool Fast64, TieBreak TB, class AmountFn>
+NUBB_NOINLINE RunTotals run_d3(BinSlot* const slots, const std::uint64_t* const threshold,
+                               const std::uint32_t* const alias, const std::uint64_t n,
+                               const std::uint64_t count, AmountFn next_amount, RunTotals t,
+                               Xoshiro256StarStar& rng) {
+  for (std::uint64_t ball = 0; ball < count; ++ball) {
+    const std::uint64_t w = next_amount(rng);
+    std::size_t c[3];
+    draw_candidates<3>(threshold, alias, n, rng, c);
+    resolve_ball_d3<Fast64, TB>(slots, c[0], c[1], c[2], w, t, rng);
   }
   return t;
 }
@@ -492,6 +631,315 @@ NUBB_NOINLINE RunTotals run_generic(BinSlot* const slots,
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// Stream v2: batch-drawn blocks (docs/stream-v2.md). Per block of up to
+// kStreamBlock balls: the size phase (weighted games only), then one
+// 64-bit candidate draw per candidate in draw order (fused slot +
+// acceptance under an alias table, plain bulk bounded draws for uniform
+// samplers), then the packed tie-word phase (d >= 2). The resolve pass
+// then walks the buffers in ball order consuming no RNG at all, which is
+// what buys the >4x Greedy[2] target: every ~50/50 decision (the winner
+// pick, the alias accept, the tie) is a conditional move instead of a
+// mispredicted branch, the serial RNG chain runs unbroken across a whole
+// block, and every ball's destination slots are known a block ahead for
+// the cross-ball prefetch.
+// ---------------------------------------------------------------------------
+
+/// Candidate phase for one block: `count` candidate draws in draw order —
+/// fused single-word draws under an alias table, one bulk bounded_fill for
+/// uniform samplers (both consume one accepted 64-bit word per candidate,
+/// with the identical low-half rejection rule).
+NUBB_ALWAYS_INLINE inline void fill_candidates_v2(const std::uint64_t* const threshold,
+                                                  const std::uint32_t* const alias,
+                                                  const std::uint64_t n,
+                                                  std::uint32_t* const cand,
+                                                  const std::size_t count,
+                                                  Xoshiro256StarStar& rng) {
+  if (threshold == nullptr) {
+    rng.bounded_fill(n, cand, count);
+    return;
+  }
+  const std::uint64_t reject = (0 - n) % n;
+  // Draw on a local copy of the generator: the caller's lives behind a
+  // reference, and the threshold loads are uint64_t loads that could alias
+  // its state words, so gcc otherwise writes all four state words back to
+  // memory on every draw. The copy's address never escapes, which keeps the
+  // whole state in registers across the block; one write-back at the end.
+  Xoshiro256StarStar local = rng;
+  for (std::size_t i = 0; i < count; ++i) {
+    cand[i] = static_cast<std::uint32_t>(draw_candidate_v2(threshold, alias, n, reject, local));
+  }
+  rng = local;
+}
+
+/// Tie phase for one block: one raw word per packing unit, packed so the
+/// phase stays a negligible share of the per-ball budget. Ball b's tie
+/// material is: d = 2 — bit (b mod 64) of word b/64; d = 3 — the 32-bit
+/// half (b even: low, odd: high) of word b/2; d >= 4 — all of word b.
+NUBB_ALWAYS_INLINE inline void fill_ties_v2(std::uint64_t* const tie, const std::size_t words,
+                                            Xoshiro256StarStar& rng) {
+  // Local copy for the same aliasing reason as the candidate phase: `tie` is
+  // a uint64_t* and would otherwise force a state write-back per word.
+  Xoshiro256StarStar local = rng;
+  for (std::size_t i = 0; i < words; ++i) tie[i] = local.next();
+  rng = local;
+}
+
+/// Branchless decide-and-commit for one stream-v2 Greedy[2] ball: both
+/// candidates and the ball's tie bit are pre-drawn, so apart from the rare
+/// duplicate pair and the rarely-taken running-max update every decision is
+/// a conditional move (the ~50/50 winner-pick branch alone cost the first
+/// v2 cut a third of its per-ball budget in mispredicts).
+template <bool Fast64, TieBreak TB>
+NUBB_ALWAYS_INLINE inline void resolve_ball_d2_w(BinSlot* const slots, const std::size_t c0,
+                                                 const std::size_t c1, const std::uint64_t w,
+                                                 const bool tie_bit, RunTotals& t) {
+  if (c0 == c1) [[unlikely]] {
+    commit_amount<Fast64>(slots, c0, w, t);  // a duplicate pair is the set {c0}
+    return;
+  }
+  const BinSlot s0 = slots[c0];
+  const BinSlot s1 = slots[c1];
+  const std::uint64_t n0 = s0.num + w;
+  const std::uint64_t n1 = s1.num + w;
+  bool c1_less;
+  bool equal;
+  load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, c1_less, equal);
+  bool pick1;
+  if constexpr (TB == TieBreak::kFirstChoice) {
+    pick1 = c1_less;
+  } else if constexpr (TB == TieBreak::kUniform) {
+    pick1 = c1_less | (equal & tie_bit);
+  } else {
+    // Prefer the larger capacity; the tie bit decides only between equals.
+    const bool cap_gt = s1.cap > s0.cap;
+    const bool cap_eq = s1.cap == s0.cap;
+    pick1 = c1_less | (equal & (cap_gt | (cap_eq & tie_bit)));
+  }
+  const std::size_t dest = csel(pick1, c1, c0);
+  const std::uint64_t num = csel(pick1, n1, n0);
+  const std::uint64_t cap = csel(pick1, s1.cap, s0.cap);
+  commit_known<Fast64>(slots, dest, num, cap, w, t);
+}
+
+/// Branchless decide-and-commit for one stream-v2 Greedy[3] ball with
+/// distinct candidates (duplicates — probability <= 3/n per ball — fall
+/// back to the generic pretied fold, which shares the tie contract). The
+/// tie pick is `field mod bc` over the co-minimal members in recorded
+/// order, exactly like decide_destination_pretied.
+template <bool Fast64, TieBreak TB>
+NUBB_ALWAYS_INLINE inline void resolve_ball_d3_w(BinSlot* const slots, const std::size_t c0,
+                                                 const std::size_t c1, const std::size_t c2,
+                                                 const std::uint64_t w,
+                                                 const std::uint32_t tie_field, RunTotals& t) {
+  if (c0 == c1 || c0 == c2 || c1 == c2) [[unlikely]] {
+    const std::size_t choices[3] = {c0, c1, c2};
+    const std::size_t dest = detail::decide_destination_pretied<Fast64, TB>(
+        detail::SlotLoadView{slots}, choices, 3, w, tie_field);
+    commit_amount<Fast64>(slots, dest, w, t);
+    return;
+  }
+  const BinSlot s0 = slots[c0];
+  const BinSlot s1 = slots[c1];
+  const BinSlot s2 = slots[c2];
+  const std::uint64_t n0 = s0.num + w;
+  const std::uint64_t n1 = s1.num + w;
+  const std::uint64_t n2 = s2.num + w;
+  if constexpr (TB == TieBreak::kFirstChoice) {
+    // Strict-less fold: the first minimum wins, no tie material consumed.
+    std::size_t m = c0;
+    std::uint64_t mn = n0;
+    std::uint64_t mp = s0.cap;
+    bool less;
+    bool equal;
+    load_less_equal<Fast64>(n1, s1.cap, mn, mp, less, equal);
+    m = csel(less, c1, m);
+    mn = csel(less, n1, mn);
+    mp = csel(less, s1.cap, mp);
+    load_less_equal<Fast64>(n2, s2.cap, mn, mp, less, equal);
+    m = csel(less, c2, m);
+    mn = csel(less, n2, mn);
+    mp = csel(less, s2.cap, mp);
+    commit_known<Fast64>(slots, m, mn, mp, w, t);
+  } else {
+    // kPreferLargerCapacity orders candidates by the composite key (load
+    // ascending, capacity descending) — the co-minimal class is then
+    // exactly the capacity-filtered tie set of decide_destination; kUniform
+    // orders by load alone. All three pairwise comparisons are computed
+    // INDEPENDENTLY so their multiplies pipeline instead of chaining
+    // through a sequential fold (the fold's key-select feeds the next
+    // compare, ~10 serial cycles per step); class membership is then pure
+    // combinational logic on the six relation bits, and the rank-j member
+    // is picked by conditional moves. Branching to a tie-free fast path
+    // instead is NOT profitable: at the paper's m = C operating point
+    // loads are small integers, load-equal candidates are frequent, and
+    // the branch mispredicts its way to ~2x slower.
+    bool a;  // K1 < K0
+    bool b;  // K2 < K0
+    bool c;  // K2 < K1
+    bool e;  // K1 == K0
+    bool f;  // K2 == K0
+    bool g;  // K2 == K1
+    if constexpr (TB == TieBreak::kPreferLargerCapacity) {
+      key_beats_tied<Fast64>(n1, s1.cap, n0, s0.cap, a, e);
+      key_beats_tied<Fast64>(n2, s2.cap, n0, s0.cap, b, f);
+      key_beats_tied<Fast64>(n2, s2.cap, n1, s1.cap, c, g);
+    } else {
+      load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, a, e);
+      load_less_equal<Fast64>(n2, s2.cap, n0, s0.cap, b, f);
+      load_less_equal<Fast64>(n2, s2.cap, n1, s1.cap, c, g);
+    }
+    // In-class flags: a candidate is co-minimal iff nothing sorts strictly
+    // below it. Exact arithmetic makes the six bits mutually consistent.
+    const std::uint32_t in0 = static_cast<std::uint32_t>(!a & !b);
+    const std::uint32_t in1 = static_cast<std::uint32_t>((a | e) & !c);
+    const std::uint32_t in2 = static_cast<std::uint32_t>((b | f) & (c | g));
+    const std::uint32_t bc = in0 + in1 + in2;
+    // The winner is the class member at rank j in candidate order (rank =
+    // count of in-class candidates before it), selected arithmetically —
+    // staging members in a tiny stack array costs a store-to-load forward
+    // (~5 cycles) on the dest -> commit chain every ball.
+    const std::uint32_t j = csel(bc == 3, tie_field % 3, tie_field & (bc - 1));
+    const bool pick1 = (in1 != 0) & (j == in0);
+    const bool pick2 = (in2 != 0) & (j == in0 + in1);
+    const std::size_t dest = csel(pick2, c2, csel(pick1, c1, c0));
+    // Re-read the winner's slot rather than csel-chaining its (num, cap)
+    // through the whole body: the three slot loads are hot in L1, and
+    // dropping six selects takes enough values out of the live set that
+    // gcc stops spilling setcc results through the stack mid-compare.
+    const std::uint64_t kn = slots[dest].num + w;
+    const std::uint64_t kp = slots[dest].cap;
+    commit_known<Fast64>(slots, dest, kn, kp, w, t);
+  }
+}
+
+/// Size-phase policy for unit balls: no draws, weight 1 — constant-folds the
+/// whole phase out of the loop shapes below.
+struct UnitSizes {
+  NUBB_ALWAYS_INLINE void fill(Xoshiro256StarStar&, std::size_t) const noexcept {}
+  NUBB_ALWAYS_INLINE std::uint64_t get(std::size_t) const noexcept { return 1; }
+};
+
+/// Size-phase policy for the weighted game: one block-bulk model fill (the
+/// kind dispatch hoisted inside BallSizeModel::fill), sizes read back from
+/// the kernel's buffer.
+struct ModelSizes {
+  const BallSizeModel* model;
+  std::uint64_t* buf;
+  void fill(Xoshiro256StarStar& rng, std::size_t count) const { model->fill(buf, count, rng); }
+  NUBB_ALWAYS_INLINE std::uint64_t get(std::size_t i) const noexcept { return buf[i]; }
+};
+
+/// How many balls ahead the resolve loops prefetch their candidates' slots.
+constexpr std::size_t kPrefetchAhead = 8;
+
+template <bool Fast64, TieBreak TB, class Sizes>
+NUBB_NOINLINE RunTotals run_v2_d2(BinSlot* const slots, const std::uint64_t* const threshold,
+                                  const std::uint32_t* const alias, const std::uint64_t n,
+                                  const std::uint64_t count, const Sizes sz,
+                                  std::uint32_t* const cand, std::uint64_t* const tie,
+                                  RunTotals t, Xoshiro256StarStar& rng) {
+  for (std::uint64_t done = 0; done < count;) {
+    const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
+        PlacementKernel::kStreamBlock, count - done));
+    sz.fill(rng, nb);
+    fill_candidates_v2(threshold, alias, n, cand, 2 * nb, rng);
+    fill_ties_v2(tie, (nb + 63) / 64, rng);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (b + kPrefetchAhead < nb) {
+        NUBB_PREFETCH(&slots[cand[2 * (b + kPrefetchAhead)]]);
+        NUBB_PREFETCH(&slots[cand[2 * (b + kPrefetchAhead) + 1]]);
+      }
+      const bool tie_bit = ((tie[b >> 6] >> (b & 63)) & 1) != 0;
+      resolve_ball_d2_w<Fast64, TB>(slots, cand[2 * b], cand[2 * b + 1], sz.get(b), tie_bit,
+                                    t);
+    }
+    done += nb;
+  }
+  return t;
+}
+
+template <bool Fast64, TieBreak TB, class Sizes>
+NUBB_NOINLINE RunTotals run_v2_d3(BinSlot* const slots, const std::uint64_t* const threshold,
+                                  const std::uint32_t* const alias, const std::uint64_t n,
+                                  const std::uint64_t count, const Sizes sz,
+                                  std::uint32_t* const cand, std::uint64_t* const tie,
+                                  RunTotals t, Xoshiro256StarStar& rng) {
+  for (std::uint64_t done = 0; done < count;) {
+    const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
+        PlacementKernel::kStreamBlock, count - done));
+    sz.fill(rng, nb);
+    fill_candidates_v2(threshold, alias, n, cand, 3 * nb, rng);
+    fill_ties_v2(tie, (nb + 1) / 2, rng);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (b + kPrefetchAhead < nb) {
+        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead)]]);
+        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead) + 1]]);
+        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead) + 2]]);
+      }
+      const auto tie_field =
+          static_cast<std::uint32_t>(tie[b >> 1] >> ((b & 1) * 32));
+      resolve_ball_d3_w<Fast64, TB>(slots, cand[3 * b], cand[3 * b + 1], cand[3 * b + 2],
+                                    sz.get(b), tie_field, t);
+    }
+    done += nb;
+  }
+  return t;
+}
+
+template <bool Fast64, class Sizes>
+NUBB_NOINLINE RunTotals run_v2_d1(BinSlot* const slots, const std::uint64_t* const threshold,
+                                  const std::uint32_t* const alias, const std::uint64_t n,
+                                  const std::uint64_t count, const Sizes sz,
+                                  std::uint32_t* const cand, RunTotals t,
+                                  Xoshiro256StarStar& rng) {
+  for (std::uint64_t done = 0; done < count;) {
+    const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
+        PlacementKernel::kStreamBlock, count - done));
+    sz.fill(rng, nb);
+    fill_candidates_v2(threshold, alias, n, cand, nb, rng);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (b + kPrefetchAhead < nb) NUBB_PREFETCH(&slots[cand[b + kPrefetchAhead]]);
+      commit_amount<Fast64>(slots, cand[b], sz.get(b), t);
+    }
+    done += nb;
+  }
+  return t;
+}
+
+/// General d (independent choices): block-drawn candidates and one tie word
+/// per ball, per-ball decide through the generic pretied fold. Distinct mode
+/// never reaches here — it keeps the v1 per-ball rejection order (see
+/// run_v2_impl).
+template <bool Fast64, TieBreak TB, class Sizes>
+NUBB_NOINLINE RunTotals run_v2_generic(BinSlot* const slots,
+                                       const std::uint64_t* const threshold,
+                                       const std::uint32_t* const alias,
+                                       const std::uint64_t n, std::size_t* const choices,
+                                       const std::uint32_t d, const std::uint64_t count,
+                                       const Sizes sz, std::uint32_t* const cand,
+                                       std::uint64_t* const tie, RunTotals t,
+                                       Xoshiro256StarStar& rng) {
+  for (std::uint64_t done = 0; done < count;) {
+    const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
+        PlacementKernel::kStreamBlock, count - done));
+    sz.fill(rng, nb);
+    fill_candidates_v2(threshold, alias, n, cand, d * nb, rng);
+    fill_ties_v2(tie, nb, rng);
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::uint64_t w = sz.get(b);
+      for (std::uint32_t i = 0; i < d; ++i) {
+        choices[i] = static_cast<std::size_t>(cand[d * b + i]);
+      }
+      const std::size_t dest = detail::decide_destination_pretied<Fast64, TB>(
+          detail::SlotLoadView{slots}, choices, d, w, tie[b]);
+      commit_amount<Fast64>(slots, dest, w, t);
+    }
+    done += nb;
+  }
+  return t;
+}
+
 }  // namespace
 
 /// Bulk dispatch shared by the unweighted and weighted games: pick the loop
@@ -545,32 +993,92 @@ void PlacementKernel::run_weighted_impl(PlacementKernel& k, std::uint64_t count,
       rng);
 }
 
-void PlacementKernel::select_impl(TieBreak tie_break) {
+/// Stream-v2 bulk dispatch: same flush-at-the-end structure as run_loop,
+/// block buffers sized lazily on the first bulk run.
+template <bool Fast64, TieBreak TB, class Sizes>
+void PlacementKernel::run_loop_v2(PlacementKernel& k, std::uint64_t count, Sizes sz,
+                                  Xoshiro256StarStar& rng) {
+  const AliasTable* const table = k.table_;
+  const std::uint64_t* const threshold =
+      table != nullptr ? table->threshold_data() : nullptr;
+  const std::uint32_t* const alias = table != nullptr ? table->alias_data() : nullptr;
+  const std::uint64_t n = k.n_;
+  BinSlot* const slots = k.slots_;
+
+  const std::size_t need = kStreamBlock * k.d_;
+  if (k.v2_cand_.size() < need) k.v2_cand_.resize(need);
+  std::uint32_t* const cand = k.v2_cand_.data();
+  if (k.d_ >= 2 && k.v2_tie_.size() < kStreamBlock) k.v2_tie_.resize(kStreamBlock);
+  std::uint64_t* const tie = k.v2_tie_.data();
+
+  RunTotals t{*k.total_, k.max_load_->balls, k.max_load_->capacity, *k.argmax_};
+  if (k.d_ == 2) {
+    t = run_v2_d2<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, t, rng);
+  } else if (k.d_ == 3) {
+    t = run_v2_d3<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, t, rng);
+  } else if (k.d_ == 1) {
+    t = run_v2_d1<Fast64>(slots, threshold, alias, n, count, sz, cand, t, rng);
+  } else {
+    t = run_v2_generic<Fast64, TB>(slots, threshold, alias, n, k.choices_, k.d_, count, sz,
+                                   cand, tie, t, rng);
+  }
+
+  *k.total_ = t.total;
+  *k.max_load_ = Load{t.max_num, t.max_cap};
+  *k.argmax_ = t.argmax;
+}
+
+template <bool Fast64, TieBreak TB>
+void PlacementKernel::run_v2_impl(PlacementKernel& k, std::uint64_t count,
+                                  Xoshiro256StarStar& rng) {
+  if (k.distinct_) {
+    // Distinct-choice rejection redraws a data-dependent number of times per
+    // ball; stream v2 defines distinct mode to consume the v1 order.
+    run_impl<Fast64, TB>(k, count, rng);
+    return;
+  }
+  run_loop_v2<Fast64, TB>(k, count, UnitSizes{}, rng);
+}
+
+template <bool Fast64, TieBreak TB>
+void PlacementKernel::run_weighted_v2_impl(PlacementKernel& k, std::uint64_t count,
+                                           const BallSizeModel& sizes,
+                                           Xoshiro256StarStar& rng) {
+  if (k.distinct_) {
+    run_weighted_impl<Fast64, TB>(k, count, sizes, rng);
+    return;
+  }
+  if (k.v2_sizes_.size() < kStreamBlock) k.v2_sizes_.resize(kStreamBlock);
+  run_loop_v2<Fast64, TB>(k, count, ModelSizes{&sizes, k.v2_sizes_.data()}, rng);
+}
+
+template <TieBreak TB>
+void PlacementKernel::select_for_tie_break() {
   const bool f = fast64_;
+  if (stream_ == RngStream::kV2) {
+    place_fn_ = f ? &place_impl<true, TB, RngStream::kV2>
+                  : &place_impl<false, TB, RngStream::kV2>;
+    run_fn_ = f ? &run_v2_impl<true, TB> : &run_v2_impl<false, TB>;
+    run_weighted_fn_ =
+        f ? &run_weighted_v2_impl<true, TB> : &run_weighted_v2_impl<false, TB>;
+    return;
+  }
+  place_fn_ =
+      f ? &place_impl<true, TB, RngStream::kV1> : &place_impl<false, TB, RngStream::kV1>;
+  run_fn_ = f ? &run_impl<true, TB> : &run_impl<false, TB>;
+  run_weighted_fn_ = f ? &run_weighted_impl<true, TB> : &run_weighted_impl<false, TB>;
+}
+
+void PlacementKernel::select_impl(TieBreak tie_break) {
   switch (tie_break) {
     case TieBreak::kPreferLargerCapacity:
-      place_fn_ = f ? &place_impl<true, TieBreak::kPreferLargerCapacity>
-                    : &place_impl<false, TieBreak::kPreferLargerCapacity>;
-      run_fn_ = f ? &run_impl<true, TieBreak::kPreferLargerCapacity>
-                  : &run_impl<false, TieBreak::kPreferLargerCapacity>;
-      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kPreferLargerCapacity>
-                           : &run_weighted_impl<false, TieBreak::kPreferLargerCapacity>;
+      select_for_tie_break<TieBreak::kPreferLargerCapacity>();
       return;
     case TieBreak::kUniform:
-      place_fn_ = f ? &place_impl<true, TieBreak::kUniform>
-                    : &place_impl<false, TieBreak::kUniform>;
-      run_fn_ =
-          f ? &run_impl<true, TieBreak::kUniform> : &run_impl<false, TieBreak::kUniform>;
-      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kUniform>
-                           : &run_weighted_impl<false, TieBreak::kUniform>;
+      select_for_tie_break<TieBreak::kUniform>();
       return;
     case TieBreak::kFirstChoice:
-      place_fn_ = f ? &place_impl<true, TieBreak::kFirstChoice>
-                    : &place_impl<false, TieBreak::kFirstChoice>;
-      run_fn_ = f ? &run_impl<true, TieBreak::kFirstChoice>
-                  : &run_impl<false, TieBreak::kFirstChoice>;
-      run_weighted_fn_ = f ? &run_weighted_impl<true, TieBreak::kFirstChoice>
-                           : &run_weighted_impl<false, TieBreak::kFirstChoice>;
+      select_for_tie_break<TieBreak::kFirstChoice>();
       return;
   }
   NUBB_REQUIRE_MSG(false, "unreachable: unknown tie-break policy");

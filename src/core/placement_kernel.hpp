@@ -24,14 +24,27 @@
 /// layout shared by BinArray and WeightedBinArray, so a random candidate
 /// probe touches one cache line, not two.
 ///
-/// RNG discipline: the kernel consumes random draws in exactly the same
-/// order and quantity as the historic unfused paths (the ball's size draw
-/// where the game is weighted, d candidate draws, then one bounded draw only
-/// when a tie survives capacity filtering), so every fixed-seed golden value
-/// is bit-identical to the pre-kernel code.
+/// RNG discipline: under stream v1 (the default) the kernel consumes random
+/// draws in exactly the same order and quantity as the historic unfused
+/// paths (the ball's size draw where the game is weighted, d candidate
+/// draws, then one bounded draw only when a tie survives capacity
+/// filtering), so every fixed-seed golden value is bit-identical to the
+/// pre-kernel code. Under stream v2 (GameConfig::stream == RngStream::kV2)
+/// each bulk run is consumed in blocks of up to kStreamBlock balls whose
+/// draws are batch-filled up front in three phases — sizes, then one 64-bit
+/// word per candidate (under an alias table the word's high product half is
+/// the slot and its low half the acceptance mantissa; uniform samplers use
+/// the identical bounded draw), then packed tie words — after which the
+/// resolve pass is branch-predictable straight-line code consuming no RNG
+/// at all; see docs/stream-v2.md for the exact draw-order contract. Both
+/// streams realise the same stochastic process (v2's reuse of the bounded
+/// draw's low product half and modulo tie picks sit below the 2^-53
+/// threshold quantisation both streams share); only fixed-seed outcomes
+/// differ.
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/bin_array.hpp"
 #include "core/game.hpp"
@@ -70,13 +83,13 @@ struct StaleLoadView {
 /// then apply the tie-break `TB`. `add` is the committed amount: 1 for unit
 /// balls, the ball's weight in the weighted game. `Fast64` selects 64-bit
 /// cross multiplication; the caller guarantees `(view.num(i) + add) *
-/// max(caps)` cannot wrap when it is set. Consumes at most one bounded RNG
-/// draw, and only on a surviving tie — identical to the historic
-/// `choose_destination`.
-template <bool Fast64, TieBreak TB, class View>
-inline std::size_t decide_destination(const View& view, const std::size_t* choices,
-                                      std::uint32_t d, std::uint64_t add,
-                                      Xoshiro256StarStar& rng) {
+/// max(caps)` cannot wrap when it is set. `tie_pick(count)` resolves a
+/// surviving tie of `count > 1` members to an index in [0, count); it is
+/// invoked at most once per ball.
+template <bool Fast64, TieBreak TB, class View, class TiePick>
+inline std::size_t decide_destination_impl(const View& view, const std::size_t* choices,
+                                           std::uint32_t d, std::uint64_t add,
+                                           TiePick&& tie_pick) {
   constexpr std::uint32_t kMaxChoices = 64;
   std::size_t best[kMaxChoices];
   best[0] = choices[0];
@@ -124,7 +137,7 @@ inline std::size_t decide_destination(const View& view, const std::size_t* choic
   if constexpr (TB == TieBreak::kFirstChoice) {
     return best[0];  // candidates were recorded in choice order
   } else if constexpr (TB == TieBreak::kUniform) {
-    return best[rng.bounded(best_count)];
+    return best[tie_pick(best_count)];
   } else {
     // Algorithm 1 lines 4-6: keep only maximum-capacity members of B_opt.
     std::uint64_t cmax = 0;
@@ -136,8 +149,32 @@ inline std::size_t decide_destination(const View& view, const std::size_t* choic
       if (view.cap(best[j]) == cmax) best[filtered++] = best[j];
     }
     if (filtered == 1) return best[0];
-    return best[rng.bounded(filtered)];
+    return best[tie_pick(filtered)];
   }
+}
+
+/// Stream-v1 form: a surviving tie consumes one bounded draw at resolve
+/// time — identical to the historic `choose_destination`.
+template <bool Fast64, TieBreak TB, class View>
+inline std::size_t decide_destination(const View& view, const std::size_t* choices,
+                                      std::uint32_t d, std::uint64_t add,
+                                      Xoshiro256StarStar& rng) {
+  return decide_destination_impl<Fast64, TB>(
+      view, choices, d, add,
+      [&rng](std::size_t count) { return static_cast<std::size_t>(rng.bounded(count)); });
+}
+
+/// Stream-v2 form: the ball's tie material was drawn in the block's tie
+/// phase; a surviving tie of `count` members resolves to `tie_word % count`
+/// (modulo bias <= count / 2^32, far below the 2^-53 threshold quantisation
+/// of the candidate draws). Consumes no RNG.
+template <bool Fast64, TieBreak TB, class View>
+inline std::size_t decide_destination_pretied(const View& view, const std::size_t* choices,
+                                              std::uint32_t d, std::uint64_t add,
+                                              std::uint64_t tie_word) {
+  return decide_destination_impl<Fast64, TB>(
+      view, choices, d, add,
+      [tie_word](std::size_t count) { return static_cast<std::size_t>(tie_word % count); });
 }
 
 }  // namespace detail
@@ -155,6 +192,12 @@ inline std::size_t decide_destination(const View& view, const std::size_t* choic
 class PlacementKernel {
  public:
   static constexpr std::uint32_t kMaxChoices = 64;
+
+  /// Stream-v2 block size: each bulk run consumes its balls in blocks of up
+  /// to this many, whose draws are batch-filled before any ball resolves.
+  /// Part of the stream-v2 draw-order contract (docs/stream-v2.md): changing
+  /// it changes v2 fixed-seed outcomes.
+  static constexpr std::size_t kStreamBlock = 256;
 
   /// Validates once what the per-ball path used to validate per ball
   /// (choice count, sampler/bin size match, distinct-mode support).
@@ -228,7 +271,7 @@ class PlacementKernel {
   using RunWeightedFn = void (*)(PlacementKernel&, std::uint64_t, const BallSizeModel&,
                                  Xoshiro256StarStar&);
 
-  template <bool Fast64, TieBreak TB>
+  template <bool Fast64, TieBreak TB, RngStream S>
   static std::size_t place_impl(PlacementKernel& k, const std::uint64_t* stale_counts,
                                 std::uint64_t amount, Xoshiro256StarStar& rng);
   template <bool Fast64, TieBreak TB>
@@ -239,9 +282,19 @@ class PlacementKernel {
   template <bool Fast64, TieBreak TB, class AmountFn>
   static void run_loop(PlacementKernel& k, std::uint64_t count, AmountFn next_amount,
                        Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB>
+  static void run_v2_impl(PlacementKernel& k, std::uint64_t count, Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB>
+  static void run_weighted_v2_impl(PlacementKernel& k, std::uint64_t count,
+                                   const BallSizeModel& sizes, Xoshiro256StarStar& rng);
+  template <bool Fast64, TieBreak TB, class Sizes>
+  static void run_loop_v2(PlacementKernel& k, std::uint64_t count, Sizes sz,
+                          Xoshiro256StarStar& rng);
 
   void validate(const BinSampler& sampler, std::size_t bins, const GameConfig& cfg) const;
   void select_impl(TieBreak tie_break);
+  template <TieBreak TB>
+  void select_for_tie_break();
 
   // Raw pointers into the owning bin array (BinArray or WeightedBinArray):
   // interleaved slots plus the bookkeeping the commit stage maintains with
@@ -256,6 +309,7 @@ class PlacementKernel {
   std::uint32_t d_ = 1;
   bool distinct_ = false;
   bool fast64_ = false;
+  RngStream stream_ = RngStream::kV1;
   std::uint64_t planned_ = 0;
   std::uint64_t placed_ = 0;
   PlaceFn place_fn_ = nullptr;
@@ -265,6 +319,13 @@ class PlacementKernel {
   // per ball (the draw stage always overwrites entries [0, d) — kernels are
   // single-threaded scratch, one per worker, never shared).
   std::size_t choices_[kMaxChoices] = {};
+  // Stream-v2 block buffers (kStreamBlock * d resolved candidates, the
+  // block's packed tie words, and one size per ball for the weighted loop).
+  // Allocated lazily by the first bulk v2 run so per-ball entry points never
+  // pay for them.
+  std::vector<std::uint32_t> v2_cand_;
+  std::vector<std::uint64_t> v2_tie_;
+  std::vector<std::uint64_t> v2_sizes_;
 };
 
 }  // namespace nubb

@@ -23,6 +23,7 @@ void RunMeta::to_json(JsonWriter& w) const {
   w.kv("tie_break", tie_break);
   w.kv("balls", balls);
   w.kv("batch", batch);
+  w.kv("stream", stream);
   w.kv("replications", replications);
   w.kv("seed", seed);
   w.kv("chunks", chunks);
@@ -43,6 +44,10 @@ RunMeta RunMeta::from_json(const JsonValue& v) {
   m.tie_break = v.at("tie_break").as_string();
   m.balls = v.at("balls").as_uint64();
   m.batch = v.at("batch").as_uint64();
+  // State files written before stream v2 existed carry no "stream" key;
+  // they were produced by (what is now called) stream v1.
+  const JsonValue* stream = v.find("stream");
+  m.stream = stream != nullptr ? stream->as_string() : "v1";
   m.replications = v.at("replications").as_uint64();
   m.seed = v.at("seed").as_uint64();
   m.chunks = v.at("chunks").as_uint64();

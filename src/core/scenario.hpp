@@ -57,6 +57,12 @@ struct RunMeta {
   std::string tie_break;
   std::uint64_t balls = 0;
   std::uint64_t batch = 1;
+  std::string stream = "v1";  ///< RNG draw-order stream ("v1" | "v2"); part of
+                              ///< every config fingerprint — the two streams'
+                              ///< fixed-seed results differ, so shard sets
+                              ///< never mix streams. Absent in state files
+                              ///< written before stream v2 existed, read back
+                              ///< as "v1" (those files *are* v1 streams).
   std::uint64_t replications = 0;
   std::uint64_t seed = 0;
   std::uint64_t chunks = 0;

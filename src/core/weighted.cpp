@@ -93,6 +93,42 @@ std::uint64_t BallSizeModel::sample(Xoshiro256StarStar& rng) const {
   return 1;  // unreachable
 }
 
+template <BallSizeModel::Kind K>
+void BallSizeModel::fill_impl(std::uint64_t* out, std::size_t count,
+                              Xoshiro256StarStar& rng) const {
+  if constexpr (K == Kind::kConstant) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = a_;
+  } else if constexpr (K == Kind::kUniformRange) {
+    // Same draw per ball as sample(): one bounded(b - a + 1), shifted.
+    rng.bounded_fill(b_ - a_ + 1, out, count);
+    for (std::size_t i = 0; i < count; ++i) out[i] += a_;
+  } else {
+    // log1p(-p) is loop-invariant; dividing by the hoisted value is the
+    // exact operation sample() performs, so values match bit for bit.
+    const double denom = std::log1p(-p_);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double u = 1.0 - rng.next_double();  // (0, 1]
+      const auto g = static_cast<std::uint64_t>(std::floor(std::log(u) / denom));
+      const std::uint64_t size = 1 + g;
+      out[i] = size > a_ ? a_ : size;
+    }
+  }
+}
+
+void BallSizeModel::fill(std::uint64_t* out, std::size_t count, Xoshiro256StarStar& rng) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      fill_impl<Kind::kConstant>(out, count, rng);
+      return;
+    case Kind::kUniformRange:
+      fill_impl<Kind::kUniformRange>(out, count, rng);
+      return;
+    case Kind::kShiftedGeometric:
+      fill_impl<Kind::kShiftedGeometric>(out, count, rng);
+      return;
+  }
+}
+
 double BallSizeModel::mean() const {
   switch (kind_) {
     case Kind::kConstant:

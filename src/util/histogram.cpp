@@ -17,6 +17,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 
 void Histogram::add(double x) noexcept {
   ++total_;
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -48,6 +52,7 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   underflow_ += other.underflow_;
   overflow_ += other.overflow_;
+  nan_ += other.nan_;
   total_ += other.total_;
 }
 
@@ -65,6 +70,7 @@ std::string Histogram::render(std::size_t bar_width) const {
   }
   if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
   if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  if (nan_ > 0) os << "nan: " << nan_ << "\n";
   return os.str();
 }
 

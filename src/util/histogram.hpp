@@ -14,18 +14,21 @@
 namespace nubb {
 
 /// Histogram over [lo, hi) with `bins` equal-width cells plus underflow /
-/// overflow counters.
+/// overflow / NaN counters.
 class Histogram {
  public:
   /// \pre bins > 0, lo < hi.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// NaN is counted separately (it belongs to no cell and compares false
+  /// against both range bounds; casting it to an index would be UB).
   void add(double x) noexcept;
 
   std::size_t bins() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const;
   std::uint64_t underflow() const noexcept { return underflow_; }
   std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t nan_count() const noexcept { return nan_; }
   std::uint64_t total() const noexcept { return total_; }
 
   double bin_lo(std::size_t bin) const;
@@ -44,6 +47,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t nan_ = 0;
   std::uint64_t total_ = 0;
 };
 

@@ -24,6 +24,7 @@
 #include <limits>
 #include <type_traits>
 
+#include "util/assert.hpp"
 #include "util/inline.hpp"
 #include "util/int128.hpp"
 
@@ -86,9 +87,12 @@ class Xoshiro256StarStar {
     for (auto& word : state_) word = sm.next();
   }
 
-  /// Construct from a full 256-bit state (must not be all zero).
-  explicit Xoshiro256StarStar(const std::array<std::uint64_t, 4>& state) noexcept
-      : state_(state) {}
+  /// Construct from a full 256-bit state (must not be all zero: zero is the
+  /// engine's unique fixed point and would yield a constant-zero stream).
+  explicit Xoshiro256StarStar(const std::array<std::uint64_t, 4>& state) : state_(state) {
+    NUBB_REQUIRE_MSG((state[0] | state[1] | state[2] | state[3]) != 0,
+                     "xoshiro256** state must not be all zero");
+  }
 
   NUBB_ALWAYS_INLINE std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
@@ -131,11 +135,32 @@ class Xoshiro256StarStar {
   /// form exists so hot loops can keep the engine state in registers across
   /// the whole candidate draw; it never reorders or fuses draws, so fixed-
   /// seed streams stay byte-identical with the one-at-a-time form).
+  ///
+  /// Large fills take a bulk Lemire multiply-shift path: the rejection
+  /// threshold `(2^64 - bound) mod bound` is computed once (one division per
+  /// fill, not per draw), so the steady-state loop is multiply, shift, and a
+  /// compare against a register constant — no cold-path call, no second
+  /// branch — and the redraw loop runs inline on the (rare) rejected draws.
+  /// The redraw condition is exactly the scalar path's, so outputs and the
+  /// number of `next()` steps are identical draw for draw.
   /// \pre bound > 0.
   template <typename T>
   void bounded_fill(std::uint64_t bound, T* out, std::size_t count) noexcept {
     static_assert(std::is_integral_v<T>, "bounded_fill needs an integral output type");
-    for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<T>(bounded(bound));
+    if (count < 8) {
+      // Short fills (the per-ball candidate draw) skip the threshold
+      // division; the draws are the same either way.
+      for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<T>(bounded(bound));
+      return;
+    }
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (std::size_t i = 0; i < count; ++i) {
+      uint128 m = static_cast<uint128>(next()) * bound;
+      while (static_cast<std::uint64_t>(m) < threshold) [[unlikely]] {
+        m = static_cast<uint128>(next()) * bound;
+      }
+      out[i] = static_cast<T>(static_cast<std::uint64_t>(m >> 64));
+    }
   }
 
   /// Uniform double in [0, 1) with 53 random mantissa bits.

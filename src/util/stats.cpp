@@ -87,6 +87,8 @@ Summary Summary::from(const RunningStats& s) {
   return out;
 }
 
+double Summary::ci_half_width_95() const { return normal_z(0.95) * std_error; }
+
 std::string Summary::to_string() const {
   std::ostringstream os;
   os << "mean=" << mean << " sd=" << stddev << " se=" << std_error << " min=" << min

@@ -73,7 +73,9 @@ struct Summary {
   std::string to_string() const;
 
   /// Half-width of the 95% normal-approximation confidence interval.
-  double ci_half_width_95() const { return 1.96 * std_error; }
+  /// Routes through normal_z(0.95) — the same constant RunningStats::
+  /// ci_half_width uses — so the two paths cannot drift.
+  double ci_half_width_95() const;
 };
 
 /// Exact sample quantile (linear interpolation between order statistics,

@@ -178,6 +178,43 @@ TEST(ScenarioTest, NormalizeMetaZeroesOnlyUnreadFields) {
   EXPECT_FALSE(coverage.classes);
 }
 
+TEST(ScenarioTest, RunMetaStreamRoundTripsThroughJson) {
+  RunMeta meta;
+  meta.experiment = "max-load";
+  meta.stream = "v2";
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    meta.to_json(w);
+    EXPECT_TRUE(w.complete());
+  }
+  const RunMeta back = RunMeta::from_json(JsonValue::parse(os.str()));
+  EXPECT_EQ(back.stream, "v2");
+  EXPECT_EQ(back, meta);
+}
+
+TEST(ScenarioTest, RunMetaWithoutStreamKeyDefaultsToV1) {
+  // State files written before stream v2 existed carry no "stream" key;
+  // they were produced by what is now called stream v1 and must merge as
+  // such rather than being rejected or misclassified.
+  RunMeta meta;
+  meta.experiment = "max-load";
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    meta.to_json(w);
+  }
+  std::string text = os.str();
+  const auto pos = text.find("\"stream\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = text.find(',', pos);
+  ASSERT_NE(end, std::string::npos);
+  text.erase(pos, end - pos + 1);
+  const RunMeta back = RunMeta::from_json(JsonValue::parse(text));
+  EXPECT_EQ(back.stream, "v1");
+  EXPECT_EQ(back, meta);
+}
+
 TEST(ScenarioTest, ScenarioJsonBlocksAreWellFormed) {
   const ScenarioSpec spec = small_spec();
   for (const Scenario* scenario : ScenarioRegistry::global().list()) {

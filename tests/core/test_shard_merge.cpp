@@ -151,6 +151,40 @@ TEST(ShardMergeTest, MaxLoadDistributionIsBitIdentical) {
   }
 }
 
+TEST(ShardMergeTest, StreamV2IsBitIdentical) {
+  // The batch-drawn stream must survive the shard/JSON/merge pipeline with
+  // the same exactness guarantee as v1: each replication seeds its own
+  // generator, so sharding never splits a v2 block across processes.
+  GameConfig cfg;
+  cfg.stream = RngStream::kV2;
+  const Summary single = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                          cfg, shard_exp(0, 1));
+  for (const std::uint64_t n : {2u, 4u, 16u}) {
+    const auto shards = run_sharded<ScalarCollector>(n, [&cfg](const ExperimentConfig& exp) {
+      return max_load_summary_shard(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                    cfg, exp);
+    });
+    const Summary merged = max_load_summary_merge(shards);
+    EXPECT_EQ(merged.count, single.count) << n << " shards";
+    EXPECT_EQ(merged.mean, single.mean) << n << " shards";
+    EXPECT_EQ(merged.stddev, single.stddev) << n << " shards";
+    EXPECT_EQ(merged.min, single.min) << n << " shards";
+    EXPECT_EQ(merged.max, single.max) << n << " shards";
+  }
+}
+
+TEST(ShardMergeTest, StreamsProduceDifferentFixedSeedSummaries) {
+  // Guard against silently wiring v2 to the v1 loops: with everything else
+  // fixed, the two streams' fixed-seed outcomes must differ.
+  GameConfig v2;
+  v2.stream = RngStream::kV2;
+  const Summary a = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                     GameConfig{}, shard_exp(0, 1));
+  const Summary b = max_load_summary(test_caps(), SelectionPolicy::proportional_to_capacity(),
+                                     v2, shard_exp(0, 1));
+  EXPECT_NE(a.mean, b.mean);
+}
+
 TEST(ShardMergeTest, ShardsBeyondChunkCountAreEmptyButMergeable) {
   // 100 replications resolve to 16 chunks; a 32-way split leaves half the
   // shards with no chunks. They must still serialize and merge cleanly.

@@ -101,6 +101,78 @@ TEST(DistributionAgreement, WeightedUnitBallsMatchCoreGame) {
   EXPECT_LT(ks_statistic(core, weighted), kCritical);
 }
 
+// Stream v1 vs stream v2: the same stochastic process realised through two
+// documented draw orders. Fixed-seed outcomes differ by design; the max-load
+// distributions must not. (The bit-level v2 contract is pinned in
+// tests/core/test_stream_v2.cpp; this is the statistical leg.)
+std::vector<double> v2_max_loads(const std::vector<std::uint64_t>& caps, GameConfig cfg,
+                                 std::uint64_t seed) {
+  cfg.stream = RngStream::kV2;
+  return core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, seed);
+}
+
+TEST(DistributionAgreement, StreamV2MatchesV1Greedy2) {
+  const auto caps = two_class_capacities(50, 1, 50, 10);
+  GameConfig cfg;  // kPreferLargerCapacity, the paper's tie-break
+  const auto v1 = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, 1111);
+  EXPECT_LT(ks_statistic(v1, v2_max_loads(caps, cfg, 2222)), kCritical);
+}
+
+TEST(DistributionAgreement, StreamV2MatchesV1Greedy3) {
+  const auto caps = two_class_capacities(50, 1, 50, 10);
+  GameConfig cfg;
+  cfg.choices = 3;
+  const auto v1 = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, 3333);
+  EXPECT_LT(ks_statistic(v1, v2_max_loads(caps, cfg, 4444)), kCritical);
+}
+
+TEST(DistributionAgreement, StreamV2MatchesV1UniformTieBreak) {
+  // kUniform spends tie material on every surviving tie, so it is the
+  // tie-sensitive stream-agreement case (kPrefer resolves most ties by
+  // capacity before any material is consumed).
+  const auto caps = uniform_capacities(100, 2);
+  GameConfig cfg;
+  cfg.tie_break = TieBreak::kUniform;
+  const auto v1 = core_max_loads(caps, SelectionPolicy::proportional_to_capacity(), cfg, 5555);
+  EXPECT_LT(ks_statistic(v1, v2_max_loads(caps, cfg, 6666)), kCritical);
+}
+
+TEST(DistributionAgreement, StreamV2MatchesV1Weighted) {
+  const auto caps = two_class_capacities(40, 2, 20, 8);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  const BallSizeModel sizes = BallSizeModel::uniform_range(1, 4);
+  std::vector<std::vector<double>> loads;
+  std::uint64_t seed = 7777;
+  for (const RngStream stream : {RngStream::kV1, RngStream::kV2}) {
+    GameConfig cfg;
+    cfg.stream = stream;
+    std::vector<double> out;
+    out.reserve(kSamples);
+    for (std::uint64_t r = 0; r < kSamples; ++r) {
+      WeightedBinArray bins(caps);
+      Xoshiro256StarStar rng(seed_for_replication(seed, r));
+      play_weighted_game(bins, sampler, sizes, cfg, rng);
+      out.push_back(bins.max_load().value());
+    }
+    loads.push_back(std::move(out));
+    seed = 8888;
+  }
+  EXPECT_LT(ks_statistic(loads[0], loads[1]), kCritical);
+}
+
+TEST(DistributionAgreement, KsSeparatesStreamV2OneVsTwoChoices) {
+  // Negative control through the v2 path: d = 1 vs d = 2 under stream v2
+  // are different processes and KS must reject decisively.
+  const auto caps = uniform_capacities(256, 1);
+  GameConfig one;
+  one.choices = 1;
+  GameConfig two;
+  two.choices = 2;
+  EXPECT_GT(ks_statistic(v2_max_loads(caps, one, 9999), v2_max_loads(caps, two, 10101)),
+            kCritical);
+}
+
 TEST(DistributionAgreement, KsSeparatesGenuinelyDifferentProcesses) {
   // Negative control: one choice vs two choices are different distributions
   // and KS must reject decisively.

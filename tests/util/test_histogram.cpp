@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/assert.hpp"
 
 namespace nubb {
@@ -49,6 +51,32 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.count(1), 1u);
   EXPECT_EQ(a.underflow(), 1u);
   EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramTest, NanGoesToDedicatedCounterNotACell) {
+  // NaN used to flow into the bin-index cast (UB: the comparison chain
+  // routed it past the under/overflow guards). It must land in its own
+  // counter, leaving every cell and the under/overflow tallies untouched.
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(0.5);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 3u);  // NaNs still count as observations
+}
+
+TEST(HistogramTest, MergeCarriesNanCounter) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 2);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(0.25);
+  a.merge(b);
+  EXPECT_EQ(a.nan_count(), 2u);
+  EXPECT_EQ(a.total(), 3u);
 }
 
 TEST(HistogramTest, MergeRejectsDifferentGeometry) {

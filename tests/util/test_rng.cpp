@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <set>
 #include <vector>
+
+#include "util/assert.hpp"
 
 namespace nubb {
 namespace {
@@ -178,6 +181,52 @@ TEST(XoshiroTest, BoundedFillMatchesSequentialBoundedDraws) {
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(out32[i], static_cast<std::uint32_t>(sequential32.bounded(77)));
   }
+}
+
+TEST(XoshiroTest, BoundedFillMatchesBoundedUnderHeavyRejection) {
+  // A bound just above 2^63 rejects nearly half of all raw draws, so the
+  // bulk path's hoisted-threshold redraw loop runs constantly; it must
+  // reject exactly the words the scalar quick-test path rejects.
+  const std::uint64_t bound = (1ULL << 63) + 12345;
+  Xoshiro256StarStar batch(99);
+  Xoshiro256StarStar sequential(99);
+  std::uint64_t out[64];
+  batch.bounded_fill(bound, out, 64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], sequential.bounded(bound));
+  EXPECT_EQ(batch.state(), sequential.state());
+}
+
+TEST(XoshiroTest, BoundedFillShortCountsUseTheSameStream) {
+  // Below the bulk cutoff the helper falls back to per-element bounded();
+  // both regimes must consume the stream identically so callers can mix
+  // them (the kernel's one-ball blocks are short, run blocks are long).
+  for (const std::size_t count : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                                  std::size_t{9}, std::size_t{255}}) {
+    Xoshiro256StarStar batch(1000 + count);
+    Xoshiro256StarStar sequential(1000 + count);
+    std::vector<std::uint64_t> out(count);
+    batch.bounded_fill(3, out.data(), count);
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], sequential.bounded(3));
+    EXPECT_EQ(batch.state(), sequential.state());
+  }
+}
+
+TEST(XoshiroTest, BoundedFillPowerOfTwoBound) {
+  Xoshiro256StarStar batch(5);
+  Xoshiro256StarStar sequential(5);
+  std::uint64_t out[32];
+  batch.bounded_fill(1ULL << 32, out, 32);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], sequential.bounded(1ULL << 32));
+}
+
+TEST(XoshiroTest, RejectsAllZeroExplicitState) {
+  // xoshiro256** is a fixed point at the all-zero state: every draw would
+  // return 0 forever. The seed path already avoids it; the raw state
+  // constructor must refuse it instead of producing a degenerate stream.
+  const std::array<std::uint64_t, 4> zero{0, 0, 0, 0};
+  EXPECT_THROW(Xoshiro256StarStar{zero}, PreconditionError);
+  const std::array<std::uint64_t, 4> almost{0, 0, 0, 1};
+  EXPECT_NO_THROW(Xoshiro256StarStar{almost});
 }
 
 }  // namespace

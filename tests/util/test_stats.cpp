@@ -118,6 +118,18 @@ TEST(SummaryTest, SnapshotsRunningStats) {
   EXPECT_FALSE(sum.to_string().empty());
 }
 
+TEST(SummaryTest, CiHalfWidth95MatchesRunningStatsExactly) {
+  // Summary::ci_half_width_95 used to hardcode 1.96 while RunningStats
+  // routed through normal_z(0.95) = 1.9600; the two intervals disagreed in
+  // the last printed digit. Both must now be the exact same expression.
+  RunningStats s;
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 500; ++i) s.add(rng.next_double());
+  const Summary sum = Summary::from(s);
+  EXPECT_EQ(sum.ci_half_width_95(), s.ci_half_width(0.95));
+  EXPECT_EQ(sum.ci_half_width_95(), normal_z(0.95) * sum.std_error);
+}
+
 // --- quantile ---------------------------------------------------------------
 
 TEST(QuantileTest, EndpointsAndMedian) {

@@ -80,6 +80,12 @@ SelectionPolicy parse_policy(const std::string& name, double exponent,
   throw std::runtime_error("unknown --policy (proportional|uniform|power|top-only): " + name);
 }
 
+RngStream parse_stream(const std::string& name) {
+  if (name == "v1") return RngStream::kV1;
+  if (name == "v2") return RngStream::kV2;
+  throw std::runtime_error("unknown --stream (v1|v2): " + name);
+}
+
 TieBreak parse_tie_break(const std::string& name) {
   if (name == "capacity") return TieBreak::kPreferLargerCapacity;
   if (name == "uniform") return TieBreak::kUniform;
@@ -158,6 +164,7 @@ int report_run(const RunMeta& meta, const std::string& json_path, const Timer& t
     json->kv("total_capacity", meta.total_capacity);
     json->kv("balls", meta.balls);
     json->kv("batch", meta.batch);
+    json->kv("stream", meta.stream);
     json->kv("choices", meta.choices);
     json->kv("policy", meta.policy);
     json->kv("replications", meta.replications);
@@ -243,6 +250,9 @@ int main(int argc, char** argv) {
   cli.add_string("tie-break", "capacity", "capacity (Algorithm 1) | uniform | first");
   cli.add_double("balls-factor", 1.0, "m = factor * C");
   cli.add_int("batch", 1, "batch size (> 1 = stale-information parallel arrivals)");
+  cli.add_string("stream", "v1",
+                 "RNG draw-order stream: v1 (locked historic order) | v2 (batch-drawn "
+                 "fast path, own golden values; see docs/stream-v2.md)");
   cli.add_string("experiment", "max-load",
                  "registered experiment to run (see --list for the registry)");
   cli.add_flag("list", "list the registered experiments and exit");
@@ -330,6 +340,7 @@ int main(int argc, char** argv) {
     if (spec.game.balls == 0) spec.game.balls = C;
     if (cli.get_int("batch") < 1) throw std::runtime_error("--batch must be >= 1");
     spec.game.batch = static_cast<std::uint64_t>(cli.get_int("batch"));
+    spec.game.stream = parse_stream(cli.get_string("stream"));
     spec.exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
     spec.exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     if (cli.get_int("chunks") < 0) throw std::runtime_error("--chunks must be >= 0");
@@ -352,6 +363,7 @@ int main(int argc, char** argv) {
     meta.tie_break = cli.get_string("tie-break");
     meta.balls = spec.game.balls;
     meta.batch = spec.game.batch;
+    meta.stream = cli.get_string("stream");
     meta.replications = spec.exp.replications;
     meta.seed = spec.exp.base_seed;
     meta.chunks = spec.exp.chunks;

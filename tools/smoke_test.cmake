@@ -93,6 +93,71 @@ if(NOT single_max STREQUAL merged_max)
                       "unsharded: ${single_max}\nmerged:    ${merged_max}")
 endif()
 
+# --- the same shard + merge guarantee holds under --stream v2 ---------------
+set(v2_json "${WORK_DIR}/smoke_v2.json")
+set(v2_shard0 "${WORK_DIR}/smoke_v2_shard0.json")
+set(v2_shard1 "${WORK_DIR}/smoke_v2_shard1.json")
+set(v2_merged "${WORK_DIR}/smoke_v2_merged.json")
+file(REMOVE "${v2_json}" "${v2_shard0}" "${v2_shard1}" "${v2_merged}")
+
+execute_process(
+  COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --reps 50 --seed 7 --stream v2
+          --json "${v2_json}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --stream v2 exited with ${rc}\nstderr:\n${err}")
+endif()
+
+foreach(shard 0 1)
+  execute_process(
+    COMMAND "${NUBB_RUN}" --caps 20x1,20x10 --d 2 --reps 50 --seed 7 --stream v2
+            --shard "${shard}/2" --out "${WORK_DIR}/smoke_v2_shard${shard}.json"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nubb_run --stream v2 --shard ${shard}/2 exited with ${rc}\nstderr:\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" --merge "${v2_shard0}" "${v2_shard1}" --json "${v2_merged}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --merge of v2 shards exited with ${rc}\nstderr:\n${err}")
+endif()
+
+file(READ "${v2_json}" v2_single_json)
+file(READ "${v2_merged}" v2_merged_json)
+string(REGEX MATCH "\"max_load\":{[^}]*}" v2_single_max "${v2_single_json}")
+string(REGEX MATCH "\"max_load\":{[^}]*}" v2_merged_max "${v2_merged_json}")
+if(v2_single_max STREQUAL "")
+  message(FATAL_ERROR "could not extract max_load from v2 unsharded JSON:\n${v2_single_json}")
+endif()
+if(NOT v2_single_max STREQUAL v2_merged_max)
+  message(FATAL_ERROR "v2 shard-merge result differs from the unsharded v2 run:\n"
+                      "unsharded: ${v2_single_max}\nmerged:    ${v2_merged_max}")
+endif()
+# ... and the two streams really are different streams: same seed, same
+# config, different fixed-seed outcome.
+if(single_max STREQUAL v2_single_max)
+  message(FATAL_ERROR "--stream v2 produced the v1 fixed-seed result; the flag is not wired:\n${v2_single_max}")
+endif()
+
+# Mixing streams in one shard set must be refused.
+execute_process(
+  COMMAND "${NUBB_RUN}" --merge "${shard0}" "${v2_shard1}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run --merge accepted a v1 shard and a v2 shard together")
+endif()
+
 # Merging an incomplete shard set must fail loudly.
 execute_process(
   COMMAND "${NUBB_RUN}" --merge "${shard0}"
