@@ -333,8 +333,11 @@ BenchResult measure(std::string name, std::string algorithm, std::string profile
 
 /// Which placement implementation a full-game benchmark exercises: the
 /// frozen pre-kernel reference, the fused kernel on the locked v1 stream,
-/// or the kernel on the batch-drawn v2 stream (docs/stream-v2.md).
-enum class BenchImpl { kReference, kKernel, kKernelV2 };
+/// the kernel on the batch-drawn v2 stream (docs/stream-v2.md), or the v2
+/// kernel with the memory layer dialled down (no cross-ball prefetch, no
+/// huge pages) — the "nopf" rows pair with plain v2 rows so the bins sweep
+/// gates the memory-layer win in isolation (docs/memory-layout.md).
+enum class BenchImpl { kReference, kKernel, kKernelV2, kKernelV2NoPf };
 
 const char* impl_tag(BenchImpl impl) {
   switch (impl) {
@@ -344,6 +347,8 @@ const char* impl_tag(BenchImpl impl) {
       return "kernel";
     case BenchImpl::kKernelV2:
       return "kernel_v2";
+    case BenchImpl::kKernelV2NoPf:
+      return "kernel_v2_nopf";
   }
   return "kernel";
 }
@@ -367,8 +372,13 @@ BenchResult bench_game(const std::string& algorithm, const std::string& profile,
   const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
   GameConfig game = cfg;
   if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
+  if constexpr (Impl == BenchImpl::kKernelV2NoPf) {
+    game.stream = RngStream::kV2;
+    game.memory.prefetch = false;
+    game.memory.huge_pages = HugePages::kOff;
+  }
   if constexpr (Impl != BenchImpl::kReference) {
-    BinArray bins(caps);
+    BinArray bins(caps, game.memory);
     return measure(name, algorithm, profile, impl, balls, reps, [&bins, &sampler, &game, &rng] {
       bins.clear();
       play_game(bins, sampler, game, rng);
@@ -399,7 +409,7 @@ BenchResult bench_weighted(const std::string& algorithm, const std::string& prof
   game.balls = balls;
   if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
   if constexpr (Impl != BenchImpl::kReference) {
-    WeightedBinArray bins(caps);
+    WeightedBinArray bins(caps, game.memory);
     return measure(name, algorithm, profile, impl, balls, reps,
                    [&bins, &sampler, &sizes, &game, &rng] {
                      bins.clear();
@@ -429,10 +439,19 @@ int main(int argc, char** argv) {
       "frozen pre-kernel reference); writes machine-readable BENCH_microbench.json");
   nubb::bench::register_common(cli, /*default_seed=*/0xA11CE5ULL);
   cli.add_string("out", "BENCH_microbench.json", "path for the JSON results file");
+  cli.add_int("bins-max", 1'000'000,
+              "largest bin count in the ops/sec-vs-bins sweep (0 disables it; the "
+              "10M and 100M rows are opt-in via 10000000 / 100000000)");
+  cli.add_int("bins-reps", 0,
+              "repetitions for the bins sweep only (0 = same as --reps; CI uses 1 "
+              "to keep the PR gate fast)");
   if (!cli.parse(argc, argv)) return 0;
   const nubb::bench::CommonOptions opt = nubb::bench::read_common(cli);
   const std::string out_path = cli.get_string("out");
   const std::uint64_t reps = nubb::bench::effective_reps(opt, /*figure_default=*/3);
+  const std::uint64_t bins_max = static_cast<std::uint64_t>(cli.get_int("bins-max"));
+  const std::uint64_t bins_reps_raw = static_cast<std::uint64_t>(cli.get_int("bins-reps"));
+  const std::uint64_t bins_reps = bins_reps_raw == 0 ? reps : bins_reps_raw;
 
   Timer total;
   std::vector<BenchResult> results;
@@ -503,6 +522,38 @@ int main(int argc, char** argv) {
   results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d3", "mixed_1_10", mixed_small,
                                                      d3, reps, opt.seed + 6));
 
+  // --- ops/sec-vs-bins sweep: the memory layer at >= 1M bins ---
+  // At these sizes the slot array (16 B/bin) is far past every cache level,
+  // so throughput is set by the memory layer, not the ALU. Only the v2
+  // stream runs (the frozen reference would dominate the wall clock without
+  // adding signal); each point is paired with a "nopf" run — prefetch off,
+  // huge pages off — so the speedup row isolates the prefetch + huge-page
+  // win that docs/memory-layout.md promises. m = n keeps each call bounded.
+  {
+    struct SweepPoint {
+      std::uint64_t bins;
+      const char* profile;
+    };
+    constexpr SweepPoint kSweep[] = {
+        {1'000'000, "bins_1m"}, {10'000'000, "bins_10m"}, {100'000'000, "bins_100m"}};
+    for (const SweepPoint& pt : kSweep) {
+      if (pt.bins > bins_max) continue;
+      const auto caps = two_class_capacities(pt.bins / 2, 1, pt.bins / 2, 10);
+      GameConfig cfg_d2;
+      cfg_d2.balls = pt.bins;
+      GameConfig cfg_d3 = cfg_d2;
+      cfg_d3.choices = 3;
+      results.push_back(bench_game<BenchImpl::kKernelV2NoPf>("greedy_d2", pt.profile, caps,
+                                                             cfg_d2, bins_reps, opt.seed + 9));
+      results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", pt.profile, caps, cfg_d2,
+                                                         bins_reps, opt.seed + 9));
+      results.push_back(bench_game<BenchImpl::kKernelV2NoPf>("greedy_d3", pt.profile, caps,
+                                                             cfg_d3, bins_reps, opt.seed + 10));
+      results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d3", pt.profile, caps, cfg_d3,
+                                                         bins_reps, opt.seed + 10));
+    }
+  }
+
   // --- Kernel-only modes (no pre-PR analogue at full speed) ---
   {
     const BinSampler sampler = BinSampler::from_policy(
@@ -560,6 +611,18 @@ int main(int argc, char** argv) {
         std::string key = r.algorithm + "/" + r.profile;
         if (r.impl == "kernel_v2") key += "/v2";
         speedups.push_back({std::move(key), r.ops_per_sec / ref.ops_per_sec});
+      }
+    }
+  }
+  // Bins-sweep rows gate v2-with-memory-layer against v2-without: the
+  // "/v2_nopf" suffix reads "v2 over v2_nopf".
+  for (const auto& r : results) {
+    if (r.impl != "kernel_v2") continue;
+    for (const auto& ref : results) {
+      if (ref.impl == "kernel_v2_nopf" && ref.algorithm == r.algorithm &&
+          ref.profile == r.profile && ref.ops_per_sec > 0.0) {
+        speedups.push_back(
+            {r.algorithm + "/" + r.profile + "/v2_nopf", r.ops_per_sec / ref.ops_per_sec});
       }
     }
   }

@@ -1,23 +1,33 @@
 #include "core/bin_array.hpp"
 
+#include <limits>
+
 #include "util/assert.hpp"
 
 namespace nubb {
 
-BinArray::BinArray(std::vector<std::uint64_t> capacities) : capacities_(std::move(capacities)) {
-  NUBB_REQUIRE_MSG(!capacities_.empty(), "BinArray needs at least one bin");
-  slots_.reserve(capacities_.size());
-  for (const auto c : capacities_) {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+BinArray::BinArray(const std::vector<std::uint64_t>& capacities, const MemoryConfig& mem)
+    : slots_(capacities.size(), mem) {
+  NUBB_REQUIRE_MSG(!capacities.empty(), "BinArray needs at least one bin");
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const std::uint64_t c = capacities[i];
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+    NUBB_REQUIRE_MSG(c <= kU64Max - total_capacity_,
+                     "total capacity overflows uint64");
     total_capacity_ += c;
     if (c > max_capacity_) max_capacity_ = c;
-    slots_.push_back(BinSlot{0, c});
+    slots_[i] = BinSlot{0, c};  // first touch: the owning thread faults the page
   }
 }
 
 void BinArray::remove_ball(std::size_t i) {
   NUBB_REQUIRE_MSG(slots_[i].num >= 1, "cannot remove a ball from an empty bin");
-  counts_view_stale_ = true;
   const bool was_max = Load{slots_[i].num, slots_[i].cap} == max_load_;
   --slots_[i].num;
   --total_balls_;
@@ -36,13 +46,19 @@ void BinArray::remove_ball(std::size_t i) {
 }
 
 void BinArray::append_bins(const std::vector<std::uint64_t>& new_capacities) {
+  // Validate everything — including the capacity-sum headroom — before the
+  // first mutation, so a rejected append leaves the array untouched.
+  std::uint64_t added = 0;
   for (const auto c : new_capacities) {
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+    NUBB_REQUIRE_MSG(c <= kU64Max - total_capacity_ - added,
+                     "total capacity overflows uint64");
+    added += c;
   }
-  counts_view_stale_ = true;
+  std::size_t i = slots_.size();
+  slots_.grow(slots_.size() + new_capacities.size());
   for (const auto c : new_capacities) {
-    capacities_.push_back(c);
-    slots_.push_back(BinSlot{0, c});
+    slots_[i++] = BinSlot{0, c};
     total_capacity_ += c;
     if (c > max_capacity_) max_capacity_ = c;
   }
@@ -50,19 +66,21 @@ void BinArray::append_bins(const std::vector<std::uint64_t>& new_capacities) {
 
 void BinArray::clear() noexcept {
   for (auto& s : slots_) s.num = 0;
-  counts_view_stale_ = true;
   total_balls_ = 0;
   max_load_ = Load{0, 1};
   argmax_ = 0;
 }
 
-const std::vector<std::uint64_t>& BinArray::ball_counts() const {
-  if (counts_view_stale_) {
-    counts_view_.resize(slots_.size());
-    for (std::size_t i = 0; i < slots_.size(); ++i) counts_view_[i] = slots_[i].num;
-    counts_view_stale_ = false;
-  }
-  return counts_view_;
+std::vector<std::uint64_t> BinArray::capacities() const {
+  std::vector<std::uint64_t> out(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) out[i] = slots_[i].cap;
+  return out;
+}
+
+std::vector<std::uint64_t> BinArray::ball_counts() const {
+  std::vector<std::uint64_t> out(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) out[i] = slots_[i].num;
+  return out;
 }
 
 std::vector<double> BinArray::load_values() const {
@@ -73,8 +91,8 @@ std::vector<double> BinArray::load_values() const {
 
 std::uint64_t BinArray::capacity_at_least(std::uint64_t threshold) const noexcept {
   std::uint64_t total = 0;
-  for (const auto c : capacities_) {
-    if (c >= threshold) total += c;
+  for (const auto& s : slots_) {
+    if (s.cap >= threshold) total += s.cap;
   }
   return total;
 }

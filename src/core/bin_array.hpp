@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/load.hpp"
+#include "util/memory.hpp"
 
 namespace nubb {
 
@@ -23,14 +24,23 @@ struct BinSlot {
 };
 
 /// Bins with integer capacities (paper Section 2). Stores per-bin state as
-/// interleaved (count, capacity) slots; maintains the total capacity C and
-/// total ball count, and tracks the running maximum load online (loads only
-/// ever grow, so the maximum is monotone and can be maintained in O(1) per
-/// allocation).
+/// interleaved (count, capacity) slots — 16 bytes per bin, the *only*
+/// per-bin state this class keeps — on an AlignedBuffer that is
+/// huge-page-backed when the MemoryConfig asks for it; maintains the total
+/// capacity C and total ball count, and tracks the running maximum load
+/// online (loads only ever grow, so the maximum is monotone and can be
+/// maintained in O(1) per allocation).
+///
+/// Flat per-bin views (`ball_counts()`, `capacities()`) are materialised on
+/// demand from the slots; nothing retains a second per-bin array, so at
+/// millions of bins the resident hot state is exactly n * 16 bytes.
 class BinArray {
  public:
-  /// \pre capacities non-empty; every capacity >= 1.
-  explicit BinArray(std::vector<std::uint64_t> capacities);
+  /// \pre capacities non-empty; every capacity >= 1; the capacity sum must
+  ///      not wrap uint64 (checked — a wrapped total would silently corrupt
+  ///      every average-load and fast64-horizon computation downstream).
+  explicit BinArray(const std::vector<std::uint64_t>& capacities,
+                    const MemoryConfig& mem = {});
 
   std::size_t size() const noexcept { return slots_.size(); }
 
@@ -61,7 +71,6 @@ class BinArray {
 
   /// Allocate one ball to bin i; O(1), updates the running maximum.
   void add_ball(std::size_t i) noexcept {
-    counts_view_stale_ = true;
     BinSlot& s = slots_[i];
     ++s.num;
     ++total_balls_;
@@ -85,7 +94,8 @@ class BinArray {
   void remove_ball(std::size_t i);
 
   /// Append new empty bins (dynamic growth, Section 4.3). Existing balls
-  /// and the running maximum are unaffected; the total capacity grows.
+  /// and the running maximum are unaffected; the total capacity grows
+  /// (overflow-checked like construction, with no mutation on failure).
   /// \pre every new capacity >= 1.
   void append_bins(const std::vector<std::uint64_t>& new_capacities);
 
@@ -96,14 +106,16 @@ class BinArray {
   /// invalidated by append_bins().
   const BinSlot* slot_data() const noexcept { return slots_.data(); }
 
-  const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
+  /// All capacities as a flat vector, materialised on demand from the slots
+  /// (O(n) per call; nothing is retained). Samplers and reports consume it
+  /// once per game, so a cold copy would only double the per-bin footprint.
+  std::vector<std::uint64_t> capacities() const;
 
-  /// Per-bin ball counts as a flat vector. Since the hot state moved into
-  /// the interleaved slots, this is a view materialised on demand (O(n) when
-  /// balls changed since the last call, O(1) otherwise) and cached until the
-  /// next mutation. Not safe to first-materialise from several threads at
-  /// once; every driver owns its BinArray, so this never happens in-tree.
-  const std::vector<std::uint64_t>& ball_counts() const;
+  /// Per-bin ball counts as a flat vector, materialised on demand from the
+  /// slots (O(n) per call; nothing is retained — the retained cache plus
+  /// its per-ball dirty-bit store cost more than the occasional
+  /// materialisation it saved).
+  std::vector<std::uint64_t> ball_counts() const;
 
   /// All bin loads as doubles (reporting).
   std::vector<double> load_values() const;
@@ -112,21 +124,22 @@ class BinArray {
   /// C_b / C_s split for "big" vs "small" bins).
   std::uint64_t capacity_at_least(std::uint64_t threshold) const noexcept;
 
+  /// Whether the slot storage was huge-page-advised (telemetry; see
+  /// AlignedBuffer::huge_page_advised).
+  bool huge_page_advised() const noexcept { return slots_.huge_page_advised(); }
+
  private:
   // The placement kernel commits balls through raw pointers into slots_ and
   // maintains max_load_/argmax_/total_balls_ itself (same invariants as
   // add_ball, minus the per-ball abstraction cost).
   friend class PlacementKernel;
 
-  std::vector<BinSlot> slots_;
-  std::vector<std::uint64_t> capacities_;  // cold copy for samplers/reporting
+  AlignedBuffer<BinSlot> slots_;
   std::uint64_t total_capacity_ = 0;
   std::uint64_t total_balls_ = 0;
   std::uint64_t max_capacity_ = 0;
   Load max_load_{0, 1};
   std::size_t argmax_ = 0;
-  mutable std::vector<std::uint64_t> counts_view_;  // ball_counts() cache
-  mutable bool counts_view_stale_ = true;
 };
 
 }  // namespace nubb

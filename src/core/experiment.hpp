@@ -364,13 +364,16 @@ class GameFixture {
 
 /// Per-worker scratch state: one BinArray (cleared, not reallocated, between
 /// replications) plus a staging buffer for profiles and traces. Built once
-/// per chunk by the engine; never migrates between chunks.
+/// per chunk by the engine — on the worker thread that will run the chunk,
+/// so the slot pages are first-touched NUMA-local to their worker (see
+/// replication_chunk_states) — and never migrates between chunks.
 struct ReplicationScratch {
   BinArray bins;
   std::vector<double> scratch;
 
-  explicit ReplicationScratch(const std::vector<std::uint64_t>& capacities)
-      : bins(capacities) {}
+  explicit ReplicationScratch(const std::vector<std::uint64_t>& capacities,
+                              const MemoryConfig& mem = {})
+      : bins(capacities, mem) {}
 };
 
 /// The plain (full-result) entry points refuse sharded configs: a shard
@@ -389,7 +392,8 @@ inline void require_unsharded(const ExperimentConfig& exp) {
 /// collection or merging.
 template <typename Collector, typename Body>
 ExperimentShard<Collector> replicate_shard(const std::vector<std::uint64_t>& capacities,
-                                           const ExperimentConfig& exp, Body body) {
+                                           const ExperimentConfig& exp, Body body,
+                                           const MemoryConfig& mem = {}) {
   NUBB_REQUIRE_MSG(exp.shard_count >= 1, "ExperimentConfig::shard_count must be >= 1");
   NUBB_REQUIRE_MSG(exp.shard_index < exp.shard_count,
                    "ExperimentConfig::shard_index out of range");
@@ -402,8 +406,9 @@ ExperimentShard<Collector> replicate_shard(const std::vector<std::uint64_t>& cap
   shard.base_seed = exp.base_seed;
   shard.chunk_count = layout.chunk_count;
   shard.chunks = replication_chunk_states<Collector>(
-      layout, exp.base_seed, [&capacities] { return ReplicationScratch(capacities); }, body,
-      first, last, exp.pool);
+      layout, exp.base_seed,
+      [&capacities, &mem] { return ReplicationScratch(capacities, mem); }, body, first, last,
+      exp.pool);
   return shard;
 }
 
@@ -411,9 +416,9 @@ ExperimentShard<Collector> replicate_shard(const std::vector<std::uint64_t>& cap
 /// path that keeps sharded and plain runs bit-identical by construction.
 template <typename Collector, typename Body>
 Collector replicate(const std::vector<std::uint64_t>& capacities, const ExperimentConfig& exp,
-                    Body body) {
+                    Body body, const MemoryConfig& mem = {}) {
   require_unsharded(exp);
-  return merge_shards<Collector>({replicate_shard<Collector>(capacities, exp, body)});
+  return merge_shards<Collector>({replicate_shard<Collector>(capacities, exp, body, mem)});
 }
 
 // ---------------------------------------------------------------------------

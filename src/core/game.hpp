@@ -45,6 +45,12 @@ struct GameConfig {
   /// with `nubb_run --stream v2`. The realised process distribution is the
   /// same for both; fixed-seed outcomes are not.
   RngStream stream = RngStream::kV1;
+
+  /// Storage knobs for the bin state built for this game: huge-page backing
+  /// and the cross-ball candidate prefetch. Never observable in results —
+  /// fixed-seed outcomes are bit-identical across every setting (the RNG
+  /// draw order does not depend on memory layout); only throughput moves.
+  MemoryConfig memory;
 };
 
 /// Snapshot handed to checkpoint callbacks during a game.

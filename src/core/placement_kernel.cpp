@@ -35,12 +35,12 @@ PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
   total_ = &bins.total_balls_;
   max_load_ = &bins.max_load_;
   argmax_ = &bins.argmax_;
-  view_stale_ = &bins.counts_view_stale_;
   table_ = sampler.alias_table();
   n_ = bins.size();
   d_ = cfg.choices;
   distinct_ = cfg.distinct_choices;
   stream_ = cfg.stream;
+  prefetch_ = cfg.memory.prefetch;
   planned_ = planned_balls != 0
                  ? planned_balls
                  : (cfg.balls != 0 ? cfg.balls : bins.total_capacity());
@@ -69,12 +69,12 @@ PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampl
   total_ = &bins.total_weight_;
   max_load_ = &bins.max_load_;
   argmax_ = &bins.argmax_;
-  view_stale_ = &bins.weights_view_stale_;
   table_ = sampler.alias_table();
   n_ = bins.size();
   d_ = cfg.choices;
   distinct_ = cfg.distinct_choices;
   stream_ = cfg.stream;
+  prefetch_ = cfg.memory.prefetch;
   planned_ = planned_balls;
 
   // 64-bit comparisons are exact iff the largest numerator that can appear
@@ -831,24 +831,35 @@ struct ModelSizes {
 };
 
 /// How many balls ahead the resolve loops prefetch their candidates' slots.
+/// Prefetching is possible at all because the block's candidates are
+/// resolved before any ball commits; it is gated at runtime by
+/// MemoryConfig::prefetch (`pf_end` is 0 when off, so the disabled path
+/// costs the same single compare per ball the bounds check always cost).
+/// Prefetch order never touches the RNG, so on-vs-off is bit-identical.
 constexpr std::size_t kPrefetchAhead = 8;
+
+NUBB_ALWAYS_INLINE inline std::size_t prefetch_end(const bool prefetch,
+                                                   const std::size_t nb) {
+  return prefetch && nb > kPrefetchAhead ? nb - kPrefetchAhead : 0;
+}
 
 template <bool Fast64, TieBreak TB, class Sizes>
 NUBB_NOINLINE RunTotals run_v2_d2(BinSlot* const slots, const std::uint64_t* const threshold,
                                   const std::uint32_t* const alias, const std::uint64_t n,
                                   const std::uint64_t count, const Sizes sz,
                                   std::uint32_t* const cand, std::uint64_t* const tie,
-                                  RunTotals t, Xoshiro256StarStar& rng) {
+                                  const bool prefetch, RunTotals t, Xoshiro256StarStar& rng) {
   for (std::uint64_t done = 0; done < count;) {
     const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
         PlacementKernel::kStreamBlock, count - done));
     sz.fill(rng, nb);
     fill_candidates_v2(threshold, alias, n, cand, 2 * nb, rng);
     fill_ties_v2(tie, (nb + 63) / 64, rng);
+    const std::size_t pf_end = prefetch_end(prefetch, nb);
     for (std::size_t b = 0; b < nb; ++b) {
-      if (b + kPrefetchAhead < nb) {
-        NUBB_PREFETCH(&slots[cand[2 * (b + kPrefetchAhead)]]);
-        NUBB_PREFETCH(&slots[cand[2 * (b + kPrefetchAhead) + 1]]);
+      if (b < pf_end) {
+        prefetch_read(&slots[cand[2 * (b + kPrefetchAhead)]]);
+        prefetch_read(&slots[cand[2 * (b + kPrefetchAhead) + 1]]);
       }
       const bool tie_bit = ((tie[b >> 6] >> (b & 63)) & 1) != 0;
       resolve_ball_d2_w<Fast64, TB>(slots, cand[2 * b], cand[2 * b + 1], sz.get(b), tie_bit,
@@ -864,18 +875,19 @@ NUBB_NOINLINE RunTotals run_v2_d3(BinSlot* const slots, const std::uint64_t* con
                                   const std::uint32_t* const alias, const std::uint64_t n,
                                   const std::uint64_t count, const Sizes sz,
                                   std::uint32_t* const cand, std::uint64_t* const tie,
-                                  RunTotals t, Xoshiro256StarStar& rng) {
+                                  const bool prefetch, RunTotals t, Xoshiro256StarStar& rng) {
   for (std::uint64_t done = 0; done < count;) {
     const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
         PlacementKernel::kStreamBlock, count - done));
     sz.fill(rng, nb);
     fill_candidates_v2(threshold, alias, n, cand, 3 * nb, rng);
     fill_ties_v2(tie, (nb + 1) / 2, rng);
+    const std::size_t pf_end = prefetch_end(prefetch, nb);
     for (std::size_t b = 0; b < nb; ++b) {
-      if (b + kPrefetchAhead < nb) {
-        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead)]]);
-        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead) + 1]]);
-        NUBB_PREFETCH(&slots[cand[3 * (b + kPrefetchAhead) + 2]]);
+      if (b < pf_end) {
+        prefetch_read(&slots[cand[3 * (b + kPrefetchAhead)]]);
+        prefetch_read(&slots[cand[3 * (b + kPrefetchAhead) + 1]]);
+        prefetch_read(&slots[cand[3 * (b + kPrefetchAhead) + 2]]);
       }
       const auto tie_field =
           static_cast<std::uint32_t>(tie[b >> 1] >> ((b & 1) * 32));
@@ -891,15 +903,16 @@ template <bool Fast64, class Sizes>
 NUBB_NOINLINE RunTotals run_v2_d1(BinSlot* const slots, const std::uint64_t* const threshold,
                                   const std::uint32_t* const alias, const std::uint64_t n,
                                   const std::uint64_t count, const Sizes sz,
-                                  std::uint32_t* const cand, RunTotals t,
-                                  Xoshiro256StarStar& rng) {
+                                  std::uint32_t* const cand, const bool prefetch,
+                                  RunTotals t, Xoshiro256StarStar& rng) {
   for (std::uint64_t done = 0; done < count;) {
     const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
         PlacementKernel::kStreamBlock, count - done));
     sz.fill(rng, nb);
     fill_candidates_v2(threshold, alias, n, cand, nb, rng);
+    const std::size_t pf_end = prefetch_end(prefetch, nb);
     for (std::size_t b = 0; b < nb; ++b) {
-      if (b + kPrefetchAhead < nb) NUBB_PREFETCH(&slots[cand[b + kPrefetchAhead]]);
+      if (b < pf_end) prefetch_read(&slots[cand[b + kPrefetchAhead]]);
       commit_amount<Fast64>(slots, cand[b], sz.get(b), t);
     }
     done += nb;
@@ -1012,12 +1025,13 @@ void PlacementKernel::run_loop_v2(PlacementKernel& k, std::uint64_t count, Sizes
   std::uint64_t* const tie = k.v2_tie_.data();
 
   RunTotals t{*k.total_, k.max_load_->balls, k.max_load_->capacity, *k.argmax_};
+  const bool pf = k.prefetch_;
   if (k.d_ == 2) {
-    t = run_v2_d2<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, t, rng);
+    t = run_v2_d2<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, pf, t, rng);
   } else if (k.d_ == 3) {
-    t = run_v2_d3<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, t, rng);
+    t = run_v2_d3<Fast64, TB>(slots, threshold, alias, n, count, sz, cand, tie, pf, t, rng);
   } else if (k.d_ == 1) {
-    t = run_v2_d1<Fast64>(slots, threshold, alias, n, count, sz, cand, t, rng);
+    t = run_v2_d1<Fast64>(slots, threshold, alias, n, count, sz, cand, pf, t, rng);
   } else {
     t = run_v2_generic<Fast64, TB>(slots, threshold, alias, n, k.choices_, k.d_, count, sz,
                                    cand, tie, t, rng);
@@ -1088,7 +1102,6 @@ void PlacementKernel::run(std::uint64_t count, Xoshiro256StarStar& rng) {
   NUBB_REQUIRE_MSG(placed_ + count <= planned_,
                    "kernel asked to place more balls than it was sized for");
   placed_ += count;
-  *view_stale_ = true;
   run_fn_(*this, count, rng);
 }
 
@@ -1097,7 +1110,6 @@ void PlacementKernel::run_weighted(std::uint64_t count, const BallSizeModel& siz
   NUBB_REQUIRE_MSG(placed_ + count <= planned_,
                    "kernel asked to place more balls than it was sized for");
   placed_ += count;
-  *view_stale_ = true;
   run_weighted_fn_(*this, count, sizes, rng);
 }
 

@@ -233,7 +233,6 @@ class PlacementKernel {
   ///      remove-then-place loops like rebalancing stay O(1) per move).
   std::size_t place_one(Xoshiro256StarStar& rng) {
     ++placed_;
-    *view_stale_ = true;
     return place_fn_(*this, nullptr, 1, rng);
   }
 
@@ -241,7 +240,6 @@ class PlacementKernel {
   /// caller keeps the committed amounts within the planned horizon).
   std::size_t place_one_amount(std::uint64_t amount, Xoshiro256StarStar& rng) {
     ++placed_;
-    *view_stale_ = true;
     return place_fn_(*this, nullptr, amount, rng);
   }
 
@@ -250,7 +248,6 @@ class PlacementKernel {
   /// the batched-arrivals mode.
   std::size_t place_one_stale(const std::uint64_t* stale_counts, Xoshiro256StarStar& rng) {
     ++placed_;
-    *view_stale_ = true;
     return place_fn_(*this, stale_counts, 1, rng);
   }
 
@@ -303,12 +300,12 @@ class PlacementKernel {
   std::uint64_t* total_ = nullptr;
   Load* max_load_ = nullptr;
   std::size_t* argmax_ = nullptr;
-  bool* view_stale_ = nullptr;  // flat counts/weights view invalidation
   const AliasTable* table_ = nullptr;  // null => uniform draw over n_
   std::size_t n_ = 0;
   std::uint32_t d_ = 1;
   bool distinct_ = false;
   bool fast64_ = false;
+  bool prefetch_ = true;  // cross-ball candidate prefetch in bulk v2 runs
   RngStream stream_ = RngStream::kV1;
   std::uint64_t planned_ = 0;
   std::uint64_t placed_ = 0;

@@ -30,6 +30,7 @@ void RunMeta::to_json(JsonWriter& w) const {
   w.kv("checkpoint", checkpoint);
   w.kv("profile", profile);
   w.kv("classes", classes);
+  w.kv("huge_pages", huge_pages);
   w.end_object();
 }
 
@@ -54,6 +55,11 @@ RunMeta RunMeta::from_json(const JsonValue& v) {
   m.checkpoint = v.at("checkpoint").as_uint64();
   m.profile = v.at("profile").as_bool();
   m.classes = v.at("classes").as_bool();
+  // Provenance-only field added later; older state files carry no
+  // "huge_pages" key and merge as if it were "auto" (merge_key resets it
+  // anyway — memory layout never affects results).
+  const JsonValue* hp = v.find("huge_pages");
+  m.huge_pages = hp != nullptr ? hp->as_string() : "auto";
   return m;
 }
 
@@ -130,7 +136,8 @@ ExperimentShard<KeyedCollector<ScalarCollector>> class_max_load_shard(
           if (!fresh && v > it->second) it->second = v;
         }
         for (const auto& [cap, value] : class_max) local.per_key[cap].add(value);
-      });
+      },
+      spec.game.memory);
 }
 
 std::map<std::uint64_t, Summary> class_max_load_merge(
@@ -156,7 +163,8 @@ ExperimentShard<ScalarCollector> hit_every_bin_shard(const ScenarioSpec& spec) {
           }
         }
         local.add(covered ? 1.0 : 0.0);
-      });
+      },
+      spec.game.memory);
 }
 
 Summary hit_every_bin_merge(const std::vector<ExperimentShard<ScalarCollector>>& shards) {
@@ -236,7 +244,8 @@ ExperimentShard<MaxLoadCollectors> max_load_scenario_shard(const ScenarioSpec& s
             local.part<2>().add(cap);
           }
         }
-      });
+      },
+      spec.game.memory);
 }
 
 void print_max_load_report(const RunMeta& meta, const MaxLoadDistribution& dist,

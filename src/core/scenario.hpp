@@ -69,10 +69,27 @@ struct RunMeta {
   std::uint64_t checkpoint = 0;  ///< gap-trace interval (0 elsewhere)
   bool profile = false;
   bool classes = false;
+  std::string huge_pages = "auto";  ///< --huge-pages setting ("auto" | "on" |
+                                    ///< "off"). Recorded for provenance only:
+                                    ///< memory layout never affects results,
+                                    ///< so merge compatibility goes through
+                                    ///< merge_key(), which resets it — shard
+                                    ///< sets may mix settings freely. Absent
+                                    ///< in older state files, read as "auto".
 
   void to_json(JsonWriter& w) const;
   static RunMeta from_json(const JsonValue& v);
   bool operator==(const RunMeta& other) const = default;
+
+  /// The fields that decide whether two shards belong to the same
+  /// experiment: this meta with the result-irrelevant provenance fields
+  /// (huge_pages) reset to their defaults. Two shard files are mergeable
+  /// iff their merge_key()s compare equal.
+  RunMeta merge_key() const {
+    RunMeta key = *this;
+    key.huge_pages = "auto";
+    return key;
+  }
 };
 
 /// FNV-1a over the capacity vector: a cheap fingerprint so merges can

@@ -1,27 +1,31 @@
 #include "core/weighted.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "core/placement_kernel.hpp"
 #include "util/assert.hpp"
 
 namespace nubb {
 
-WeightedBinArray::WeightedBinArray(std::vector<std::uint64_t> capacities)
-    : capacities_(std::move(capacities)) {
-  NUBB_REQUIRE_MSG(!capacities_.empty(), "WeightedBinArray needs at least one bin");
-  slots_.reserve(capacities_.size());
-  for (const auto c : capacities_) {
+WeightedBinArray::WeightedBinArray(const std::vector<std::uint64_t>& capacities,
+                                   const MemoryConfig& mem)
+    : slots_(capacities.size(), mem) {
+  NUBB_REQUIRE_MSG(!capacities.empty(), "WeightedBinArray needs at least one bin");
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const std::uint64_t c = capacities[i];
     NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive integers");
+    NUBB_REQUIRE_MSG(c <= kU64Max - total_capacity_,
+                     "total capacity overflows uint64");
     total_capacity_ += c;
     if (c > max_capacity_) max_capacity_ = c;
-    slots_.push_back(BinSlot{0, c});
+    slots_[i] = BinSlot{0, c};  // first touch: the owning thread faults the page
   }
 }
 
 void WeightedBinArray::add_weight(std::size_t i, std::uint64_t w) {
   NUBB_REQUIRE_MSG(w >= 1, "ball weight must be positive");
-  weights_view_stale_ = true;
   BinSlot& s = slots_[i];
   s.num += w;
   total_weight_ += w;
@@ -34,19 +38,21 @@ void WeightedBinArray::add_weight(std::size_t i, std::uint64_t w) {
 
 void WeightedBinArray::clear() noexcept {
   for (auto& s : slots_) s.num = 0;
-  weights_view_stale_ = true;
   total_weight_ = 0;
   max_load_ = Load{0, 1};
   argmax_ = 0;
 }
 
-const std::vector<std::uint64_t>& WeightedBinArray::weights() const {
-  if (weights_view_stale_) {
-    weights_view_.resize(slots_.size());
-    for (std::size_t i = 0; i < slots_.size(); ++i) weights_view_[i] = slots_[i].num;
-    weights_view_stale_ = false;
-  }
-  return weights_view_;
+std::vector<std::uint64_t> WeightedBinArray::capacities() const {
+  std::vector<std::uint64_t> out(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) out[i] = slots_[i].cap;
+  return out;
+}
+
+std::vector<std::uint64_t> WeightedBinArray::weights() const {
+  std::vector<std::uint64_t> out(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) out[i] = slots_[i].num;
+  return out;
 }
 
 BallSizeModel BallSizeModel::constant(std::uint64_t s) {

@@ -31,8 +31,10 @@ namespace nubb {
 /// the running maximum is maintained online exactly as in BinArray.
 class WeightedBinArray {
  public:
-  /// \pre capacities non-empty; every capacity >= 1.
-  explicit WeightedBinArray(std::vector<std::uint64_t> capacities);
+  /// \pre capacities non-empty; every capacity >= 1; the capacity sum must
+  ///      not wrap uint64 (checked, like BinArray).
+  explicit WeightedBinArray(const std::vector<std::uint64_t>& capacities,
+                            const MemoryConfig& mem = {});
 
   std::size_t size() const noexcept { return slots_.size(); }
   std::uint64_t capacity(std::size_t i) const noexcept { return slots_[i].cap; }
@@ -61,24 +63,26 @@ class WeightedBinArray {
   /// Raw interleaved slots (hot state). Stable across clear().
   const BinSlot* slot_data() const noexcept { return slots_.data(); }
 
-  const std::vector<std::uint64_t>& capacities() const noexcept { return capacities_; }
+  /// All capacities as a flat vector, materialised on demand from the slots
+  /// (O(n) per call, nothing retained — see BinArray::capacities()).
+  std::vector<std::uint64_t> capacities() const;
 
-  /// Per-bin weights as a flat vector: a view materialised on demand and
-  /// cached until the next mutation (see BinArray::ball_counts()).
-  const std::vector<std::uint64_t>& weights() const;
+  /// Per-bin weights as a flat vector, materialised on demand from the
+  /// slots (O(n) per call, nothing retained — see BinArray::ball_counts()).
+  std::vector<std::uint64_t> weights() const;
+
+  /// Whether the slot storage was huge-page-advised (telemetry).
+  bool huge_page_advised() const noexcept { return slots_.huge_page_advised(); }
 
  private:
   friend class PlacementKernel;  // commits weight through raw slot pointers
 
-  std::vector<BinSlot> slots_;
-  std::vector<std::uint64_t> capacities_;  // cold copy for samplers/reporting
+  AlignedBuffer<BinSlot> slots_;
   std::uint64_t total_capacity_ = 0;
   std::uint64_t total_weight_ = 0;
   std::uint64_t max_capacity_ = 0;
   Load max_load_{0, 1};
   std::size_t argmax_ = 0;
-  mutable std::vector<std::uint64_t> weights_view_;  // weights() cache
-  mutable bool weights_view_stale_ = true;
 };
 
 /// Random integer ball sizes. Immutable; thread-safe to share.

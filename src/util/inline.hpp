@@ -11,9 +11,6 @@
 #if defined(__GNUC__) || defined(__clang__)
 #define NUBB_ALWAYS_INLINE __attribute__((always_inline))
 #define NUBB_NOINLINE __attribute__((noinline))
-// Read-prefetch hint for the stream-v2 resolve pass, which knows every
-// ball's destination candidates a block ahead of touching them.
-#define NUBB_PREFETCH(addr) __builtin_prefetch((addr))
 // Placed inside a rarely-taken if-body, forbids if-conversion: the compiler
 // cannot speculate an asm statement, so the body stays behind a predictable
 // branch instead of becoming conditional moves on the loop's critical path.
@@ -21,6 +18,5 @@
 #else
 #define NUBB_ALWAYS_INLINE
 #define NUBB_NOINLINE
-#define NUBB_PREFETCH(addr) ((void)0)
 #define NUBB_FORCE_BRANCH() ((void)0)
 #endif

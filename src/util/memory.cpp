@@ -1,0 +1,71 @@
+#include "util/memory.hpp"
+
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace nubb {
+
+const char* to_string(HugePages hp) noexcept {
+  switch (hp) {
+    case HugePages::kAuto:
+      return "auto";
+    case HugePages::kOn:
+      return "on";
+    case HugePages::kOff:
+      return "off";
+  }
+  return "auto";
+}
+
+HugePages parse_huge_pages(const std::string& name) {
+  if (name == "auto") return HugePages::kAuto;
+  if (name == "on") return HugePages::kOn;
+  if (name == "off") return HugePages::kOff;
+  throw std::runtime_error("unknown huge-pages setting (auto|on|off): " + name);
+}
+
+namespace detail {
+
+namespace {
+
+/// Alignment for a request: huge-page-aligned whenever the advice will be
+/// applied AND the buffer spans at least one huge page (aligning a 1 KiB
+/// buffer to 2 MiB would waste three orders of magnitude of it), cache-line
+/// otherwise. Pure function of (bytes, hp) so deallocate can recompute it.
+std::size_t alignment_for(std::size_t bytes, HugePages hp) noexcept {
+  const bool want_huge = hp != HugePages::kOff && bytes >= kHugePageBytes;
+  return want_huge ? kHugePageBytes : kCacheLineBytes;
+}
+
+}  // namespace
+
+void* allocate_aligned(std::size_t bytes, HugePages hp, bool& advised) {
+  const std::size_t alignment = alignment_for(bytes, hp);
+  void* p = ::operator new(bytes, std::align_val_t{alignment});
+  advised = false;
+#if defined(__linux__)
+  // Advise THP for every buffer under kOn, and for huge-page-sized buffers
+  // under kAuto. The kernel may ignore the hint (THP "never" mode, memory
+  // pressure, unaligned tails) — that is the documented silent fallback:
+  // the buffer stays valid 4 KiB-backed memory either way.
+  const bool want_advice =
+      hp == HugePages::kOn || (hp == HugePages::kAuto && bytes >= kHugePageBytes);
+  if (want_advice) {
+    advised = ::madvise(p, bytes, MADV_HUGEPAGE) == 0;
+  }
+#else
+  (void)hp;
+#endif
+  return p;
+}
+
+void deallocate_aligned(void* p, std::size_t bytes, HugePages hp) noexcept {
+  ::operator delete(p, std::align_val_t{alignment_for(bytes, hp)});
+}
+
+}  // namespace detail
+
+}  // namespace nubb

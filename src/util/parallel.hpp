@@ -94,6 +94,14 @@ inline std::pair<std::uint64_t, std::uint64_t> shard_chunk_range(std::uint64_t c
 /// `body(rep_index, rng, context, acc)` may mutate freely across the
 /// chunk's replications; contexts never migrate between chunks.
 ///
+/// NUMA/first-touch contract: because make_context runs *on the worker
+/// thread that will execute the chunk*, any storage it allocates and writes
+/// (AlignedBuffer hands out uninitialized pages precisely so the owner's
+/// first write is the first touch) is faulted into physical pages local to
+/// that worker's NUMA node under the kernel's default first-touch policy.
+/// Per-chunk BinArray slot state therefore stays node-local for the chunk's
+/// whole lifetime without any explicit NUMA API — contexts never migrate.
+///
 /// `Acc` requirements: default-constructible, `void merge(const Acc&)`.
 template <typename Acc, typename MakeContext, typename Body>
 std::vector<std::pair<std::uint64_t, Acc>> replication_chunk_states(
@@ -183,6 +191,18 @@ void parallel_for(std::uint64_t count, Body body, ThreadPool* pool = nullptr) {
     }));
   }
   for (auto& f : futures) f.get();
+}
+
+/// First-touch a shared buffer from the pool's workers: zero-fill
+/// `data[0..count)` in the same static stripes `parallel_for` would hand
+/// out, so under the kernel's first-touch policy each stripe's pages land on
+/// the NUMA node of the worker that will process that stripe. For *shared*
+/// arrays consumed by a later parallel_for over the same pool; per-chunk
+/// replication state needs nothing of the sort (its make_context already
+/// runs on the owning worker — see replication_chunk_states).
+template <typename T>
+void parallel_first_touch(T* data, std::uint64_t count, ThreadPool* pool = nullptr) {
+  parallel_for(count, [data](std::uint64_t i) { data[i] = T{}; }, pool);
 }
 
 }  // namespace nubb

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace nubb {
 namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
 
 TEST(BinArrayTest, ConstructionComputesTotals) {
   const BinArray bins({1, 2, 3, 4});
@@ -21,6 +25,49 @@ TEST(BinArrayTest, ConstructionComputesTotals) {
 TEST(BinArrayTest, RejectsInvalidCapacities) {
   EXPECT_THROW(BinArray({}), PreconditionError);
   EXPECT_THROW(BinArray({1, 0, 2}), PreconditionError);
+}
+
+TEST(BinArrayTest, RejectsCapacitySumOverflow) {
+  // Boundary semantics: a total of exactly UINT64_MAX is representable and
+  // allowed; only an actual wrap throws. A wrapped total would silently
+  // corrupt every average-load and fast64-horizon computation downstream.
+  EXPECT_NO_THROW(BinArray({kU64Max}));
+  EXPECT_NO_THROW(BinArray({kU64Max - 1, 1}));
+  EXPECT_THROW(BinArray({kU64Max, 1}), PreconditionError);
+  EXPECT_THROW(BinArray({1, kU64Max}), PreconditionError);
+  EXPECT_THROW(BinArray({kU64Max / 2 + 1, kU64Max / 2 + 1}), PreconditionError);
+
+  const BinArray exact({kU64Max - 1, 1});
+  EXPECT_EQ(exact.total_capacity(), kU64Max);
+}
+
+TEST(BinArrayTest, AppendBinsRejectsOverflowWithoutMutation) {
+  BinArray bins({kU64Max - 10});
+  // The failing batch straddles the overflow point: pre-validation must
+  // reject it before any bin is appended (strong guarantee).
+  EXPECT_THROW(bins.append_bins({4, 4, 4}), PreconditionError);
+  EXPECT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins.total_capacity(), kU64Max - 10);
+  // A batch summing exactly to the headroom is fine.
+  bins.append_bins({4, 4, 2});
+  EXPECT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins.total_capacity(), kU64Max);
+  EXPECT_THROW(bins.append_bins({1}), PreconditionError);
+}
+
+TEST(BinArrayTest, MemoryConfigIsNotObservableInState) {
+  // Same capacities under every huge-page setting: identical logical state,
+  // whatever the backing pages are.
+  const std::vector<std::uint64_t> caps{1, 2, 3, 4};
+  for (const HugePages hp : {HugePages::kAuto, HugePages::kOn, HugePages::kOff}) {
+    MemoryConfig mem;
+    mem.huge_pages = hp;
+    BinArray bins(caps, mem);
+    bins.add_ball(3);
+    EXPECT_EQ(bins.total_capacity(), 10u);
+    EXPECT_EQ(bins.balls(3), 1u);
+    EXPECT_EQ(bins.capacities(), caps);
+  }
 }
 
 TEST(BinArrayTest, AddBallUpdatesCountsAndLoads) {

@@ -1,0 +1,144 @@
+// Large-n storage and memory-configuration invariance tests for the
+// AlignedBuffer-backed bin state (docs/memory-layout.md).
+//
+// The contract under test: MemoryConfig (huge pages on/off/auto, prefetch
+// on/off) selects *how* the slot array is backed and walked, never *what*
+// the game computes — every fixed-seed outcome must be bit-identical across
+// all settings — and the storage layer keeps working at >= 1M bins, where
+// the slot array (16 MiB) is well past the 2 MiB huge-page threshold.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/game.hpp"
+#include "core/placement_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+namespace {
+
+constexpr std::size_t kMillion = 1'000'000;
+
+/// Final (max_load, argmax, total, rng state) fingerprint of one fixed-seed
+/// bulk run under the given memory configuration.
+struct RunOutcome {
+  Load max_load{0, 1};
+  std::size_t argmax = 0;
+  std::uint64_t total = 0;
+  std::uint64_t checksum = 0;  // FNV over all per-bin counts
+  std::uint64_t rng_word = 0;
+
+  bool operator==(const RunOutcome&) const = default;
+};
+
+RunOutcome run_game(const std::vector<std::uint64_t>& caps, const GameConfig& cfg,
+                    std::uint64_t balls, std::uint64_t seed) {
+  BinArray bins(caps, cfg.memory);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  Xoshiro256StarStar rng(seed);
+  PlacementKernel kernel(bins, sampler, cfg, balls);
+  kernel.run(balls, rng);
+
+  RunOutcome out;
+  out.max_load = bins.max_load();
+  out.argmax = bins.argmax_bin();
+  out.total = bins.total_balls();
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    h = (h ^ bins.balls(i)) * 0x100000001B3ULL;
+  }
+  out.checksum = h;
+  out.rng_word = rng.next();
+  return out;
+}
+
+TEST(LargeBinArrayTest, MillionBinConstructionAndAccounting) {
+  const auto caps = two_class_capacities(kMillion / 2, 1, kMillion / 2, 10);
+  const BinArray bins(caps);
+  EXPECT_EQ(bins.size(), kMillion);
+  EXPECT_EQ(bins.total_capacity(), (kMillion / 2) * 11ull);
+  EXPECT_EQ(bins.max_capacity(), 10u);
+  EXPECT_EQ(bins.capacity(0), 1u);
+  EXPECT_EQ(bins.capacity(kMillion - 1), 10u);
+  // The 16 MiB slot array is eligible for THP backing in auto mode; the
+  // advise result is platform telemetry, but on Linux madvise on a mapped
+  // region succeeds.
+#if defined(__linux__)
+  EXPECT_TRUE(bins.huge_page_advised());
+#endif
+}
+
+TEST(LargeBinArrayTest, MillionBinAppendAndMaxLoadTracking) {
+  BinArray bins(uniform_capacities(kMillion, 2));
+  bins.add_ball(123456);
+  bins.add_ball(123456);
+  bins.add_ball(999999);
+  EXPECT_EQ(bins.max_load(), (Load{2, 2}));
+  EXPECT_EQ(bins.argmax_bin(), 123456u);
+
+  bins.append_bins(std::vector<std::uint64_t>(kMillion, 4));
+  EXPECT_EQ(bins.size(), 2 * kMillion);
+  EXPECT_EQ(bins.total_capacity(), kMillion * 2ull + kMillion * 4ull);
+  // Existing balls and the running maximum survive growth.
+  EXPECT_EQ(bins.balls(123456), 2u);
+  EXPECT_EQ(bins.max_load(), (Load{2, 2}));
+  bins.add_ball(2 * kMillion - 1);
+  EXPECT_EQ(bins.total_balls(), 4u);
+}
+
+TEST(LargeBinArrayTest, KernelRunsAtMillionBins) {
+  // A full m = C fixed-seed game at 1M bins: v1 and v2 streams both place
+  // every ball and agree with the array's own invariants.
+  const auto caps = two_class_capacities(kMillion / 2, 1, kMillion / 2, 10);
+  const std::uint64_t balls = kMillion;  // explicit m = n, keeps the test fast
+  for (const RngStream stream : {RngStream::kV1, RngStream::kV2}) {
+    GameConfig cfg;
+    cfg.stream = stream;
+    const RunOutcome out = run_game(caps, cfg, balls, /*seed=*/29);
+    EXPECT_EQ(out.total, balls);
+    EXPECT_GE(out.max_load.value(), 1.0);  // >= average by definition
+  }
+}
+
+TEST(MemoryConfigIdentityTest, PrefetchOnAndOffAreBitIdentical) {
+  // The cross-ball prefetch never touches the RNG, so disabling it must not
+  // move a single ball. Exercised at 100k bins (hot-path v2 loops, multiple
+  // full blocks) for d in {1, 2, 3} and the generic d = 4 shape.
+  const auto caps = two_class_capacities(50'000, 1, 50'000, 10);
+  for (const std::uint32_t d : {1u, 2u, 3u, 4u}) {
+    GameConfig on;
+    on.choices = d;
+    on.stream = RngStream::kV2;
+    on.memory.prefetch = true;
+    GameConfig off = on;
+    off.memory.prefetch = false;
+    const RunOutcome a = run_game(caps, on, /*balls=*/200'000, /*seed=*/41);
+    const RunOutcome b = run_game(caps, off, /*balls=*/200'000, /*seed=*/41);
+    EXPECT_EQ(a, b) << "d = " << d;
+  }
+}
+
+TEST(MemoryConfigIdentityTest, HugePageSettingsAreBitIdentical) {
+  // Same game under all three huge-page settings, both streams: the backing
+  // pages are invisible to the results.
+  const auto caps = two_class_capacities(100'000, 1, 100'000, 10);
+  for (const RngStream stream : {RngStream::kV1, RngStream::kV2}) {
+    GameConfig base;
+    base.stream = stream;
+    const RunOutcome ref = run_game(caps, base, /*balls=*/100'000, /*seed=*/7);
+    for (const HugePages hp : {HugePages::kOn, HugePages::kOff}) {
+      GameConfig cfg = base;
+      cfg.memory.huge_pages = hp;
+      EXPECT_EQ(run_game(caps, cfg, /*balls=*/100'000, /*seed=*/7), ref)
+          << "stream " << (stream == RngStream::kV1 ? "v1" : "v2") << ", huge_pages "
+          << to_string(hp);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nubb

@@ -215,6 +215,45 @@ TEST(ScenarioTest, RunMetaWithoutStreamKeyDefaultsToV1) {
   EXPECT_EQ(back, meta);
 }
 
+TEST(ScenarioTest, RunMetaHugePagesRoundTripsAndDefaultsToAuto) {
+  RunMeta meta;
+  meta.experiment = "max-load";
+  meta.huge_pages = "on";
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    meta.to_json(w);
+    EXPECT_TRUE(w.complete());
+  }
+  std::string text = os.str();
+  const RunMeta back = RunMeta::from_json(JsonValue::parse(text));
+  EXPECT_EQ(back.huge_pages, "on");
+  EXPECT_EQ(back, meta);
+
+  // Older state files carry no "huge_pages" key; they read back as "auto".
+  const auto pos = text.find(",\"huge_pages\":\"on\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, std::string(",\"huge_pages\":\"on\"").size());
+  const RunMeta legacy = RunMeta::from_json(JsonValue::parse(text));
+  EXPECT_EQ(legacy.huge_pages, "auto");
+}
+
+TEST(ScenarioTest, MergeKeyIgnoresHugePagesOnly) {
+  // Mixed --huge-pages shard sets carry bit-identical results, so merge
+  // compatibility must look through the provenance field — and nothing else.
+  RunMeta a;
+  a.experiment = "max-load";
+  a.stream = "v2";
+  a.huge_pages = "on";
+  RunMeta b = a;
+  b.huge_pages = "off";
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.merge_key(), b.merge_key());
+
+  b.stream = "v1";  // a result-relevant difference must still be caught
+  EXPECT_NE(a.merge_key(), b.merge_key());
+}
+
 TEST(ScenarioTest, ScenarioJsonBlocksAreWellFormed) {
   const ScenarioSpec spec = small_spec();
   for (const Scenario* scenario : ScenarioRegistry::global().list()) {

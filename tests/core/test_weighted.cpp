@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/builder.hpp"
 #include "util/assert.hpp"
@@ -44,6 +45,16 @@ TEST(WeightedBinArrayTest, ClearAndPreconditions) {
   EXPECT_THROW(WeightedBinArray({0}), PreconditionError);
 }
 
+TEST(WeightedBinArrayTest, RejectsCapacitySumOverflow) {
+  // Same boundary semantics as BinArray: a total of exactly UINT64_MAX is
+  // allowed, only an actual wrap throws.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_NO_THROW(WeightedBinArray({kMax}));
+  EXPECT_NO_THROW(WeightedBinArray({kMax - 1, 1}));
+  EXPECT_THROW(WeightedBinArray({kMax, 1}), PreconditionError);
+  EXPECT_THROW(WeightedBinArray({1, kMax}), PreconditionError);
+}
+
 TEST(WeightedBinArrayTest, WeightsViewTracksMutations) {
   // weights() is a materialised-on-demand view over the interleaved slots;
   // it must refresh after every mutation path (add_weight, clear, and the
@@ -52,10 +63,9 @@ TEST(WeightedBinArrayTest, WeightsViewTracksMutations) {
   EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 0, 0}));
   bins.add_weight(1, 3);
   EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 3, 0}));
-  const std::vector<std::uint64_t>& first = bins.weights();
-  const std::vector<std::uint64_t>& second = bins.weights();
-  EXPECT_EQ(&first, &second);  // cached between mutations
+  const std::vector<std::uint64_t> snapshot = bins.weights();
   bins.clear();
+  EXPECT_EQ(snapshot, (std::vector<std::uint64_t>{0, 3, 0}));  // independent copy
   EXPECT_EQ(bins.weights(), (std::vector<std::uint64_t>{0, 0, 0}));
 
   const BinSampler sampler = BinSampler::uniform(3);

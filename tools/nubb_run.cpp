@@ -195,7 +195,9 @@ int run_merge(const std::vector<std::string>& files, const std::string& json_pat
     const RunMeta file_meta = RunMeta::from_json(doc.at("config"));
     if (i == 0) {
       meta = file_meta;
-    } else if (!(file_meta == meta)) {
+    } else if (!(file_meta.merge_key() == meta.merge_key())) {
+      // merge_key, not operator==: shards that differ only in provenance
+      // fields (--huge-pages) carry bit-identical results and merge freely.
       throw std::runtime_error(files[i] +
                                ": shard was produced by a different experiment config than " +
                                files[0]);
@@ -218,7 +220,7 @@ int run_check_state(const Scenario& scenario, const RunMeta& meta, const std::st
                     const std::optional<std::pair<std::uint64_t, std::uint64_t>>& shard) {
   const JsonValue doc = load_json_file(path, "state file");
   require_shard_format(doc, path);
-  if (!(RunMeta::from_json(doc.at("config")) == meta)) {
+  if (!(RunMeta::from_json(doc.at("config")).merge_key() == meta.merge_key())) {
     throw std::runtime_error(path + ": state was produced by a different experiment config");
   }
   if (shard) {
@@ -253,6 +255,10 @@ int main(int argc, char** argv) {
   cli.add_string("stream", "v1",
                  "RNG draw-order stream: v1 (locked historic order) | v2 (batch-drawn "
                  "fast path, own golden values; see docs/stream-v2.md)");
+  cli.add_string("huge-pages", "auto",
+                 "huge-page backing for the bin state: auto (advise when the slot array "
+                 "spans >= 2 MiB) | on (always advise) | off; results are bit-identical "
+                 "across settings (see docs/memory-layout.md)");
   cli.add_string("experiment", "max-load",
                  "registered experiment to run (see --list for the registry)");
   cli.add_flag("list", "list the registered experiments and exit");
@@ -341,6 +347,7 @@ int main(int argc, char** argv) {
     if (cli.get_int("batch") < 1) throw std::runtime_error("--batch must be >= 1");
     spec.game.batch = static_cast<std::uint64_t>(cli.get_int("batch"));
     spec.game.stream = parse_stream(cli.get_string("stream"));
+    spec.game.memory.huge_pages = parse_huge_pages(cli.get_string("huge-pages"));
     spec.exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
     spec.exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     if (cli.get_int("chunks") < 0) throw std::runtime_error("--chunks must be >= 0");
@@ -370,6 +377,7 @@ int main(int argc, char** argv) {
     meta.checkpoint = spec.checkpoint_interval;
     meta.profile = spec.profile;
     meta.classes = spec.classes;
+    meta.huge_pages = to_string(spec.game.memory.huge_pages);
     // Zero the fields this scenario never reads, so shard sets differing
     // only in irrelevant flags still merge / resume.
     scenario.normalize_meta(meta);
