@@ -17,7 +17,6 @@
 #include <iostream>
 #include <numeric>
 
-#include "baselines/consistent_hashing.hpp"
 #include "core/nubb.hpp"
 
 int main() {

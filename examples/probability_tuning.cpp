@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "core/nubb.hpp"
-#include "theory/bounds.hpp"
 
 int main() {
   using namespace nubb;

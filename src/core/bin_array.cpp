@@ -89,6 +89,10 @@ std::vector<double> BinArray::load_values() const {
   return out;
 }
 
+std::uint64_t BinArray::fingerprint() const noexcept {
+  return detail::slots_fingerprint(slots_.data(), slots_.size());
+}
+
 std::uint64_t BinArray::capacity_at_least(std::uint64_t threshold) const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : slots_) {

@@ -23,6 +23,29 @@ struct BinSlot {
   std::uint64_t cap = 1;
 };
 
+namespace detail {
+
+/// FNV-1a 64 over interleaved slots in bin order (numerator bytes, then
+/// capacity bytes, little-endian within each u64) — shared by the state
+/// fingerprints of BinArray and WeightedBinArray, and by anything that
+/// needs to recompute them from a flat snapshot.
+inline std::uint64_t slots_fingerprint(const BinSlot* slots, std::size_t n) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    mix(slots[i].num);
+    mix(slots[i].cap);
+  }
+  return h;
+}
+
+}  // namespace detail
+
 /// Bins with integer capacities (paper Section 2). Stores per-bin state as
 /// interleaved (count, capacity) slots — 16 bytes per bin, the *only*
 /// per-bin state this class keeps — on an AlignedBuffer that is
@@ -127,6 +150,12 @@ class BinArray {
   /// Whether the slot storage was huge-page-advised (telemetry; see
   /// AlignedBuffer::huge_page_advised).
   bool huge_page_advised() const noexcept { return slots_.huge_page_advised(); }
+
+  /// FNV-1a 64 over the interleaved (count, capacity) slots in bin order —
+  /// a state fingerprint two processes can compare without shipping the
+  /// full per-bin vectors. Same hash family as `caps_fingerprint`, but over
+  /// counts as well, so it distinguishes allocations, not just shapes.
+  std::uint64_t fingerprint() const noexcept;
 
  private:
   // The placement kernel commits balls through raw pointers into slots_ and

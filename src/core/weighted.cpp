@@ -55,6 +55,10 @@ std::vector<std::uint64_t> WeightedBinArray::weights() const {
   return out;
 }
 
+std::uint64_t WeightedBinArray::fingerprint() const noexcept {
+  return detail::slots_fingerprint(slots_.data(), slots_.size());
+}
+
 BallSizeModel BallSizeModel::constant(std::uint64_t s) {
   NUBB_REQUIRE_MSG(s >= 1, "ball size must be positive");
   BallSizeModel m;

@@ -74,6 +74,10 @@ class WeightedBinArray {
   /// Whether the slot storage was huge-page-advised (telemetry).
   bool huge_page_advised() const noexcept { return slots_.huge_page_advised(); }
 
+  /// FNV-1a 64 over the interleaved (weight, capacity) slots in bin order
+  /// (same contract as BinArray::fingerprint()).
+  std::uint64_t fingerprint() const noexcept;
+
  private:
   friend class PlacementKernel;  // commits weight through raw slot pointers
 

@@ -1,0 +1,213 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+
+namespace nubb {
+
+// Encoders and decoders come in matched pairs; keep each pair adjacent so
+// a field added to one side cannot be missed on the other.
+
+void PlaceRequest::encode(WireWriter& w) const {
+  w.u64(ticket);
+  w.u64(weight);
+}
+
+PlaceRequest PlaceRequest::decode(WireReader& r) {
+  PlaceRequest m;
+  m.ticket = r.u64();
+  m.weight = r.u64();
+  return m;
+}
+
+void BatchPlaceRequest::encode(WireWriter& w) const {
+  w.u64(ticket);
+  w.u64(count);
+  w.u64(weight);
+}
+
+BatchPlaceRequest BatchPlaceRequest::decode(WireReader& r) {
+  BatchPlaceRequest m;
+  m.ticket = r.u64();
+  m.count = r.u64();
+  m.weight = r.u64();
+  return m;
+}
+
+void LookupRequest::encode(WireWriter& w) const { w.u64(bin); }
+
+LookupRequest LookupRequest::decode(WireReader& r) {
+  LookupRequest m;
+  m.bin = r.u64();
+  return m;
+}
+
+void SnapshotRequest::encode(WireWriter&) const {}
+SnapshotRequest SnapshotRequest::decode(WireReader&) { return {}; }
+
+void StatsRequest::encode(WireWriter&) const {}
+StatsRequest StatsRequest::decode(WireReader&) { return {}; }
+
+void ShutdownRequest::encode(WireWriter&) const {}
+ShutdownRequest ShutdownRequest::decode(WireReader&) { return {}; }
+
+void PlaceResponse::encode(WireWriter& w) const {
+  w.u64(bin);
+  w.u64(balls);
+  w.u64(capacity);
+}
+
+PlaceResponse PlaceResponse::decode(WireReader& r) {
+  PlaceResponse m;
+  m.bin = r.u64();
+  m.balls = r.u64();
+  m.capacity = r.u64();
+  return m;
+}
+
+void BatchPlaceResponse::encode(WireWriter& w) const {
+  w.u64(placed);
+  w.u64(total_balls);
+  w.u64(max_load_num);
+  w.u64(max_load_cap);
+  w.u64(argmax_bin);
+}
+
+BatchPlaceResponse BatchPlaceResponse::decode(WireReader& r) {
+  BatchPlaceResponse m;
+  m.placed = r.u64();
+  m.total_balls = r.u64();
+  m.max_load_num = r.u64();
+  m.max_load_cap = r.u64();
+  m.argmax_bin = r.u64();
+  return m;
+}
+
+void LookupResponse::encode(WireWriter& w) const {
+  w.u64(bin);
+  w.u64(balls);
+  w.u64(capacity);
+}
+
+LookupResponse LookupResponse::decode(WireReader& r) {
+  LookupResponse m;
+  m.bin = r.u64();
+  m.balls = r.u64();
+  m.capacity = r.u64();
+  return m;
+}
+
+void SnapshotResponse::encode(WireWriter& w) const {
+  w.u64(total_balls);
+  w.u64(total_capacity);
+  w.u64(max_load_num);
+  w.u64(max_load_cap);
+  w.u64(fingerprint);
+  w.u64_vec(counts);
+}
+
+SnapshotResponse SnapshotResponse::decode(WireReader& r) {
+  SnapshotResponse m;
+  m.total_balls = r.u64();
+  m.total_capacity = r.u64();
+  m.max_load_num = r.u64();
+  m.max_load_cap = r.u64();
+  m.fingerprint = r.u64();
+  m.counts = r.u64_vec();
+  return m;
+}
+
+std::uint64_t WireHistogram::total() const noexcept {
+  std::uint64_t t = underflow + overflow;
+  for (const std::uint64_t c : counts) t += c;
+  return t;
+}
+
+double WireHistogram::quantile_upper(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cum = static_cast<double>(underflow);
+  if (cum >= target) return lo;
+  const double width = (hi - lo) / static_cast<double>(counts.empty() ? 1 : counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += static_cast<double>(counts[i]);
+    if (cum >= target) return lo + width * static_cast<double>(i + 1);
+  }
+  return hi;  // the quantile sits in the overflow tail
+}
+
+void StatsResponse::encode(WireWriter& w) const {
+  w.u64(uptime_ns);
+  w.u64(sessions);
+  w.u64(balls_placed);
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const OpStat& s : ops) {
+    w.u16(s.op);
+    w.u64(s.count);
+    w.u64(s.total_ns);
+  }
+  w.f64(place_latency_us.lo);
+  w.f64(place_latency_us.hi);
+  w.u64_vec(place_latency_us.counts);
+  w.u64(place_latency_us.underflow);
+  w.u64(place_latency_us.overflow);
+}
+
+StatsResponse StatsResponse::decode(WireReader& r) {
+  StatsResponse m;
+  m.uptime_ns = r.u64();
+  m.sessions = r.u64();
+  m.balls_placed = r.u64();
+  const std::uint32_t op_count = r.u32();
+  // 18 wire bytes per OpStat; reject counts the payload cannot hold.
+  if (op_count > r.remaining() / 18) {
+    throw WireError("protocol: op-stat count exceeds payload");
+  }
+  m.ops.reserve(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    OpStat s;
+    s.op = r.u16();
+    s.count = r.u64();
+    s.total_ns = r.u64();
+    m.ops.push_back(s);
+  }
+  m.place_latency_us.lo = r.f64();
+  m.place_latency_us.hi = r.f64();
+  m.place_latency_us.counts = r.u64_vec();
+  m.place_latency_us.underflow = r.u64();
+  m.place_latency_us.overflow = r.u64();
+  return m;
+}
+
+void ShutdownResponse::encode(WireWriter&) const {}
+ShutdownResponse ShutdownResponse::decode(WireReader&) { return {}; }
+
+void ErrorResponse::encode(WireWriter& w) const { w.str(message); }
+
+ErrorResponse ErrorResponse::decode(WireReader& r) {
+  ErrorResponse m;
+  m.message = r.str();
+  return m;
+}
+
+Request decode_request(const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kPlaceRequest:
+      return decode_message<PlaceRequest>(frame);
+    case MessageType::kBatchPlaceRequest:
+      return decode_message<BatchPlaceRequest>(frame);
+    case MessageType::kLookupRequest:
+      return decode_message<LookupRequest>(frame);
+    case MessageType::kSnapshotRequest:
+      return decode_message<SnapshotRequest>(frame);
+    case MessageType::kStatsRequest:
+      return decode_message<StatsRequest>(frame);
+    case MessageType::kShutdownRequest:
+      return decode_message<ShutdownRequest>(frame);
+    default:
+      throw WireError("protocol: frame type " +
+                      std::to_string(static_cast<int>(frame.type)) + " is not a request");
+  }
+}
+
+}  // namespace nubb

@@ -1,0 +1,45 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace nubb {
+
+PlacementServer::PlacementServer(PlacementService& service, const ServerConfig& cfg)
+    : service_(service),
+      listener_(cfg.host, cfg.port),
+      pool_(cfg.session_threads == 0 ? 1 : cfg.session_threads),
+      accept_poll_ms_(cfg.accept_poll_ms) {}
+
+std::uint64_t PlacementServer::run() {
+  std::uint64_t sessions = 0;
+  std::vector<std::future<void>> live;
+  while (!stop_.load(std::memory_order_relaxed) && !service_.shutdown_requested()) {
+    const int fd = listener_.accept_for(accept_poll_ms_);
+    if (fd < 0) continue;  // poll tick: re-check the shutdown flag
+    ++sessions;
+    live.push_back(pool_.submit([this, fd] {
+      SocketChannel channel(fd);
+      try {
+        service_.serve(channel);
+      } catch (...) {
+        // A session must never take the daemon down; the channel closes
+        // with the task and the client sees EOF.
+      }
+    }));
+    // Reap finished sessions so `live` stays bounded by the pool width.
+    std::size_t kept = 0;
+    for (auto& f : live) {
+      if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        live[kept++] = std::move(f);
+      }
+    }
+    live.resize(kept);
+  }
+  for (auto& f : live) f.wait();
+  pool_.wait_idle();
+  return sessions;
+}
+
+}  // namespace nubb

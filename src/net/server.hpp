@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file server.hpp
+/// The daemon's accept loop: a SocketListener feeding sessions into a
+/// PlacementService, one session task per client connection on a
+/// ThreadPool (the repo's worker idiom — no detached threads, destruction
+/// joins everything).
+///
+/// Lifecycle: `run()` accepts until a served Shutdown request flips the
+/// service's flag (or `stop()` is called from another thread), then drains
+/// live sessions and returns. The poll timeout in accept_for bounds how
+/// stale the flag check can be.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/service.hpp"
+#include "net/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nubb {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< numeric IPv4 bind address
+  std::uint16_t port = 0;          ///< 0 = ephemeral; see PlacementServer::port()
+  std::size_t session_threads = 8; ///< concurrent sessions served
+  int accept_poll_ms = 100;        ///< shutdown-flag staleness bound
+};
+
+/// Owns the listener and the session pool; borrows the service (the daemon
+/// owns it, and tests drive the same service through StreamChannels).
+class PlacementServer {
+ public:
+  /// Binds immediately so the caller can report the port before serving.
+  /// \throws WireError when the bind fails.
+  PlacementServer(PlacementService& service, const ServerConfig& cfg);
+
+  /// The bound port (resolves an ephemeral request).
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Accept and serve until shutdown; returns sessions served. Blocks the
+  /// calling thread (the daemon's main thread) — session work happens on
+  /// the pool.
+  std::uint64_t run();
+
+  /// Ask run() to return after its current poll tick (e.g. from a signal
+  /// handler thread). A served Shutdown request has the same effect.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  PlacementService& service_;
+  SocketListener listener_;
+  ThreadPool pool_;
+  int accept_poll_ms_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace nubb

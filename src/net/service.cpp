@@ -1,0 +1,294 @@
+#include "net/service.hpp"
+
+#include <string>
+#include <utility>
+
+namespace nubb {
+
+namespace {
+
+// Place-latency histogram geometry: 1 µs cells over [0, 1000) µs. A
+// loopback round trip sits well inside the range; anything above 1 ms
+// lands in the overflow counter, which the percentile math treats as
+// "at least hi" — conservative, never flattering.
+constexpr double kLatencyLoUs = 0.0;
+constexpr double kLatencyHiUs = 1000.0;
+constexpr std::size_t kLatencyBins = 1000;
+
+// A ticketed request that never gets its turn (a hole in the replayed
+// log) must fail loudly instead of deadlocking the session thread.
+constexpr std::chrono::seconds kTicketTimeout{30};
+
+std::uint64_t resolve_max_balls(const ServiceConfig& cfg) {
+  if (cfg.max_balls != 0) return cfg.max_balls;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : cfg.capacities) total += c;
+  return total;
+}
+
+GameConfig service_game_config(const ServiceConfig& cfg, std::uint64_t max_balls) {
+  GameConfig game = cfg.game;
+  game.balls = max_balls;  // the kernel's planned horizon, not a run length
+  game.batch = 1;
+  return game;
+}
+
+template <class... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
+
+}  // namespace
+
+PlacementService::PlacementService(const ServiceConfig& cfg)
+    : bins_(cfg.capacities, cfg.game.memory),
+      sampler_(BinSampler::from_policy(cfg.policy, cfg.capacities)),
+      kernel_(bins_, sampler_, service_game_config(cfg, resolve_max_balls(cfg)),
+              resolve_max_balls(cfg)),
+      rng_(cfg.seed),
+      max_balls_(resolve_max_balls(cfg)),
+      place_latency_us_(kLatencyLoUs, kLatencyHiUs, kLatencyBins),
+      started_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t PlacementService::reserve_balls_locked(std::uint64_t count) {
+  const std::uint64_t placed = kernel_.placed_balls();
+  if (count > max_balls_ - placed) {
+    throw ServeError("placement horizon exhausted: " + std::to_string(placed) + " of " +
+                     std::to_string(max_balls_) +
+                     " balls placed, request adds " + std::to_string(count));
+  }
+  return placed;
+}
+
+void PlacementService::wait_for_ticket_locked(std::unique_lock<std::mutex>& lock,
+                                              std::uint64_t ticket) {
+  if (ticket == kNoTicket) return;
+  if (ticket < next_ticket_) {
+    throw ServeError("ticket " + std::to_string(ticket) + " already served (next is " +
+                     std::to_string(next_ticket_) + ")");
+  }
+  if (!ticket_cv_.wait_for(lock, kTicketTimeout,
+                           [&] { return next_ticket_ == ticket; })) {
+    throw ServeError("ticket " + std::to_string(ticket) +
+                     " timed out waiting for its turn (next is " +
+                     std::to_string(next_ticket_) + ")");
+  }
+}
+
+void PlacementService::finish_ticket_locked(std::uint64_t ticket) {
+  if (ticket == kNoTicket) return;
+  ++next_ticket_;
+  ticket_cv_.notify_all();
+}
+
+void PlacementService::record_op(MessageType op, std::chrono::nanoseconds elapsed,
+                                 bool is_place) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::uint16_t key = static_cast<std::uint16_t>(op);
+  OpStat* entry = nullptr;
+  for (OpStat& s : ops_) {
+    if (s.op == key) {
+      entry = &s;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    ops_.push_back(OpStat{key, 0, 0});
+    entry = &ops_.back();
+  }
+  ++entry->count;
+  entry->total_ns += static_cast<std::uint64_t>(elapsed.count());
+  if (is_place) {
+    place_latency_us_.add(static_cast<double>(elapsed.count()) / 1000.0);
+  }
+}
+
+PlaceResponse PlacementService::place(const PlaceRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PlaceResponse resp;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (req.weight != 1) {
+      throw ServeError("weighted placements are reserved in wire v1 (weight must be 1)");
+    }
+    wait_for_ticket_locked(lock, req.ticket);
+    try {
+      reserve_balls_locked(1);
+      const std::size_t dest = kernel_.place_one(rng_);
+      resp.bin = dest;
+      resp.balls = bins_.balls(dest);
+      resp.capacity = bins_.capacity(dest);
+    } catch (...) {
+      // A failed ticketed request still consumes its ticket: the replayed
+      // log must keep advancing for the other sessions.
+      finish_ticket_locked(req.ticket);
+      throw;
+    }
+    finish_ticket_locked(req.ticket);
+  }
+  record_op(MessageType::kPlaceRequest, std::chrono::steady_clock::now() - t0,
+            /*is_place=*/true);
+  return resp;
+}
+
+BatchPlaceResponse PlacementService::batch_place(const BatchPlaceRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchPlaceResponse resp;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (req.weight != 1) {
+      throw ServeError("weighted placements are reserved in wire v1 (weight must be 1)");
+    }
+    wait_for_ticket_locked(lock, req.ticket);
+    try {
+      reserve_balls_locked(req.count);
+      // One fused kernel run under one lock acquisition — the batch
+      // amortization. Under stream v1 this consumes draws exactly like
+      // `count` single places, so request batching never moves a ball.
+      kernel_.run(req.count, rng_);
+      resp.placed = req.count;
+      resp.total_balls = bins_.total_balls();
+      resp.max_load_num = bins_.max_load().balls;
+      resp.max_load_cap = bins_.max_load().capacity;
+      resp.argmax_bin = bins_.argmax_bin();
+    } catch (...) {
+      finish_ticket_locked(req.ticket);
+      throw;
+    }
+    finish_ticket_locked(req.ticket);
+  }
+  record_op(MessageType::kBatchPlaceRequest, std::chrono::steady_clock::now() - t0,
+            /*is_place=*/true);
+  return resp;
+}
+
+LookupResponse PlacementService::lookup(const LookupRequest& req) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  LookupResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (req.bin >= bins_.size()) {
+      throw ServeError("lookup: bin " + std::to_string(req.bin) + " out of range (n = " +
+                       std::to_string(bins_.size()) + ")");
+    }
+    resp.bin = req.bin;
+    resp.balls = bins_.balls(static_cast<std::size_t>(req.bin));
+    resp.capacity = bins_.capacity(static_cast<std::size_t>(req.bin));
+  }
+  record_op(MessageType::kLookupRequest, std::chrono::steady_clock::now() - t0,
+            /*is_place=*/false);
+  return resp;
+}
+
+SnapshotResponse PlacementService::snapshot() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SnapshotResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.total_balls = bins_.total_balls();
+    resp.total_capacity = bins_.total_capacity();
+    resp.max_load_num = bins_.max_load().balls;
+    resp.max_load_cap = bins_.max_load().capacity;
+    resp.fingerprint = bins_.fingerprint();
+    resp.counts = bins_.ball_counts();
+  }
+  record_op(MessageType::kSnapshotRequest, std::chrono::steady_clock::now() - t0,
+            /*is_place=*/false);
+  return resp;
+}
+
+StatsResponse PlacementService::stats() const {
+  StatsResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.balls_placed = kernel_.placed_balls();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  resp.uptime_ns = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                  std::chrono::steady_clock::now() - started_)
+                                                  .count());
+  resp.sessions = sessions_;
+  resp.ops = ops_;
+  resp.place_latency_us.lo = kLatencyLoUs;
+  resp.place_latency_us.hi = kLatencyHiUs;
+  resp.place_latency_us.counts.resize(place_latency_us_.bins());
+  for (std::size_t i = 0; i < place_latency_us_.bins(); ++i) {
+    resp.place_latency_us.counts[i] = place_latency_us_.count(i);
+  }
+  resp.place_latency_us.underflow = place_latency_us_.underflow();
+  resp.place_latency_us.overflow = place_latency_us_.overflow();
+  return resp;
+}
+
+ShutdownResponse PlacementService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  record_op(MessageType::kShutdownRequest, std::chrono::nanoseconds{0}, /*is_place=*/false);
+  return ShutdownResponse{};
+}
+
+bool PlacementService::shutdown_requested() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+std::uint64_t PlacementService::balls_placed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kernel_.placed_balls();
+}
+
+SessionResult PlacementService::serve(Channel& channel) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++sessions_;
+  }
+  SessionResult result;
+  Frame frame;
+  for (;;) {
+    try {
+      if (!channel.receive_frame(frame)) return result;  // clean EOF
+    } catch (const WireError&) {
+      // The byte stream is out of sync; an ErrorResponse may or may not
+      // reach the peer, but the session cannot continue either way.
+      try {
+        send_message(channel, ErrorResponse{"malformed frame; closing session"});
+      } catch (...) {
+      }
+      return result;
+    }
+
+    try {
+      const Request request = decode_request(frame);
+      std::visit(Overloaded{
+                     [&](const PlaceRequest& r) { send_message(channel, place(r)); },
+                     [&](const BatchPlaceRequest& r) { send_message(channel, batch_place(r)); },
+                     [&](const LookupRequest& r) { send_message(channel, lookup(r)); },
+                     [&](const SnapshotRequest&) { send_message(channel, snapshot()); },
+                     [&](const StatsRequest&) { send_message(channel, stats()); },
+                     [&](const ShutdownRequest&) {
+                       send_message(channel, shutdown());
+                       result.shutdown_requested = true;
+                     },
+                 },
+                 request);
+    } catch (const ServeError& e) {
+      // Semantic rejection: report and keep the session alive — the frame
+      // boundary is intact.
+      send_message(channel, ErrorResponse{e.what()});
+    } catch (const WireError&) {
+      try {
+        send_message(channel, ErrorResponse{"malformed request payload; closing session"});
+      } catch (...) {
+      }
+      return result;
+    }
+    ++result.requests;
+    if (result.shutdown_requested) return result;
+  }
+}
+
+}  // namespace nubb

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file service.hpp
+/// The placement service: live bin state behind the placement kernel,
+/// answering the wire API of net/protocol.hpp.
+///
+/// One `PlacementService` holds one game's state — a `BinArray`, the
+/// `BinSampler` built from the configured policy, a `PlacementKernel`
+/// specialised at construction (stream, tie-break, memory config all
+/// honored), and the single RNG whose draw order defines the served
+/// sequence. Sessions from any number of channels funnel into it; a
+/// coarse state lock serialises commits (BatchPlace amortises it over
+/// `count` balls), which is exactly what makes the served process
+/// well-defined: the state seen by request k + 1 is the state left by
+/// request k, as in the offline sequential game.
+///
+/// Determinism: placements draw from one RNG in commit order, so a served
+/// request log and an offline `play_game` replay of the same ball
+/// sequence produce bit-identical state (stream v1: any request split;
+/// stream v2: splits at the kernel's block boundaries — see
+/// docs/serving.md). Ticketed requests let N concurrent clients replay a
+/// fixed global order; see net/protocol.hpp.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/bin_array.hpp"
+#include "core/game.hpp"
+#include "core/placement_kernel.hpp"
+#include "core/probability.hpp"
+#include "core/sampler.hpp"
+#include "net/protocol.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+
+/// Everything a serving instance needs, parsed once by the daemon.
+struct ServiceConfig {
+  std::vector<std::uint64_t> capacities;
+  SelectionPolicy policy = SelectionPolicy::proportional_to_capacity();
+  GameConfig game;          ///< choices / tie-break / stream / memory; balls
+                            ///< and batch are ignored (the clients decide)
+  std::uint64_t seed = 1;   ///< seed of the single serving RNG
+  std::uint64_t max_balls = 0;  ///< placement horizon; 0 = total capacity.
+                                ///< Bounds the kernel's comparison width;
+                                ///< requests beyond it are refused.
+};
+
+/// Outcome of one session loop (serve()).
+struct SessionResult {
+  std::uint64_t requests = 0;        ///< frames answered
+  bool shutdown_requested = false;   ///< session ended via Shutdown
+};
+
+class PlacementService {
+ public:
+  explicit PlacementService(const ServiceConfig& cfg);
+
+  // Typed handlers, one per wire op. Thread-safe; each takes the state
+  // lock at most once. Semantic rejections throw ServeError (sessions
+  // turn it into an ErrorResponse and keep the connection alive).
+  PlaceResponse place(const PlaceRequest& req);
+  BatchPlaceResponse batch_place(const BatchPlaceRequest& req);
+  LookupResponse lookup(const LookupRequest& req) const;
+  SnapshotResponse snapshot() const;
+  StatsResponse stats() const;
+  ShutdownResponse shutdown();
+
+  /// Session loop: answer requests from `channel` until clean EOF, a
+  /// Shutdown request, or a framing error (framing errors poison the
+  /// byte stream, so the session closes after a best-effort
+  /// ErrorResponse; semantic errors do not).
+  SessionResult serve(Channel& channel);
+
+  /// Set once a Shutdown request was served; the accept loop polls it.
+  bool shutdown_requested() const noexcept;
+
+  /// Balls committed so far (telemetry; also in Stats).
+  std::uint64_t balls_placed() const;
+
+  std::size_t bins() const noexcept { return bins_.size(); }
+  std::uint64_t max_balls() const noexcept { return max_balls_; }
+
+ private:
+  std::uint64_t reserve_balls_locked(std::uint64_t count);
+  void wait_for_ticket_locked(std::unique_lock<std::mutex>& lock, std::uint64_t ticket);
+  void finish_ticket_locked(std::uint64_t ticket);
+  void record_op(MessageType op, std::chrono::nanoseconds elapsed, bool is_place) const;
+
+  mutable std::mutex mu_;  // guards everything below it
+  BinArray bins_;
+  BinSampler sampler_;
+  PlacementKernel kernel_;
+  Xoshiro256StarStar rng_;
+  std::uint64_t max_balls_ = 0;
+  std::uint64_t next_ticket_ = 0;  ///< the ticket allowed to commit next
+  std::condition_variable ticket_cv_;
+  bool shutdown_ = false;
+
+  // Telemetry behind its own lock (mutable: const state queries record
+  // their own op counters too — Stats promises one entry per op seen).
+  mutable std::mutex stats_mu_;
+  mutable std::vector<OpStat> ops_;
+  mutable Histogram place_latency_us_;
+  std::uint64_t sessions_ = 0;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace nubb

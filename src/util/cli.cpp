@@ -47,6 +47,24 @@ void CliParser::add_string_list(const std::string& name, const std::string& help
   order_.push_back(name);
 }
 
+void CliParser::add_subcommand(const std::string& name, const std::string& help) {
+  for (const auto& [existing, unused] : subcommands_) {
+    NUBB_REQUIRE_MSG(existing != name, "duplicate CLI subcommand");
+  }
+  subcommands_.emplace_back(name, help);
+}
+
+void CliParser::allow_positionals(const std::string& placeholder, const std::string& help) {
+  positionals_allowed_ = true;
+  positionals_placeholder_ = placeholder;
+  positionals_help_ = help;
+}
+
+void CliParser::hide(const std::string& name) {
+  NUBB_REQUIRE_MSG(options_.count(name), "cannot hide an unregistered CLI option: " + name);
+  hidden_.insert(name);
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -55,6 +73,21 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      // A leading bare word selects a subcommand; later ones are
+      // positional operands where the binary accepts them.
+      if (i == 1 && !subcommands_.empty()) {
+        bool known = false;
+        for (const auto& [name, unused] : subcommands_) known = known || name == arg;
+        if (!known) {
+          throw std::runtime_error("unknown subcommand: " + arg + "\n" + help_text());
+        }
+        subcommand_ = arg;
+        continue;
+      }
+      if (positionals_allowed_) {
+        positionals_.push_back(arg);
+        continue;
+      }
       throw std::runtime_error("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
@@ -163,8 +196,20 @@ bool CliParser::was_set(const std::string& name) const {
 
 std::string CliParser::help_text() const {
   std::ostringstream os;
-  os << description_ << "\n\nOptions:\n";
+  os << description_ << "\n";
+  if (!subcommands_.empty()) {
+    os << "\nSubcommands:\n";
+    for (const auto& [name, help] : subcommands_) {
+      os << "  " << name << "\n      " << help << "\n";
+    }
+  }
+  if (positionals_allowed_) {
+    os << "\nOperands:\n  " << positionals_placeholder_ << "\n      " << positionals_help_
+       << "\n";
+  }
+  os << "\nOptions:\n";
   for (const auto& name : order_) {
+    if (hidden_.count(name)) continue;
     const Option& opt = options_.at(name);
     os << "  --" << name;
     switch (opt.kind) {

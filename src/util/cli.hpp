@@ -3,11 +3,14 @@
 /// \file cli.hpp
 /// Tiny declarative command-line option parser for the bench/example
 /// binaries. Supports `--name value`, `--name=value` and boolean flags;
+/// optional subcommands (`prog run --caps ...`) and positional operands;
 /// prints a generated `--help`.
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nubb {
@@ -28,6 +31,21 @@ class CliParser {
   /// repeated occurrences append.
   void add_string_list(const std::string& name, const std::string& help);
 
+  /// Register a subcommand. Once any subcommand exists, a leading
+  /// non-option argument must name one of them (`prog run --caps ...`);
+  /// invocations that start with an option keep working with an empty
+  /// subcommand() — how legacy spellings stay valid.
+  void add_subcommand(const std::string& name, const std::string& help);
+
+  /// Accept positional operands after the subcommand (`prog merge a b c`).
+  /// `placeholder` names them in --help (e.g. "FILE..."). Without this
+  /// call, positionals beyond the subcommand stay an error.
+  void allow_positionals(const std::string& placeholder, const std::string& help);
+
+  /// Drop an option from --help while keeping it parseable — for legacy
+  /// alias spellings that must not clutter the documented surface.
+  void hide(const std::string& name);
+
   /// Parse argv. Returns false if `--help` was requested (help printed to
   /// stdout) — callers should then exit 0. Throws std::runtime_error on
   /// unknown options or malformed values.
@@ -41,6 +59,13 @@ class CliParser {
 
   /// True if the user explicitly supplied the option on the command line.
   bool was_set(const std::string& name) const;
+
+  /// The parsed subcommand; empty when the invocation started with an
+  /// option (legacy spelling) or no subcommands are registered.
+  const std::string& subcommand() const noexcept { return subcommand_; }
+
+  /// Positional operands in order (requires allow_positionals()).
+  const std::vector<std::string>& positionals() const noexcept { return positionals_; }
 
   std::string help_text() const;
 
@@ -60,6 +85,13 @@ class CliParser {
   std::string description_;
   std::map<std::string, Option> options_;
   std::vector<std::string> order_;  // registration order for --help
+  std::vector<std::pair<std::string, std::string>> subcommands_;  // (name, help)
+  std::set<std::string> hidden_;
+  bool positionals_allowed_ = false;
+  std::string positionals_placeholder_;
+  std::string positionals_help_;
+  std::string subcommand_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace nubb

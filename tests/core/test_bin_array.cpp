@@ -146,6 +146,29 @@ TEST(BinArrayTest, AverageLoadReachesOneWhenBallsEqualCapacity) {
   EXPECT_DOUBLE_EQ(bins.average_load(), 1.0);
 }
 
+TEST(BinArrayTest, FingerprintDistinguishesAllocationsNotJustShapes) {
+  BinArray a({1, 2, 3});
+  BinArray b({1, 2, 3});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // identical states agree
+
+  a.add_ball(0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());  // a ball moves the hash
+  b.add_ball(1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());  // same count, different bin
+  b.remove_ball(1);
+  b.add_ball(0);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // states re-converge
+
+  // Different capacity shape with identical (zero) counts still differs.
+  EXPECT_NE(BinArray({1, 2, 3}).fingerprint(), BinArray({3, 2, 1}).fingerprint());
+}
+
+TEST(BinArrayTest, FingerprintMatchesDetailHelperOnRawSlots) {
+  BinArray bins({2, 5});
+  bins.add_ball(1);
+  EXPECT_EQ(bins.fingerprint(), detail::slots_fingerprint(bins.slot_data(), bins.size()));
+}
+
 TEST(BinArrayTest, SingleBinDegenerateCase) {
   BinArray bins({7});
   for (int i = 0; i < 14; ++i) bins.add_ball(0);

@@ -55,6 +55,23 @@ TEST(WeightedBinArrayTest, RejectsCapacitySumOverflow) {
   EXPECT_THROW(WeightedBinArray({1, kMax}), PreconditionError);
 }
 
+TEST(WeightedBinArrayTest, FingerprintTracksWeightAndShape) {
+  WeightedBinArray a({1, 2, 4});
+  WeightedBinArray b({1, 2, 4});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  a.add_weight(2, 3);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.add_weight(2, 3);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Unit-weight states hash identically to a BinArray with the same slots —
+  // both run the shared detail::slots_fingerprint over (num, cap) pairs.
+  WeightedBinArray w({2, 5});
+  w.add_weight(1, 1);
+  BinArray unit({2, 5});
+  unit.add_ball(1);
+  EXPECT_EQ(w.fingerprint(), unit.fingerprint());
+}
+
 TEST(WeightedBinArrayTest, WeightsViewTracksMutations) {
   // weights() is a materialised-on-demand view over the interleaved slots;
   // it must refresh after every mutation path (add_weight, clear, and the

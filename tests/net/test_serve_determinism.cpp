@@ -1,0 +1,171 @@
+/// The served-state determinism contract (docs/serving.md): a request log
+/// replayed through PlacementService leaves bit-identical bin state to an
+/// offline play_game over the same ball sequence — for one session, for N
+/// concurrent ticketed sessions, and regardless of how the log splits the
+/// balls into requests (stream v1; stream v2 at kernel-run boundaries).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/bin_array.hpp"
+#include "core/game.hpp"
+#include "core/sampler.hpp"
+#include "net/protocol.hpp"
+#include "net/service.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+ServiceConfig make_config(RngStream stream) {
+  ServiceConfig cfg;
+  // Two capacity classes so tie-breaks and the proportional sampler both
+  // matter; m = C = 150 keeps the test fast.
+  cfg.capacities.assign(30, 1);
+  cfg.capacities.insert(cfg.capacities.end(), 30, 4);
+  cfg.seed = kSeed;
+  cfg.game.stream = stream;
+  return cfg;
+}
+
+/// The ground truth: the offline sequential game over the same config.
+BinArray offline_game(const ServiceConfig& cfg, std::uint64_t balls) {
+  BinArray bins(cfg.capacities, cfg.game.memory);
+  const BinSampler sampler = BinSampler::from_policy(cfg.policy, cfg.capacities);
+  GameConfig game = cfg.game;
+  game.balls = balls;
+  Xoshiro256StarStar rng(cfg.seed);
+  play_game(bins, sampler, game, rng, /*checkpoint_interval=*/0);
+  return bins;
+}
+
+void expect_snapshot_matches(const SnapshotResponse& snap, const BinArray& reference) {
+  EXPECT_EQ(snap.total_balls, reference.total_balls());
+  EXPECT_EQ(snap.counts, reference.ball_counts());
+  EXPECT_EQ(snap.fingerprint, reference.fingerprint());
+  EXPECT_EQ(snap.max_load_num, reference.max_load().balls);
+  EXPECT_EQ(snap.max_load_cap, reference.max_load().capacity);
+}
+
+TEST(ServeDeterminism, V1ArbitraryRequestSplitsMatchOfflineGame) {
+  const ServiceConfig cfg = make_config(RngStream::kV1);
+  PlacementService service(cfg);
+
+  // 150 balls split unevenly across singles and batches — under stream v1
+  // the request boundaries must be invisible to the realised allocation.
+  const std::vector<std::uint64_t> batches{1, 7, 13, 29, 50, 37};
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : batches) {
+    if (b == 1) {
+      service.place(PlaceRequest{});
+    } else {
+      service.batch_place(BatchPlaceRequest{kNoTicket, b, 1});
+    }
+    total += b;
+  }
+  EXPECT_EQ(total, 137u);
+  for (int i = 0; i < 13; ++i) service.place(PlaceRequest{});
+
+  expect_snapshot_matches(service.snapshot(), offline_game(cfg, 150));
+}
+
+TEST(ServeDeterminism, V1SplitChoiceNeverMovesABall) {
+  const ServiceConfig cfg = make_config(RngStream::kV1);
+  PlacementService one_batch(cfg);
+  one_batch.batch_place(BatchPlaceRequest{kNoTicket, 120, 1});
+
+  PlacementService singles(cfg);
+  for (int i = 0; i < 120; ++i) singles.place(PlaceRequest{});
+
+  EXPECT_EQ(one_batch.snapshot(), singles.snapshot());
+}
+
+TEST(ServeDeterminism, V2SingleBatchMatchesOfflineGame) {
+  // Stream v2 draws RNG blocks per kernel run, so the contract is weaker:
+  // state matches offline when request boundaries coincide with run
+  // boundaries — one BatchPlace(m) against one uninterrupted play_game.
+  const ServiceConfig cfg = make_config(RngStream::kV2);
+  PlacementService service(cfg);
+  service.batch_place(BatchPlaceRequest{kNoTicket, 150, 1});
+
+  expect_snapshot_matches(service.snapshot(), offline_game(cfg, 150));
+}
+
+TEST(ServeDeterminism, ConcurrentTicketedSessionsMatchOfflineGame) {
+  const ServiceConfig cfg = make_config(RngStream::kV1);
+  PlacementService service(cfg);
+
+  // N clients replay a fixed global order: client i holds tickets
+  // i, i + N, i + 2N, ... Each runs a full serve() session on its own
+  // thread; the ticket gate must serialise the commits into 0, 1, 2, ...
+  // no matter how the scheduler interleaves the sessions.
+  constexpr std::uint64_t kClients = 4;
+  constexpr std::uint64_t kBalls = 150;
+
+  std::vector<std::stringstream> to_server(kClients);
+  std::vector<std::stringstream> from_server(kClients);
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    StreamChannel writer(to_server[c], to_server[c]);
+    for (std::uint64_t ticket = c; ticket < kBalls; ticket += kClients) {
+      send_message(writer, PlaceRequest{ticket, 1});
+    }
+  }
+
+  std::vector<SessionResult> results(kClients);
+  {
+    std::vector<std::thread> sessions;
+    sessions.reserve(kClients);
+    for (std::uint64_t c = 0; c < kClients; ++c) {
+      sessions.emplace_back([&, c] {
+        StreamChannel channel(to_server[c], from_server[c]);
+        results[c] = service.serve(channel);
+      });
+    }
+    for (std::thread& t : sessions) t.join();
+  }
+
+  std::uint64_t answered = 0;
+  for (const SessionResult& r : results) answered += r.requests;
+  EXPECT_EQ(answered, kBalls);
+
+  // Every response on every session must be a successful placement.
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    StreamChannel reader(from_server[c], from_server[c]);
+    Frame frame;
+    while (reader.receive_frame(frame)) {
+      ASSERT_EQ(frame.type, MessageType::kPlaceResponse);
+    }
+  }
+
+  expect_snapshot_matches(service.snapshot(), offline_game(cfg, kBalls));
+}
+
+TEST(ServeDeterminism, ConcurrentTicketedBatchesMatchOfflineGame) {
+  // Same gate, coarser grain: tickets order whole batches.
+  const ServiceConfig cfg = make_config(RngStream::kV1);
+  PlacementService service(cfg);
+
+  constexpr std::uint64_t kClients = 3;
+  const std::vector<std::uint64_t> batch_sizes{10, 25, 5, 40, 20, 50};  // 150 total
+
+  std::vector<std::thread> sessions;
+  sessions.reserve(kClients);
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    sessions.emplace_back([&, c] {
+      for (std::uint64_t ticket = c; ticket < batch_sizes.size(); ticket += kClients) {
+        service.batch_place(BatchPlaceRequest{ticket, batch_sizes[ticket], 1});
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+
+  expect_snapshot_matches(service.snapshot(), offline_game(cfg, 150));
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,267 @@
+#include "net/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bin_array.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+
+namespace nubb {
+namespace {
+
+ServiceConfig make_config(std::vector<std::uint64_t> caps, std::uint64_t seed = 7) {
+  ServiceConfig cfg;
+  cfg.capacities = std::move(caps);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- typed handlers ---------------------------------------------------------
+
+TEST(ServiceOps, PlaceCommitsOneBall) {
+  PlacementService service(make_config({1, 1, 4, 4}));
+  const PlaceResponse resp = service.place(PlaceRequest{});
+  EXPECT_LT(resp.bin, 4u);
+  EXPECT_EQ(resp.balls, 1u);
+  EXPECT_EQ(service.balls_placed(), 1u);
+  const LookupResponse seen = service.lookup(LookupRequest{resp.bin});
+  EXPECT_EQ(seen.balls, 1u);
+  EXPECT_EQ(seen.capacity, resp.capacity);
+}
+
+TEST(ServiceOps, BatchPlaceSummarisesState) {
+  PlacementService service(make_config({1, 1, 4, 4}));
+  const BatchPlaceResponse resp = service.batch_place(BatchPlaceRequest{kNoTicket, 10, 1});
+  EXPECT_EQ(resp.placed, 10u);
+  EXPECT_EQ(resp.total_balls, 10u);
+  const SnapshotResponse snap = service.snapshot();
+  EXPECT_EQ(snap.total_balls, 10u);
+  EXPECT_EQ(snap.max_load_num, resp.max_load_num);
+  EXPECT_EQ(snap.max_load_cap, resp.max_load_cap);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : snap.counts) sum += c;
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(ServiceOps, RejectsNonUnitWeight) {
+  PlacementService service(make_config({2, 2}));
+  PlaceRequest place;
+  place.weight = 2;
+  EXPECT_THROW(service.place(place), ServeError);
+  BatchPlaceRequest batch;
+  batch.weight = 3;
+  EXPECT_THROW(service.batch_place(batch), ServeError);
+  EXPECT_EQ(service.balls_placed(), 0u);  // rejected before any commit
+}
+
+TEST(ServiceOps, RefusesRequestsBeyondHorizon) {
+  ServiceConfig cfg = make_config({10, 10});
+  cfg.max_balls = 10;
+  PlacementService service(cfg);
+  EXPECT_EQ(service.max_balls(), 10u);
+
+  service.batch_place(BatchPlaceRequest{kNoTicket, 8, 1});
+  // 3 more would overshoot the horizon: refused atomically, nothing placed.
+  EXPECT_THROW(service.batch_place(BatchPlaceRequest{kNoTicket, 3, 1}), ServeError);
+  EXPECT_EQ(service.balls_placed(), 8u);
+  // Exactly up to the horizon is fine; one past it is not.
+  service.batch_place(BatchPlaceRequest{kNoTicket, 2, 1});
+  EXPECT_EQ(service.balls_placed(), 10u);
+  EXPECT_THROW(service.place(PlaceRequest{}), ServeError);
+}
+
+TEST(ServiceOps, HorizonDefaultsToTotalCapacity) {
+  PlacementService service(make_config({3, 7}));
+  EXPECT_EQ(service.max_balls(), 10u);
+}
+
+TEST(ServiceOps, LookupIsBoundsChecked) {
+  PlacementService service(make_config({1, 5}));
+  const LookupResponse resp = service.lookup(LookupRequest{1});
+  EXPECT_EQ(resp.bin, 1u);
+  EXPECT_EQ(resp.capacity, 5u);
+  EXPECT_THROW(service.lookup(LookupRequest{2}), ServeError);
+}
+
+TEST(ServiceOps, SnapshotFingerprintMatchesRecomputation) {
+  const std::vector<std::uint64_t> caps{1, 2, 3, 4};
+  PlacementService service(make_config(caps));
+  service.batch_place(BatchPlaceRequest{kNoTicket, 6, 1});
+  const SnapshotResponse snap = service.snapshot();
+  ASSERT_EQ(snap.counts.size(), caps.size());
+
+  // The fingerprint must be recomputable from the shipped counts + the
+  // capacities the client already knows — that is its whole point.
+  std::vector<BinSlot> slots(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    slots[i].num = snap.counts[i];
+    slots[i].cap = caps[i];
+  }
+  EXPECT_EQ(snap.fingerprint, detail::slots_fingerprint(slots.data(), slots.size()));
+}
+
+TEST(ServiceOps, TicketsCommitInOrderAndReplayIsRejected) {
+  PlacementService service(make_config({4, 4}));
+  service.place(PlaceRequest{0, 1});
+  // An untimed request slots in without consuming a ticket...
+  service.place(PlaceRequest{kNoTicket, 1});
+  // ...so ticket 1 is still the next in line, and ticket 0 is spent.
+  EXPECT_THROW(service.place(PlaceRequest{0, 1}), ServeError);
+  service.place(PlaceRequest{1, 1});
+  EXPECT_EQ(service.balls_placed(), 3u);
+}
+
+TEST(ServiceOps, FailedTicketedRequestStillConsumesItsTicket) {
+  ServiceConfig cfg = make_config({4, 4});
+  cfg.max_balls = 1;
+  PlacementService service(cfg);
+  service.place(PlaceRequest{0, 1});
+  EXPECT_THROW(service.place(PlaceRequest{1, 1}), ServeError);  // horizon
+  // Ticket 1 burned; ticket 2 must not wait behind it.
+  EXPECT_THROW(service.place(PlaceRequest{2, 1}), ServeError);
+  EXPECT_EQ(service.balls_placed(), 1u);
+}
+
+TEST(ServiceOps, StatsCountOpsAndLatency) {
+  PlacementService service(make_config({4, 4}));
+  service.place(PlaceRequest{});
+  service.place(PlaceRequest{});
+  service.batch_place(BatchPlaceRequest{kNoTicket, 3, 1});
+  service.lookup(LookupRequest{0});
+  const StatsResponse stats = service.stats();
+
+  EXPECT_EQ(stats.balls_placed, 5u);
+  auto count_of = [&](MessageType op) -> std::uint64_t {
+    for (const OpStat& s : stats.ops) {
+      if (s.op == static_cast<std::uint16_t>(op)) return s.count;
+    }
+    return 0;
+  };
+  EXPECT_EQ(count_of(MessageType::kPlaceRequest), 2u);
+  EXPECT_EQ(count_of(MessageType::kBatchPlaceRequest), 1u);
+  EXPECT_EQ(count_of(MessageType::kLookupRequest), 1u);
+  // One latency sample per place-family request.
+  EXPECT_EQ(stats.place_latency_us.total(), 3u);
+  EXPECT_GT(stats.uptime_ns, 0u);
+}
+
+TEST(WireHistogramTest, QuantileUpperIsConservative) {
+  WireHistogram h;
+  h.lo = 0.0;
+  h.hi = 10.0;
+  h.counts = {5, 0, 0, 0, 5};  // cells of width 2: [0,2) and [8,10)
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.99), 10.0);
+  h.overflow = 90;  // now 90% of the mass is "at least hi"
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 10.0);
+  EXPECT_EQ(h.total(), 100u);
+}
+
+// --- the session loop over an in-process channel -----------------------------
+
+/// Run `serve` over a request log pre-encoded into a string stream and
+/// hand back the response bytes for client-side decoding.
+struct SessionHarness {
+  std::stringstream to_server;
+  std::stringstream from_server;
+
+  template <typename... Reqs>
+  SessionResult run(PlacementService& service, const Reqs&... reqs) {
+    StreamChannel writer(to_server, to_server);
+    (send_message(writer, reqs), ...);
+    StreamChannel session(to_server, from_server);
+    return service.serve(session);
+  }
+
+  template <typename Msg>
+  Msg next_response() {
+    StreamChannel reader(from_server, from_server);
+    Frame frame;
+    EXPECT_TRUE(reader.receive_frame(frame));
+    return decode_message<Msg>(frame);
+  }
+};
+
+TEST(ServiceSession, AnswersRequestsUntilCleanEof) {
+  PlacementService service(make_config({2, 2}));
+  SessionHarness h;
+  const SessionResult result =
+      h.run(service, PlaceRequest{}, LookupRequest{0}, SnapshotRequest{});
+  EXPECT_EQ(result.requests, 3u);
+  EXPECT_FALSE(result.shutdown_requested);
+
+  StreamChannel reader(h.from_server, h.from_server);
+  Frame frame;
+  ASSERT_TRUE(reader.receive_frame(frame));
+  EXPECT_EQ(frame.type, MessageType::kPlaceResponse);
+  ASSERT_TRUE(reader.receive_frame(frame));
+  EXPECT_EQ(frame.type, MessageType::kLookupResponse);
+  ASSERT_TRUE(reader.receive_frame(frame));
+  const auto snap = decode_message<SnapshotResponse>(frame);
+  EXPECT_EQ(snap.total_balls, 1u);
+  EXPECT_FALSE(reader.receive_frame(frame));  // one response per request
+}
+
+TEST(ServiceSession, SemanticErrorKeepsSessionAlive) {
+  PlacementService service(make_config({2, 2}));
+  SessionHarness h;
+  const SessionResult result = h.run(service, LookupRequest{999}, PlaceRequest{});
+  // The bad lookup is answered with an error and the place still lands.
+  EXPECT_EQ(result.requests, 2u);
+  const auto err = h.next_response<ErrorResponse>();
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+  const auto placed = h.next_response<PlaceResponse>();
+  EXPECT_EQ(placed.balls, 1u);
+  EXPECT_EQ(service.balls_placed(), 1u);
+}
+
+TEST(ServiceSession, MalformedFrameClosesSession) {
+  PlacementService service(make_config({2, 2}));
+  SessionHarness h;
+  {
+    StreamChannel writer(h.to_server, h.to_server);
+    send_message(writer, PlaceRequest{});
+  }
+  h.to_server << "GARBAGE-NOT-A-FRAME";  // desyncs the byte stream
+
+  StreamChannel session(h.to_server, h.from_server);
+  const SessionResult result = service.serve(session);
+  // The valid frame was served; the garbage ended the session, not the test.
+  EXPECT_EQ(result.requests, 1u);
+  EXPECT_FALSE(result.shutdown_requested);
+  (void)h.next_response<PlaceResponse>();
+  const auto err = h.next_response<ErrorResponse>();
+  EXPECT_NE(err.message.find("closing session"), std::string::npos);
+}
+
+TEST(ServiceSession, ShutdownEndsSessionAndFlagsService) {
+  PlacementService service(make_config({2, 2}));
+  SessionHarness h;
+  // The request after Shutdown must never be served.
+  const SessionResult result =
+      h.run(service, PlaceRequest{}, ShutdownRequest{}, PlaceRequest{});
+  EXPECT_EQ(result.requests, 2u);
+  EXPECT_TRUE(result.shutdown_requested);
+  EXPECT_TRUE(service.shutdown_requested());
+  EXPECT_EQ(service.balls_placed(), 1u);
+
+  (void)h.next_response<PlaceResponse>();
+  (void)h.next_response<ShutdownResponse>();
+}
+
+TEST(ServiceSession, SessionsAreCountedInStats) {
+  PlacementService service(make_config({2, 2}));
+  SessionHarness a;
+  a.run(service, SnapshotRequest{});
+  SessionHarness b;
+  b.run(service, StatsRequest{});
+  const auto stats = b.next_response<StatsResponse>();
+  EXPECT_EQ(stats.sessions, 2u);
+}
+
+}  // namespace
+}  // namespace nubb

@@ -1,0 +1,177 @@
+/// Loopback TCP transport tests: SocketListener + SocketChannel carrying
+/// the frame protocol, and the PlacementServer accept loop end to end.
+/// Everything binds 127.0.0.1 on an ephemeral port — no fixed ports, no
+/// external network.
+
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
+
+namespace nubb {
+namespace {
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.capacities = {1, 1, 4, 4};
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// Accept one connection, with enough poll ticks to not flake on a slow
+/// machine. Returns the connected descriptor.
+int accept_one(SocketListener& listener) {
+  for (int tick = 0; tick < 100; ++tick) {
+    const int fd = listener.accept_for(100);
+    if (fd >= 0) return fd;
+  }
+  return -1;
+}
+
+TEST(SocketTest, AcceptTimesOutWhenNobodyConnects) {
+  SocketListener listener("127.0.0.1", 0);
+  EXPECT_GT(listener.port(), 0u);
+  EXPECT_EQ(listener.accept_for(10), -1);
+}
+
+TEST(SocketTest, FramesRoundTripOverLoopback) {
+  SocketListener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.port();
+
+  // Server side: accept one session, echo every frame back verbatim.
+  std::thread server([&] {
+    const int fd = accept_one(listener);
+    ASSERT_GE(fd, 0);
+    SocketChannel channel(fd);
+    Frame frame;
+    while (channel.receive_frame(frame)) {
+      channel.send_frame(frame.type, frame.payload);
+    }
+  });
+
+  SocketChannel client = SocketChannel::connect("127.0.0.1", port);
+  SnapshotResponse snap;
+  snap.total_balls = 99;
+  snap.counts = {1, 2, 96};
+  send_message(client, snap);
+  Frame frame;
+  ASSERT_TRUE(client.receive_frame(frame));
+  EXPECT_EQ(decode_message<SnapshotResponse>(frame), snap);
+
+  // Half-close: the server sees clean EOF and its loop ends.
+  client.shutdown_write();
+  ASSERT_FALSE(client.receive_frame(frame));
+  server.join();
+}
+
+TEST(SocketTest, ServiceSessionOverTcpMatchesDirectCalls) {
+  PlacementService served(small_config());
+  SocketListener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.port();
+
+  std::thread server([&] {
+    const int fd = accept_one(listener);
+    ASSERT_GE(fd, 0);
+    SocketChannel channel(fd);
+    served.serve(channel);
+  });
+
+  SocketChannel client = SocketChannel::connect("127.0.0.1", port);
+  const auto batch =
+      round_trip<BatchPlaceResponse>(client, BatchPlaceRequest{kNoTicket, 10, 1});
+  EXPECT_EQ(batch.placed, 10u);
+  const auto snap = round_trip<SnapshotResponse>(client, SnapshotRequest{});
+  client.shutdown_write();
+  server.join();
+
+  // The same config driven directly (no sockets) must land identically.
+  PlacementService direct(small_config());
+  direct.batch_place(BatchPlaceRequest{kNoTicket, 10, 1});
+  EXPECT_EQ(snap, direct.snapshot());
+}
+
+TEST(SocketTest, ServerErrorsTravelAsServeError) {
+  PlacementService served(small_config());
+  SocketListener listener("127.0.0.1", 0);
+  const std::uint16_t port = listener.port();
+
+  std::thread server([&] {
+    const int fd = accept_one(listener);
+    ASSERT_GE(fd, 0);
+    SocketChannel channel(fd);
+    served.serve(channel);
+  });
+
+  SocketChannel client = SocketChannel::connect("127.0.0.1", port);
+  EXPECT_THROW((void)round_trip<LookupResponse>(client, LookupRequest{999}), ServeError);
+  // The semantic error must not have killed the session.
+  const auto ok = round_trip<LookupResponse>(client, LookupRequest{0});
+  EXPECT_EQ(ok.bin, 0u);
+  client.shutdown_write();
+  server.join();
+}
+
+TEST(SocketTest, ConnectToUnboundPortFails) {
+  // Bind and immediately release a port so nothing is listening on it.
+  std::uint16_t dead_port = 0;
+  { dead_port = SocketListener("127.0.0.1", 0).port(); }
+  EXPECT_THROW((void)SocketChannel::connect("127.0.0.1", dead_port), WireError);
+}
+
+TEST(PlacementServerTest, ServesConcurrentClientsUntilShutdown) {
+  PlacementService service(small_config());
+  ServerConfig cfg;
+  cfg.session_threads = 4;
+  cfg.accept_poll_ms = 20;
+  PlacementServer server(service, cfg);
+  const std::uint16_t port = server.port();
+  ASSERT_GT(port, 0u);
+
+  std::uint64_t sessions_served = 0;
+  std::thread daemon([&] { sessions_served = server.run(); });
+
+  constexpr int kClients = 3;
+  constexpr std::uint64_t kBallsEach = 2;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      SocketChannel channel = SocketChannel::connect("127.0.0.1", port);
+      const auto resp =
+          round_trip<BatchPlaceResponse>(channel, BatchPlaceRequest{kNoTicket, kBallsEach, 1});
+      EXPECT_EQ(resp.placed, kBallsEach);
+      channel.shutdown_write();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // A served Shutdown request ends the accept loop; run() drains and returns.
+  {
+    SocketChannel channel = SocketChannel::connect("127.0.0.1", port);
+    (void)round_trip<ShutdownResponse>(channel, ShutdownRequest{});
+  }
+  daemon.join();
+
+  EXPECT_EQ(sessions_served, static_cast<std::uint64_t>(kClients) + 1);
+  EXPECT_EQ(service.balls_placed(), kClients * kBallsEach);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(PlacementServerTest, StopEndsRunWithoutAServedShutdown) {
+  PlacementService service(small_config());
+  ServerConfig cfg;
+  cfg.accept_poll_ms = 10;
+  PlacementServer server(service, cfg);
+  std::thread daemon([&] { server.run(); });
+  server.stop();
+  daemon.join();
+  EXPECT_FALSE(service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace nubb

@@ -210,5 +210,74 @@ TEST(CliTest, LastOccurrenceWins) {
   EXPECT_EQ(cli.get_int("reps"), 2);
 }
 
+CliParser make_subcommand_parser() {
+  CliParser cli = make_parser();
+  cli.add_subcommand("run", "run it");
+  cli.add_subcommand("merge", "merge files");
+  cli.allow_positionals("FILE...", "input files");
+  return cli;
+}
+
+TEST(CliTest, SubcommandIsRecognised) {
+  CliParser cli = make_subcommand_parser();
+  Argv args({"run", "--reps", "5"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.subcommand(), "run");
+  EXPECT_EQ(cli.get_int("reps"), 5);
+  EXPECT_TRUE(cli.positionals().empty());
+}
+
+TEST(CliTest, OptionFirstInvocationHasEmptySubcommand) {
+  CliParser cli = make_subcommand_parser();
+  Argv args({"--reps", "5"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.subcommand(), "");
+}
+
+TEST(CliTest, UnknownSubcommandThrows) {
+  CliParser cli = make_subcommand_parser();
+  Argv args({"frobnicate"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, PositionalsCollectAfterSubcommand) {
+  CliParser cli = make_subcommand_parser();
+  Argv args({"merge", "a.json", "b.json", "--verbose"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.subcommand(), "merge");
+  EXPECT_EQ(cli.positionals(), (std::vector<std::string>{"a.json", "b.json"}));
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(CliTest, PositionalsWithoutAllowanceStillThrow) {
+  CliParser cli = make_parser();
+  cli.add_subcommand("run", "run it");
+  Argv args({"run", "stray"});
+  EXPECT_THROW(cli.parse(args.argc(), args.argv()), std::runtime_error);
+}
+
+TEST(CliTest, HiddenOptionParsesButLeavesHelp) {
+  CliParser cli = make_parser();
+  cli.hide("csv");
+  Argv args({"--csv", "out"});
+  ASSERT_TRUE(cli.parse(args.argc(), args.argv()));
+  EXPECT_EQ(cli.get_string("csv"), "out");
+  EXPECT_EQ(cli.help_text().find("--csv"), std::string::npos);
+  EXPECT_NE(cli.help_text().find("--reps"), std::string::npos);
+}
+
+TEST(CliTest, HidingUnregisteredOptionThrows) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(cli.hide("nope"), PreconditionError);
+}
+
+TEST(CliTest, HelpTextNamesSubcommandsAndOperands) {
+  CliParser cli = make_subcommand_parser();
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("Subcommands:"), std::string::npos);
+  EXPECT_NE(help.find("merge"), std::string::npos);
+  EXPECT_NE(help.find("FILE..."), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nubb

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -78,7 +79,13 @@ TEST(TextTableTest, StreamOperatorMatchesRender) {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "nubb_csv_test";
+    // Unique per test AND per process: gtest_discover_tests runs each
+    // TEST_F as its own ctest entry, so under `ctest -j` several processes
+    // hold a CsvTest fixture concurrently — a shared directory makes one
+    // process's TearDown remove_all race another's writes.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nubb_csv_test_" + std::to_string(::getpid()) + "_" + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

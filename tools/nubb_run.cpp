@@ -2,8 +2,11 @@
 ///
 /// Runs a Monte-Carlo balls-into-bins experiment described entirely on the
 /// command line, dispatching through the scenario registry
-/// (core/scenario.hpp): `--list` names every registered experiment,
-/// `--experiment NAME` picks one (default: max-load). Examples:
+/// (core/scenario.hpp). Subcommands: `run` (the default when the first
+/// argument is an option), `merge`, `check-state`, `list`; the legacy
+/// `--list` / `--merge` / `--check-state` spellings keep working.
+/// `nubb_run list` names every registered experiment, `--experiment NAME`
+/// picks one (default: max-load). Examples:
 ///
 ///   # the paper's Figure-6 midpoint: 500 small + 500 big bins
 ///   nubb_run --caps 500x1,500x10
@@ -15,7 +18,7 @@
 ///   nubb_run --caps 50x1,50x3 --policy power --exponent 2.1 --profile
 ///
 ///   # registry scenarios beyond the default
-///   nubb_run --list
+///   nubb_run list
 ///   nubb_run --caps 500x1,500x10 --experiment class-max-load
 ///   nubb_run --caps 200x1 --experiment hit-every-bin --balls-factor 6
 ///
@@ -33,7 +36,7 @@
 ///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 0/4 --out s0.json
 ///   nubb_run --caps 500x1,500x10 --reps 100000 --shard 1/4 --out s1.json
 ///   ...
-///   nubb_run --merge s0.json s1.json s2.json s3.json
+///   nubb_run merge s0.json s1.json s2.json s3.json
 
 #include <fstream>
 #include <iostream>
@@ -41,6 +44,7 @@
 #include <sstream>
 
 #include "core/nubb.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -52,46 +56,6 @@ using namespace nubb;
 namespace {
 
 constexpr const char* kShardFormat = "nubb.shard.v2";
-
-/// Parse "500x1,500x10" into a capacity vector (classes stay contiguous).
-std::vector<std::uint64_t> parse_caps(const std::string& spec) {
-  std::vector<CapacityClass> classes;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const auto x = item.find('x');
-    if (x == std::string::npos) {
-      throw std::runtime_error("bad --caps item (expected COUNTxCAPACITY): " + item);
-    }
-    CapacityClass cls;
-    cls.count = std::stoull(item.substr(0, x));
-    cls.capacity = std::stoull(item.substr(x + 1));
-    classes.push_back(cls);
-  }
-  return from_classes(classes);
-}
-
-SelectionPolicy parse_policy(const std::string& name, double exponent,
-                             std::uint64_t threshold) {
-  if (name == "proportional") return SelectionPolicy::proportional_to_capacity();
-  if (name == "uniform") return SelectionPolicy::uniform();
-  if (name == "power") return SelectionPolicy::capacity_power(exponent);
-  if (name == "top-only") return SelectionPolicy::top_capacity_only(threshold);
-  throw std::runtime_error("unknown --policy (proportional|uniform|power|top-only): " + name);
-}
-
-RngStream parse_stream(const std::string& name) {
-  if (name == "v1") return RngStream::kV1;
-  if (name == "v2") return RngStream::kV2;
-  throw std::runtime_error("unknown --stream (v1|v2): " + name);
-}
-
-TieBreak parse_tie_break(const std::string& name) {
-  if (name == "capacity") return TieBreak::kPreferLargerCapacity;
-  if (name == "uniform") return TieBreak::kUniform;
-  if (name == "first") return TieBreak::kFirstChoice;
-  throw std::runtime_error("unknown --tie-break (capacity|uniform|first): " + name);
-}
 
 /// Parse "i/N" shard coordinates.
 std::pair<std::uint64_t, std::uint64_t> parse_shard(const std::string& spec) {
@@ -239,7 +203,17 @@ int run_check_state(const Scenario& scenario, const RunMeta& meta, const std::st
 int main(int argc, char** argv) {
   CliParser cli(
       "nubb_run: run a weighted balls-into-bins Monte-Carlo experiment from the "
-      "command line (the paper's Algorithm 1 and variants).");
+      "command line (the paper's Algorithm 1 and variants).\n\n"
+      "Usage: nubb_run [run|merge|check-state|list] [FILE...] [options]");
+  cli.add_subcommand("run", "run the experiment described by the options (the default)");
+  cli.add_subcommand("merge",
+                     "merge shard state files (operands) into the combined report, "
+                     "bit-identical to the unsharded run");
+  cli.add_subcommand("check-state",
+                     "validate an existing shard state file (operand) against the "
+                     "configuration options; exit 0 iff a resumed run may skip it");
+  cli.add_subcommand("list", "list the registered experiments and exit");
+  cli.allow_positionals("FILE...", "state files for the merge / check-state subcommands");
   cli.add_string("caps", "", "capacity classes, e.g. 500x1,500x10 (overrides generators)");
   cli.add_int("n", 1000, "bins for the --random-mean / --zipf generators");
   cli.add_double("random-mean", 0.0, "Section-4.2 capacities 1+Bin(7,(c-1)/7) with this mean");
@@ -283,6 +257,11 @@ int main(int argc, char** argv) {
                  "validate an existing --shard state file against this configuration "
                  "(exit 0 iff a resumed run may skip the shard)");
   cli.add_flag("version", "print the library version and exit");
+  // Legacy spellings of the subcommands (pre-subcommand scripts use them);
+  // they keep parsing but stay out of --help.
+  cli.hide("merge");
+  cli.hide("check-state");
+  cli.hide("list");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -290,24 +269,48 @@ int main(int argc, char** argv) {
       std::cout << "nubb_run " << version_string() << "\n";
       return 0;
     }
-    if (cli.flag("list")) {
+
+    // Fold the subcommand spellings onto the legacy mode selectors, so one
+    // dispatch below serves both surfaces.
+    const std::string& sub = cli.subcommand();
+    std::vector<std::string> merge_files = cli.get_string_list("merge");
+    std::string check_state_file = cli.get_string("check-state");
+    if (sub == "merge") {
+      if (cli.positionals().empty()) {
+        throw std::runtime_error("merge needs at least one shard state file operand");
+      }
+      merge_files.insert(merge_files.end(), cli.positionals().begin(),
+                         cli.positionals().end());
+    } else if (sub == "check-state") {
+      if (cli.positionals().size() != 1) {
+        throw std::runtime_error("check-state takes exactly one state file operand");
+      }
+      if (!check_state_file.empty()) {
+        throw std::runtime_error("state file given both as operand and as --check-state");
+      }
+      check_state_file = cli.positionals().front();
+    } else if (!cli.positionals().empty()) {
+      throw std::runtime_error("unexpected operand: " + cli.positionals().front());
+    }
+
+    if (cli.flag("list") || sub == "list") {
       print_experiment_list(std::cout);
       return 0;
     }
 
     // --- merge mode: everything comes from the state files ------------------
-    if (!cli.get_string_list("merge").empty()) {
+    if (!merge_files.empty()) {
       if (!cli.get_string("shard").empty()) {
-        throw std::runtime_error("--merge and --shard are mutually exclusive");
+        throw std::runtime_error("merge and --shard are mutually exclusive");
       }
-      if (!cli.get_string("check-state").empty()) {
-        throw std::runtime_error("--merge and --check-state are mutually exclusive");
+      if (!check_state_file.empty()) {
+        throw std::runtime_error("merge and check-state are mutually exclusive");
       }
       if (cli.was_set("experiment")) {
         throw std::runtime_error(
-            "--merge derives the experiment from the state files; drop --experiment");
+            "merge derives the experiment from the state files; drop --experiment");
       }
-      return run_merge(cli.get_string_list("merge"), cli.get_string("json"));
+      return run_merge(merge_files, cli.get_string("json"));
     }
 
     const Scenario& scenario =
@@ -317,7 +320,7 @@ int main(int argc, char** argv) {
     std::vector<std::uint64_t> caps;
     Xoshiro256StarStar cap_rng(static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0xCA95);
     if (!cli.get_string("caps").empty()) {
-      caps = parse_caps(cli.get_string("caps"));
+      caps = tool::parse_caps(cli.get_string("caps"));
     } else if (cli.get_double("zipf-alpha") >= 0.0) {
       caps = zipf_capacities(static_cast<std::size_t>(cli.get_int("n")),
                              cli.get_double("zipf-alpha"),
@@ -334,10 +337,10 @@ int main(int argc, char** argv) {
 
     ScenarioSpec spec;
     spec.capacities = std::move(caps);
-    spec.policy = parse_policy(cli.get_string("policy"), cli.get_double("exponent"),
-                               static_cast<std::uint64_t>(cli.get_int("threshold")));
+    spec.policy = tool::parse_policy(cli.get_string("policy"), cli.get_double("exponent"),
+                                     static_cast<std::uint64_t>(cli.get_int("threshold")));
     spec.game.choices = static_cast<std::uint32_t>(cli.get_int("d"));
-    spec.game.tie_break = parse_tie_break(cli.get_string("tie-break"));
+    spec.game.tie_break = tool::parse_tie_break(cli.get_string("tie-break"));
     spec.game.balls = static_cast<std::uint64_t>(cli.get_double("balls-factor") *
                                                  static_cast<double>(C));
     // Resolve the library's "0 means m = C" convention here so RunMeta (and
@@ -346,7 +349,7 @@ int main(int argc, char** argv) {
     if (spec.game.balls == 0) spec.game.balls = C;
     if (cli.get_int("batch") < 1) throw std::runtime_error("--batch must be >= 1");
     spec.game.batch = static_cast<std::uint64_t>(cli.get_int("batch"));
-    spec.game.stream = parse_stream(cli.get_string("stream"));
+    spec.game.stream = tool::parse_stream(cli.get_string("stream"));
     spec.game.memory.huge_pages = parse_huge_pages(cli.get_string("huge-pages"));
     spec.exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
     spec.exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -388,8 +391,8 @@ int main(int argc, char** argv) {
     if (!cli.get_string("shard").empty()) shard = parse_shard(cli.get_string("shard"));
 
     // --- check-state mode: validate an existing shard state, run nothing ----
-    if (!cli.get_string("check-state").empty()) {
-      return run_check_state(scenario, meta, cli.get_string("check-state"), shard);
+    if (!check_state_file.empty()) {
+      return run_check_state(scenario, meta, check_state_file, shard);
     }
 
     // --- shard mode: run this slice, write state, exit -----------------------

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Loopback serve smoke: boot nubb_serve on an ephemeral port, fire a
+# nubb_load burst, require nonzero throughput, a clean Shutdown, and exit
+# 0 from both binaries. Wired as a ctest (and run by the CI serve leg).
+#
+# Usage: serve_smoke.sh NUBB_SERVE NUBB_LOAD WORK_DIR
+set -euo pipefail
+
+SERVE=$1
+LOAD=$2
+WORK_DIR=$3
+
+CAPS="200x1,200x10"
+PORT_FILE="$WORK_DIR/serve_smoke_port.$$"
+JSON="$WORK_DIR/BENCH_serve_smoke.json"
+rm -f "$PORT_FILE" "$JSON"
+
+"$SERVE" --caps "$CAPS" --stream v2 --max-balls 2000000 \
+  --port 0 --port-file "$PORT_FILE" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The daemon writes the port file only once it is listening.
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "serve_smoke: daemon never wrote $PORT_FILE" >&2
+  exit 1
+fi
+PORT=$(cat "$PORT_FILE")
+
+"$LOAD" --caps "$CAPS" --stream v2 --port "$PORT" \
+  --connections 2 --requests 100000 --batch 500 --shutdown --json "$JSON"
+
+# The Shutdown request must take the daemon down cleanly (exit 0).
+wait "$SERVER_PID"
+trap - EXIT
+
+python3 - "$JSON" <<'PY'
+import json, sys
+
+with open(sys.argv[1], encoding="utf-8") as f:
+    row = json.load(f)
+assert row["placed"] == row["requests"], row
+assert row["throughput_balls_per_sec"] > 0, row
+assert row["latency_p50_us"] > 0, row
+assert "speedup_vs_reference" in row and row["speedup_vs_reference"], row
+print("serve_smoke: ok --", row["placed"], "balls,",
+      round(row["throughput_balls_per_sec"]), "balls/s")
+PY
+rm -f "$PORT_FILE"

@@ -293,4 +293,64 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "nubb_run --caps bogus should fail but exited 0")
 endif()
 
+# --- subcommand surface: run | merge | check-state | list -------------------
+# Same operations as the legacy spellings above; both must keep working.
+execute_process(
+  COMMAND "${NUBB_RUN}" list
+  OUTPUT_VARIABLE sub_list_out
+  ERROR_VARIABLE sub_list_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run list exited with ${rc}\nstderr:\n${sub_list_err}")
+endif()
+if(NOT sub_list_out MATCHES "max-load")
+  message(FATAL_ERROR "nubb_run list does not name max-load:\n${sub_list_out}")
+endif()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" run --caps 50x1,50x4 --reps 200 --seed 7
+  OUTPUT_VARIABLE sub_run_out
+  ERROR_VARIABLE sub_run_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run run exited with ${rc}\nstderr:\n${sub_run_err}")
+endif()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" check-state "${shard0}" --caps 20x1,20x10 --d 2 --reps 50
+          --seed 7 --shard 0/2
+  OUTPUT_VARIABLE sub_check_out
+  ERROR_VARIABLE sub_check_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run check-state exited with ${rc}\nstderr:\n${sub_check_err}")
+endif()
+
+set(sub_merged "${WORK_DIR}/smoke_sub_merged.json")
+execute_process(
+  COMMAND "${NUBB_RUN}" merge "${shard0}" "${shard1}" --json "${sub_merged}"
+  OUTPUT_VARIABLE sub_merge_out
+  ERROR_VARIABLE sub_merge_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run merge exited with ${rc}\nstderr:\n${sub_merge_err}")
+endif()
+file(READ "${sub_merged}" sub_merged_json)
+file(READ "${merged_json}" legacy_merged_json)
+string(REGEX MATCH "\"max_load\":{[^}]*}" sub_merged_max "${sub_merged_json}")
+string(REGEX MATCH "\"max_load\":{[^}]*}" legacy_merged_max "${legacy_merged_json}")
+if(sub_merged_max STREQUAL "" OR NOT sub_merged_max STREQUAL legacy_merged_max)
+  message(FATAL_ERROR "nubb_run merge differs from the legacy --merge result:\n"
+                      "subcommand: ${sub_merged_max}\nlegacy:     ${legacy_merged_max}")
+endif()
+
+execute_process(
+  COMMAND "${NUBB_RUN}" frobnicate
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "nubb_run frobnicate (unknown subcommand) should fail but exited 0")
+endif()
+
 message(STATUS "nubb_run CLI smoke test passed")
