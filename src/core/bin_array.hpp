@@ -25,12 +25,17 @@ struct BinSlot {
 
 namespace detail {
 
-/// FNV-1a 64 over interleaved slots in bin order (numerator bytes, then
-/// capacity bytes, little-endian within each u64) — shared by the state
-/// fingerprints of BinArray and WeightedBinArray, and by anything that
-/// needs to recompute them from a flat snapshot.
-inline std::uint64_t slots_fingerprint(const BinSlot* slots, std::size_t n) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
+/// FNV-1a 64 offset basis — the starting hash of every slot fingerprint.
+inline constexpr std::uint64_t kFingerprintBasis = 0xCBF29CE484222325ULL;
+
+/// Fold `n` interleaved slots into a running FNV-1a 64 hash `h` (numerator
+/// bytes, then capacity bytes, little-endian within each u64). Because
+/// FNV-1a is a plain byte fold, folding consecutive slot ranges in order is
+/// identical to hashing their concatenation — which is what lets a sharded
+/// service compose per-shard sub-arrays into the fingerprint one unsharded
+/// array would report (core/bin_range.hpp).
+inline std::uint64_t slots_fingerprint_fold(std::uint64_t h, const BinSlot* slots,
+                                            std::size_t n) noexcept {
   const auto mix = [&h](std::uint64_t v) {
     for (int byte = 0; byte < 8; ++byte) {
       h ^= (v >> (8 * byte)) & 0xFF;
@@ -42,6 +47,13 @@ inline std::uint64_t slots_fingerprint(const BinSlot* slots, std::size_t n) noex
     mix(slots[i].cap);
   }
   return h;
+}
+
+/// FNV-1a 64 over interleaved slots in bin order — shared by the state
+/// fingerprints of BinArray and WeightedBinArray, and by anything that
+/// needs to recompute them from a flat snapshot.
+inline std::uint64_t slots_fingerprint(const BinSlot* slots, std::size_t n) noexcept {
+  return slots_fingerprint_fold(kFingerprintBasis, slots, n);
 }
 
 }  // namespace detail

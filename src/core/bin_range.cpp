@@ -1,0 +1,64 @@
+#include "core/bin_range.hpp"
+
+#include "util/assert.hpp"
+#include "util/int128.hpp"
+
+namespace nubb {
+
+std::vector<BinRange> partition_bins(const std::vector<std::uint64_t>& capacities,
+                                     std::size_t shards) {
+  const std::size_t n = capacities.size();
+  NUBB_REQUIRE_MSG(n > 0, "cannot partition an empty bin set");
+  NUBB_REQUIRE_MSG(shards >= 1, "need at least one shard");
+  if (shards > n) shards = n;  // every shard must own at least one bin
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : capacities) {
+    NUBB_REQUIRE_MSG(c >= 1, "bin capacities must be positive");
+    total += c;
+  }
+
+  std::vector<BinRange> ranges;
+  ranges.reserve(shards);
+  std::size_t next = 0;
+  std::uint64_t prefix = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t first = next;
+    const std::size_t tail = shards - s - 1;  // shards after this one
+    if (tail == 0) {
+      next = n;
+    } else {
+      // Every shard owns at least one bin; the loop invariant
+      // n - next >= tail + 1 (each earlier shard took >= 1 bin and shards
+      // was clamped to n) makes the forced take safe.
+      prefix += capacities[next];
+      ++next;
+      // Extend while the capacity prefix stays below this shard's share of
+      // the total — cut where (s+1)/S of the capacity falls, taking the
+      // boundary bin only when that lands closer to the target. The u128
+      // product keeps the target exact for totals near 2^64.
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(static_cast<uint128>(s + 1) * total / shards);
+      while (next < n - tail && prefix < target) {
+        const std::uint64_t cap = capacities[next];
+        if (prefix + cap <= target) {
+          prefix += cap;
+          ++next;
+          continue;
+        }
+        // Taking this bin overshoots; take it anyway iff the overshoot is
+        // smaller than the gap stopping short would leave.
+        if (prefix + cap - target < target - prefix) {
+          prefix += cap;
+          ++next;
+        }
+        break;
+      }
+    }
+    ranges.push_back(BinRange{first, next - first});
+  }
+  NUBB_REQUIRE(next == n);
+  return ranges;
+}
+
+}  // namespace nubb

@@ -28,6 +28,11 @@
 #include "core/bin_array.hpp"
 #include "core/weighted.hpp"
 
+// BinRange / partition_bins / BinArrayView — deterministic contiguous bin
+// sub-ranges and non-owning slot views, the state layer under the sharded
+// placement service (fingerprints fold across ranges in order).
+#include "core/bin_range.hpp"
+
 // Load — exact rational loads (balls/capacity) compared without rounding.
 #include "core/load.hpp"
 

@@ -10,16 +10,18 @@ BinSampler BinSampler::uniform(std::size_t n) {
   return BinSampler(n, nullptr);
 }
 
-BinSampler BinSampler::from_weights(const std::vector<double>& weights) {
-  return BinSampler(weights.size(), std::make_shared<const AliasTable>(weights));
+BinSampler BinSampler::from_weights(const std::vector<double>& weights,
+                                    const MemoryConfig& mem) {
+  return BinSampler(weights.size(), std::make_shared<const AliasTable>(weights, mem));
 }
 
 BinSampler BinSampler::from_policy(const SelectionPolicy& policy,
-                                   const std::vector<std::uint64_t>& capacities) {
+                                   const std::vector<std::uint64_t>& capacities,
+                                   const MemoryConfig& mem) {
   if (policy.kind() == SelectionPolicy::Kind::kUniform) {
     return uniform(capacities.size());
   }
-  return from_weights(policy.weights(capacities));
+  return from_weights(policy.weights(capacities), mem);
 }
 
 double BinSampler::probability(std::size_t i) const {

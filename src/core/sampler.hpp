@@ -10,6 +10,7 @@
 
 #include "core/probability.hpp"
 #include "util/alias_table.hpp"
+#include "util/memory.hpp"
 #include "util/rng.hpp"
 
 namespace nubb {
@@ -22,12 +23,15 @@ class BinSampler {
   /// Uniform over n bins (alias-table-free fast path).
   static BinSampler uniform(std::size_t n);
 
-  /// From explicit weights.
-  static BinSampler from_weights(const std::vector<double>& weights);
+  /// From explicit weights. `mem` places the alias table's hot slot arrays
+  /// (see AliasTable); it cannot change what is sampled.
+  static BinSampler from_weights(const std::vector<double>& weights,
+                                 const MemoryConfig& mem = {});
 
-  /// From a policy applied to a capacity vector.
+  /// From a policy applied to a capacity vector. `mem` as in from_weights.
   static BinSampler from_policy(const SelectionPolicy& policy,
-                                const std::vector<std::uint64_t>& capacities);
+                                const std::vector<std::uint64_t>& capacities,
+                                const MemoryConfig& mem = {});
 
   /// Draw one bin index.
   std::size_t sample(Xoshiro256StarStar& rng) const noexcept {

@@ -96,6 +96,15 @@ LookupResponse LookupResponse::decode(WireReader& r) {
   return m;
 }
 
+// The shard-provenance blocks are *optional trailing extensions* within
+// wire v1 (versioning rule 3): a single-shard daemon writes nothing after
+// the PR-8 fields, so old clients and new clients agree byte for byte; a
+// sharded daemon appends the block, which old clients reject loudly (their
+// expect_end sees trailing bytes) instead of mis-parsing. New decoders read
+// the block iff bytes remain, and a block advertising fewer than 2 shards
+// is malformed by construction — zero-padded junk after a valid message
+// still fails, exactly like it did before the extension existed.
+
 void SnapshotResponse::encode(WireWriter& w) const {
   w.u64(total_balls);
   w.u64(total_capacity);
@@ -103,6 +112,15 @@ void SnapshotResponse::encode(WireWriter& w) const {
   w.u64(max_load_cap);
   w.u64(fingerprint);
   w.u64_vec(counts);
+  if (shards.size() >= 2) {
+    w.u32(static_cast<std::uint32_t>(shards.size()));
+    for (const ShardSnapshot& s : shards) {
+      w.u64(s.first_bin);
+      w.u64(s.bins);
+      w.u64(s.balls);
+      w.u64(s.fingerprint);
+    }
+  }
 }
 
 SnapshotResponse SnapshotResponse::decode(WireReader& r) {
@@ -113,6 +131,22 @@ SnapshotResponse SnapshotResponse::decode(WireReader& r) {
   m.max_load_cap = r.u64();
   m.fingerprint = r.u64();
   m.counts = r.u64_vec();
+  if (r.remaining() > 0) {
+    const std::uint32_t shard_count = r.u32();
+    // 32 wire bytes per shard; a count the payload cannot hold is corrupt.
+    if (shard_count < 2 || shard_count > r.remaining() / 32) {
+      throw WireError("protocol: snapshot shard block malformed");
+    }
+    m.shards.reserve(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      ShardSnapshot s;
+      s.first_bin = r.u64();
+      s.bins = r.u64();
+      s.balls = r.u64();
+      s.fingerprint = r.u64();
+      m.shards.push_back(s);
+    }
+  }
   return m;
 }
 
@@ -151,6 +185,15 @@ void StatsResponse::encode(WireWriter& w) const {
   w.u64_vec(place_latency_us.counts);
   w.u64(place_latency_us.underflow);
   w.u64(place_latency_us.overflow);
+  if (shards.size() >= 2) {
+    w.u32(static_cast<std::uint32_t>(shards.size()));
+    w.u32(session_threads);
+    for (const ShardStat& s : shards) {
+      w.u64(s.first_bin);
+      w.u64(s.bins);
+      w.u64(s.balls_placed);
+    }
+  }
 }
 
 StatsResponse StatsResponse::decode(WireReader& r) {
@@ -176,6 +219,24 @@ StatsResponse StatsResponse::decode(WireReader& r) {
   m.place_latency_us.counts = r.u64_vec();
   m.place_latency_us.underflow = r.u64();
   m.place_latency_us.overflow = r.u64();
+  if (r.remaining() > 0) {
+    const std::uint32_t shard_count = r.u32();
+    // session_threads (4 bytes) then 24 wire bytes per shard.
+    if (shard_count < 2 || r.remaining() < 4 ||
+        shard_count > (r.remaining() - 4) / 24) {
+      throw WireError("protocol: stats shard block malformed");
+    }
+    m.service_shards = shard_count;
+    m.session_threads = r.u32();
+    m.shards.reserve(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      ShardStat s;
+      s.first_bin = r.u64();
+      s.bins = r.u64();
+      s.balls_placed = r.u64();
+      m.shards.push_back(s);
+    }
+  }
   return m;
 }
 

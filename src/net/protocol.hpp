@@ -136,6 +136,16 @@ struct LookupResponse {
   bool operator==(const LookupResponse&) const = default;
 };
 
+/// Per-shard provenance inside a SnapshotResponse (sharded daemons only).
+struct ShardSnapshot {
+  std::uint64_t first_bin = 0;    ///< first global bin index of the range
+  std::uint64_t bins = 0;         ///< bins in the range
+  std::uint64_t balls = 0;        ///< numerator total committed to the range
+  std::uint64_t fingerprint = 0;  ///< FNV-1a of the range's slots alone
+
+  bool operator==(const ShardSnapshot&) const = default;
+};
+
 struct SnapshotResponse {
   static constexpr MessageType kType = MessageType::kSnapshotResponse;
   std::uint64_t total_balls = 0;
@@ -144,6 +154,16 @@ struct SnapshotResponse {
   std::uint64_t max_load_cap = 1;
   std::uint64_t fingerprint = 0;       ///< BinArray::fingerprint() of the state
   std::vector<std::uint64_t> counts;   ///< per-bin ball counts, bin order
+
+  /// Shard provenance, in bin-range order. Present only when the daemon
+  /// runs 2+ placement shards — a single-shard daemon emits the exact PR-8
+  /// byte layout, which is what keeps old clients parsing (versioning rule
+  /// 3: additive evolution within a version via an optional trailing
+  /// block). Each shard fingerprint is the standalone FNV-1a of its own
+  /// slot range (verifiable against `counts`); byte-folding the ranges in
+  /// order — BinArrayView::fingerprint_fold — reproduces the top-level
+  /// `fingerprint`.
+  std::vector<ShardSnapshot> shards;
 
   void encode(WireWriter& w) const;
   static SnapshotResponse decode(WireReader& r);
@@ -179,13 +199,32 @@ struct WireHistogram {
   bool operator==(const WireHistogram&) const = default;
 };
 
+/// Per-shard provenance inside a StatsResponse (sharded daemons only).
+struct ShardStat {
+  std::uint64_t first_bin = 0;      ///< first global bin index of the range
+  std::uint64_t bins = 0;           ///< bins in the range
+  std::uint64_t balls_placed = 0;   ///< balls committed through this shard
+
+  bool operator==(const ShardStat&) const = default;
+};
+
 struct StatsResponse {
   static constexpr MessageType kType = MessageType::kStatsResponse;
   std::uint64_t uptime_ns = 0;
   std::uint64_t sessions = 0;       ///< sessions served (incl. live ones)
-  std::uint64_t balls_placed = 0;   ///< unit balls committed so far
+  std::uint64_t balls_placed = 0;   ///< balls committed so far (all shards)
   std::vector<OpStat> ops;          ///< one entry per op type seen
   WireHistogram place_latency_us;   ///< Place/BatchPlace service time, µs
+                                    ///< (fold of the per-shard histograms)
+
+  /// Shard provenance, present only when the daemon runs 2+ placement
+  /// shards (same optional-trailing-block rule as SnapshotResponse::shards;
+  /// a single-shard daemon emits the exact PR-8 layout).
+  /// `session_threads` is the daemon's session pool size — nubb_load uses
+  /// it to default the per-core divisor honestly once the server shards.
+  std::uint32_t service_shards = 1;
+  std::uint32_t session_threads = 0;
+  std::vector<ShardStat> shards;
 
   void encode(WireWriter& w) const;
   static StatsResponse decode(WireReader& r);

@@ -1,7 +1,14 @@
 #include "net/service.hpp"
 
+#include <condition_variable>
 #include <string>
 #include <utility>
+
+#include "core/bin_array.hpp"
+#include "core/placement_kernel.hpp"
+#include "core/sampler.hpp"
+#include "core/weighted.hpp"
+#include "util/rng.hpp"
 
 namespace nubb {
 
@@ -26,9 +33,9 @@ std::uint64_t resolve_max_balls(const ServiceConfig& cfg) {
   return total;
 }
 
-GameConfig service_game_config(const ServiceConfig& cfg, std::uint64_t max_balls) {
+GameConfig shard_game_config(const ServiceConfig& cfg, std::uint64_t planned) {
   GameConfig game = cfg.game;
-  game.balls = max_balls;  // the kernel's planned horizon, not a run length
+  game.balls = planned;  // the kernel's planned horizon, not a run length
   game.batch = 1;
   return game;
 }
@@ -42,49 +49,151 @@ Overloaded(Fs...) -> Overloaded<Fs...>;
 
 }  // namespace
 
-PlacementService::PlacementService(const ServiceConfig& cfg)
-    : bins_(cfg.capacities, cfg.game.memory),
-      sampler_(BinSampler::from_policy(cfg.policy, cfg.capacities)),
-      kernel_(bins_, sampler_, service_game_config(cfg, resolve_max_balls(cfg)),
-              resolve_max_balls(cfg)),
-      rng_(cfg.seed),
-      max_balls_(resolve_max_balls(cfg)),
-      place_latency_us_(kLatencyLoUs, kLatencyHiUs, kLatencyBins),
-      started_(std::chrono::steady_clock::now()) {}
+/// One placement shard: a contiguous capacity-balanced bin range owned as a
+/// private sub-array with its own sampler, kernel, RNG stream and locks.
+/// The weighted array and the kernel's weighted form serve unit balls
+/// bit-identically to the unweighted pair (amount = 1 walks the same fused
+/// path), which is what lets one state type cover both the PR-8 wire
+/// contract and --max-weight daemons.
+struct PlacementService::Shard {
+  const std::size_t index;      ///< shard number in [0, S)
+  const std::size_t first_bin;  ///< first global bin index of the range
 
-std::uint64_t PlacementService::reserve_balls_locked(std::uint64_t count) {
-  const std::uint64_t placed = kernel_.placed_balls();
-  if (count > max_balls_ - placed) {
-    throw ServeError("placement horizon exhausted: " + std::to_string(placed) + " of " +
-                     std::to_string(max_balls_) +
-                     " balls placed, request adds " + std::to_string(count));
+  WeightedBinArray bins;   ///< this shard's sub-array (local indices)
+  BinSampler sampler;      ///< policy over the shard's own capacities
+  PlacementKernel kernel;  ///< fused placement over bins/sampler
+  Xoshiro256StarStar rng;  ///< stream `seed + index`
+
+  // State lock: guards bins/kernel/rng/next_ticket. Ticketed requests for
+  // this shard (tickets ≡ index mod S) wait on ticket_cv in ticket order.
+  mutable std::mutex mu;
+  std::condition_variable ticket_cv;
+  std::uint64_t next_ticket;
+
+  // Telemetry for this shard's Place/BatchPlace traffic, recorded outside
+  // the state lock so the histogram update never extends a commit's
+  // critical section.
+  mutable std::mutex stats_mu;
+  Histogram latency_us{kLatencyLoUs, kLatencyHiUs, kLatencyBins};
+  std::uint64_t place_count = 0;
+  std::uint64_t place_ns = 0;
+  std::uint64_t batch_count = 0;
+  std::uint64_t batch_ns = 0;
+
+  Shard(std::size_t idx, const BinRange& range, const std::vector<std::uint64_t>& caps,
+        const ServiceConfig& cfg, std::uint64_t planned, std::uint64_t max_w)
+      : index(idx),
+        first_bin(range.first),
+        bins(caps, cfg.game.memory),
+        sampler(BinSampler::from_policy(cfg.policy, caps, cfg.game.memory)),
+        kernel(bins, sampler, shard_game_config(cfg, planned), planned, max_w),
+        rng(cfg.seed + idx),
+        next_ticket(idx) {}
+};
+
+PlacementService::PlacementService(const ServiceConfig& cfg)
+    : total_bins_(cfg.capacities.size()),
+      max_balls_(resolve_max_balls(cfg)),
+      max_weight_(cfg.max_weight == 0 ? 1 : cfg.max_weight),
+      started_(std::chrono::steady_clock::now()),
+      session_threads_(cfg.session_threads) {
+  const std::size_t want = cfg.service_shards == 0 ? 1 : cfg.service_shards;
+  const std::vector<BinRange> ranges = partition_bins(cfg.capacities, want);
+  shards_.reserve(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    const std::vector<std::uint64_t> caps(
+        cfg.capacities.begin() + static_cast<std::ptrdiff_t>(ranges[s].first),
+        cfg.capacities.begin() + static_cast<std::ptrdiff_t>(ranges[s].end()));
+    // Every shard's kernel is sized for the full horizon (round-robin
+    // routing cannot promise a shard less than everything), so the
+    // comparison-width choice is safe under any routing skew.
+    shards_.push_back(
+        std::make_unique<Shard>(s, ranges[s], caps, cfg, max_balls_, max_weight_));
   }
-  return placed;
 }
 
-void PlacementService::wait_for_ticket_locked(std::unique_lock<std::mutex>& lock,
+PlacementService::~PlacementService() = default;
+
+PlacementService::Shard& PlacementService::shard_for_request(std::uint64_t ticket) {
+  const std::size_t s = ticket == kNoTicket
+                            ? static_cast<std::size_t>(
+                                  arrivals_.fetch_add(1, std::memory_order_relaxed) %
+                                  shards_.size())
+                            : static_cast<std::size_t>(ticket % shards_.size());
+  return *shards_[s];
+}
+
+const PlacementService::Shard& PlacementService::shard_for_bin(std::uint64_t bin) const {
+  // The ranges tile [0, n) in order; scan for the owner (S is small).
+  for (std::size_t s = shards_.size(); s-- > 1;) {
+    if (bin >= shards_[s]->first_bin) return *shards_[s];
+  }
+  return *shards_[0];
+}
+
+void PlacementService::check_weight(std::uint64_t weight) const {
+  if (weight == 1) return;
+  if (max_weight_ == 1) {
+    // The PR-8 contract: unit balls only unless the daemon opted in.
+    throw ServeError("weighted placements are disabled (daemon max weight is 1; "
+                     "restart with --max-weight to serve weighted balls)");
+  }
+  if (weight == 0 || weight > max_weight_) {
+    throw ServeError("ball weight " + std::to_string(weight) + " outside [1, " +
+                     std::to_string(max_weight_) + "]");
+  }
+}
+
+std::uint64_t PlacementService::reserve_balls(std::uint64_t count) {
+  std::uint64_t reserved = reserved_balls_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (count > max_balls_ - reserved) {
+      throw ServeError("placement horizon exhausted: " + std::to_string(reserved) +
+                       " of " + std::to_string(max_balls_) +
+                       " balls placed, request adds " + std::to_string(count));
+    }
+    if (reserved_balls_.compare_exchange_weak(reserved, reserved + count,
+                                              std::memory_order_relaxed)) {
+      return reserved;
+    }
+  }
+}
+
+void PlacementService::wait_for_ticket_locked(Shard& sh,
+                                              std::unique_lock<std::mutex>& lock,
                                               std::uint64_t ticket) {
   if (ticket == kNoTicket) return;
-  if (ticket < next_ticket_) {
+  if (ticket < sh.next_ticket) {
     throw ServeError("ticket " + std::to_string(ticket) + " already served (next is " +
-                     std::to_string(next_ticket_) + ")");
+                     std::to_string(sh.next_ticket) + ")");
   }
-  if (!ticket_cv_.wait_for(lock, kTicketTimeout,
-                           [&] { return next_ticket_ == ticket; })) {
+  if (!sh.ticket_cv.wait_for(lock, kTicketTimeout,
+                             [&] { return sh.next_ticket == ticket; })) {
     throw ServeError("ticket " + std::to_string(ticket) +
                      " timed out waiting for its turn (next is " +
-                     std::to_string(next_ticket_) + ")");
+                     std::to_string(sh.next_ticket) + ")");
   }
 }
 
-void PlacementService::finish_ticket_locked(std::uint64_t ticket) {
+void PlacementService::finish_ticket_locked(Shard& sh, std::uint64_t ticket) {
   if (ticket == kNoTicket) return;
-  ++next_ticket_;
-  ticket_cv_.notify_all();
+  // This shard serves the tickets congruent to its index mod S, in order.
+  sh.next_ticket += shards_.size();
+  sh.ticket_cv.notify_all();
 }
 
-void PlacementService::record_op(MessageType op, std::chrono::nanoseconds elapsed,
-                                 bool is_place) const {
+void PlacementService::fold_summary_locked(const Shard& sh) {
+  // Caller holds sh.mu (lock order: shard, then summary). Strictly
+  // increasing updates only, mirroring BinArray's online maximum.
+  const Load shard_max = sh.bins.max_load();
+  std::lock_guard<std::mutex> lock(summary_mu_);
+  if (summary_max_ < shard_max) {
+    summary_max_ = shard_max;
+    summary_argmax_ = sh.first_bin + sh.bins.argmax_bin();
+  }
+}
+
+void PlacementService::record_op(MessageType op, std::chrono::nanoseconds elapsed) const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   const std::uint16_t key = static_cast<std::uint16_t>(op);
   OpStat* entry = nullptr;
@@ -100,85 +209,109 @@ void PlacementService::record_op(MessageType op, std::chrono::nanoseconds elapse
   }
   ++entry->count;
   entry->total_ns += static_cast<std::uint64_t>(elapsed.count());
-  if (is_place) {
-    place_latency_us_.add(static_cast<double>(elapsed.count()) / 1000.0);
+}
+
+void PlacementService::record_place(Shard& sh, bool is_batch,
+                                    std::chrono::nanoseconds elapsed) {
+  const std::uint64_t ns = static_cast<std::uint64_t>(elapsed.count());
+  std::lock_guard<std::mutex> lock(sh.stats_mu);
+  if (is_batch) {
+    ++sh.batch_count;
+    sh.batch_ns += ns;
+  } else {
+    ++sh.place_count;
+    sh.place_ns += ns;
   }
+  sh.latency_us.add(static_cast<double>(ns) / 1000.0);
 }
 
 PlaceResponse PlacementService::place(const PlaceRequest& req) {
   const auto t0 = std::chrono::steady_clock::now();
+  check_weight(req.weight);  // rejected before routing: consumes no ticket
+  Shard& sh = shard_for_request(req.ticket);
   PlaceResponse resp;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (req.weight != 1) {
-      throw ServeError("weighted placements are reserved in wire v1 (weight must be 1)");
-    }
-    wait_for_ticket_locked(lock, req.ticket);
+    std::unique_lock<std::mutex> lock(sh.mu);
+    wait_for_ticket_locked(sh, lock, req.ticket);
     try {
-      reserve_balls_locked(1);
-      const std::size_t dest = kernel_.place_one(rng_);
-      resp.bin = dest;
-      resp.balls = bins_.balls(dest);
-      resp.capacity = bins_.capacity(dest);
+      reserve_balls(1);
+      // amount = 1 walks the identical fused path as the unit place_one.
+      const std::size_t dest = sh.kernel.place_one_amount(req.weight, sh.rng);
+      resp.bin = sh.first_bin + dest;
+      resp.balls = sh.bins.weight(dest);
+      resp.capacity = sh.bins.capacity(dest);
+      committed_weight_.fetch_add(req.weight, std::memory_order_relaxed);
+      fold_summary_locked(sh);
     } catch (...) {
       // A failed ticketed request still consumes its ticket: the replayed
       // log must keep advancing for the other sessions.
-      finish_ticket_locked(req.ticket);
+      finish_ticket_locked(sh, req.ticket);
       throw;
     }
-    finish_ticket_locked(req.ticket);
+    finish_ticket_locked(sh, req.ticket);
   }
-  record_op(MessageType::kPlaceRequest, std::chrono::steady_clock::now() - t0,
-            /*is_place=*/true);
+  record_place(sh, /*is_batch=*/false, std::chrono::steady_clock::now() - t0);
   return resp;
 }
 
 BatchPlaceResponse PlacementService::batch_place(const BatchPlaceRequest& req) {
   const auto t0 = std::chrono::steady_clock::now();
+  check_weight(req.weight);
+  Shard& sh = shard_for_request(req.ticket);
   BatchPlaceResponse resp;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (req.weight != 1) {
-      throw ServeError("weighted placements are reserved in wire v1 (weight must be 1)");
-    }
-    wait_for_ticket_locked(lock, req.ticket);
+    std::unique_lock<std::mutex> lock(sh.mu);
+    wait_for_ticket_locked(sh, lock, req.ticket);
     try {
-      reserve_balls_locked(req.count);
+      reserve_balls(req.count);
       // One fused kernel run under one lock acquisition — the batch
       // amortization. Under stream v1 this consumes draws exactly like
       // `count` single places, so request batching never moves a ball.
-      kernel_.run(req.count, rng_);
+      // A constant ball-size model draws nothing, so the weighted run is
+      // the same draw sequence with a different committed amount.
+      if (req.weight == 1) {
+        sh.kernel.run(req.count, sh.rng);
+      } else {
+        sh.kernel.run_weighted(req.count, BallSizeModel::constant(req.weight), sh.rng);
+      }
       resp.placed = req.count;
-      resp.total_balls = bins_.total_balls();
-      resp.max_load_num = bins_.max_load().balls;
-      resp.max_load_cap = bins_.max_load().capacity;
-      resp.argmax_bin = bins_.argmax_bin();
+      resp.total_balls =
+          committed_weight_.fetch_add(req.count * req.weight,
+                                      std::memory_order_relaxed) +
+          req.count * req.weight;
+      fold_summary_locked(sh);
+      {
+        std::lock_guard<std::mutex> summary(summary_mu_);
+        resp.max_load_num = summary_max_.balls;
+        resp.max_load_cap = summary_max_.capacity;
+        resp.argmax_bin = summary_argmax_;
+      }
     } catch (...) {
-      finish_ticket_locked(req.ticket);
+      finish_ticket_locked(sh, req.ticket);
       throw;
     }
-    finish_ticket_locked(req.ticket);
+    finish_ticket_locked(sh, req.ticket);
   }
-  record_op(MessageType::kBatchPlaceRequest, std::chrono::steady_clock::now() - t0,
-            /*is_place=*/true);
+  record_place(sh, /*is_batch=*/true, std::chrono::steady_clock::now() - t0);
   return resp;
 }
 
 LookupResponse PlacementService::lookup(const LookupRequest& req) const {
   const auto t0 = std::chrono::steady_clock::now();
   LookupResponse resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (req.bin >= bins_.size()) {
-      throw ServeError("lookup: bin " + std::to_string(req.bin) + " out of range (n = " +
-                       std::to_string(bins_.size()) + ")");
-    }
-    resp.bin = req.bin;
-    resp.balls = bins_.balls(static_cast<std::size_t>(req.bin));
-    resp.capacity = bins_.capacity(static_cast<std::size_t>(req.bin));
+  if (req.bin >= total_bins_) {
+    throw ServeError("lookup: bin " + std::to_string(req.bin) + " out of range (n = " +
+                     std::to_string(total_bins_) + ")");
   }
-  record_op(MessageType::kLookupRequest, std::chrono::steady_clock::now() - t0,
-            /*is_place=*/false);
+  const Shard& sh = shard_for_bin(req.bin);
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const std::size_t local = static_cast<std::size_t>(req.bin) - sh.first_bin;
+    resp.bin = req.bin;
+    resp.balls = sh.bins.weight(local);
+    resp.capacity = sh.bins.capacity(local);
+  }
+  record_op(MessageType::kLookupRequest, std::chrono::steady_clock::now() - t0);
   return resp;
 }
 
@@ -186,59 +319,126 @@ SnapshotResponse PlacementService::snapshot() const {
   const auto t0 = std::chrono::steady_clock::now();
   SnapshotResponse resp;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    resp.total_balls = bins_.total_balls();
-    resp.total_capacity = bins_.total_capacity();
-    resp.max_load_num = bins_.max_load().balls;
-    resp.max_load_cap = bins_.max_load().capacity;
-    resp.fingerprint = bins_.fingerprint();
-    resp.counts = bins_.ball_counts();
+    // Lock every shard in index order for one coherent cut across the
+    // whole bin set (the only operation that needs all shards at once).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+
+    resp.counts.reserve(total_bins_);
+    Load best{0, 1};
+    std::uint64_t fold = detail::kFingerprintBasis;
+    for (const auto& sh : shards_) {
+      resp.total_balls += sh->bins.total_weight();
+      resp.total_capacity += sh->bins.total_capacity();
+      if (best < sh->bins.max_load()) best = sh->bins.max_load();
+      const BinArrayView view(sh->bins.slot_data(), sh->bins.size());
+      fold = view.fingerprint_fold(fold);
+      const std::vector<std::uint64_t> counts = sh->bins.weights();
+      resp.counts.insert(resp.counts.end(), counts.begin(), counts.end());
+    }
+    resp.max_load_num = best.balls;
+    resp.max_load_cap = best.capacity;
+    resp.fingerprint = fold;  // == the single-array fingerprint at S = 1
+
+    if (shards_.size() >= 2) {
+      resp.shards.reserve(shards_.size());
+      for (const auto& sh : shards_) {
+        ShardSnapshot s;
+        s.first_bin = sh->first_bin;
+        s.bins = sh->bins.size();
+        s.balls = sh->bins.total_weight();
+        s.fingerprint = sh->bins.fingerprint();
+        resp.shards.push_back(s);
+      }
+    }
   }
-  record_op(MessageType::kSnapshotRequest, std::chrono::steady_clock::now() - t0,
-            /*is_place=*/false);
+  record_op(MessageType::kSnapshotRequest, std::chrono::steady_clock::now() - t0);
   return resp;
 }
 
 StatsResponse PlacementService::stats() const {
   StatsResponse resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    resp.balls_placed = kernel_.placed_balls();
+
+  // Per-shard placement state and telemetry, one shard lock at a time.
+  std::vector<std::uint64_t> shard_placed(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    shard_placed[s] = shards_[s]->kernel.placed_balls();
+    resp.balls_placed += shard_placed[s];
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  resp.uptime_ns = static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                                  std::chrono::steady_clock::now() - started_)
-                                                  .count());
-  resp.sessions = sessions_;
-  resp.ops = ops_;
+  Histogram latency(kLatencyLoUs, kLatencyHiUs, kLatencyBins);
+  std::uint64_t place_count = 0, place_ns = 0, batch_count = 0, batch_ns = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->stats_mu);
+    latency.merge(sh->latency_us);
+    place_count += sh->place_count;
+    place_ns += sh->place_ns;
+    batch_count += sh->batch_count;
+    batch_ns += sh->batch_ns;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    resp.uptime_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+    resp.sessions = sessions_;
+    resp.ops = ops_;
+  }
+  if (place_count != 0) {
+    resp.ops.push_back(
+        OpStat{static_cast<std::uint16_t>(MessageType::kPlaceRequest), place_count,
+               place_ns});
+  }
+  if (batch_count != 0) {
+    resp.ops.push_back(
+        OpStat{static_cast<std::uint16_t>(MessageType::kBatchPlaceRequest), batch_count,
+               batch_ns});
+  }
+
   resp.place_latency_us.lo = kLatencyLoUs;
   resp.place_latency_us.hi = kLatencyHiUs;
-  resp.place_latency_us.counts.resize(place_latency_us_.bins());
-  for (std::size_t i = 0; i < place_latency_us_.bins(); ++i) {
-    resp.place_latency_us.counts[i] = place_latency_us_.count(i);
+  resp.place_latency_us.counts.resize(latency.bins());
+  for (std::size_t i = 0; i < latency.bins(); ++i) {
+    resp.place_latency_us.counts[i] = latency.count(i);
   }
-  resp.place_latency_us.underflow = place_latency_us_.underflow();
-  resp.place_latency_us.overflow = place_latency_us_.overflow();
+  resp.place_latency_us.underflow = latency.underflow();
+  resp.place_latency_us.overflow = latency.overflow();
+
+  resp.service_shards = static_cast<std::uint32_t>(shards_.size());
+  if (shards_.size() >= 2) {
+    resp.session_threads = session_threads_;
+    resp.shards.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ShardStat stat;
+      stat.first_bin = shards_[s]->first_bin;
+      stat.bins = shards_[s]->bins.size();
+      stat.balls_placed = shard_placed[s];
+      resp.shards.push_back(stat);
+    }
+  }
   return resp;
 }
 
 ShutdownResponse PlacementService::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  record_op(MessageType::kShutdownRequest, std::chrono::nanoseconds{0}, /*is_place=*/false);
+  shutdown_.store(true, std::memory_order_release);
+  record_op(MessageType::kShutdownRequest, std::chrono::nanoseconds{0});
   return ShutdownResponse{};
 }
 
 bool PlacementService::shutdown_requested() const noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
-  return shutdown_;
+  return shutdown_.load(std::memory_order_acquire);
 }
 
 std::uint64_t PlacementService::balls_placed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return kernel_.placed_balls();
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->kernel.placed_balls();
+  }
+  return total;
 }
 
 SessionResult PlacementService::serve(Channel& channel) {

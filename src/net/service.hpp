@@ -4,37 +4,48 @@
 /// The placement service: live bin state behind the placement kernel,
 /// answering the wire API of net/protocol.hpp.
 ///
-/// One `PlacementService` holds one game's state — a `BinArray`, the
-/// `BinSampler` built from the configured policy, a `PlacementKernel`
+/// One `PlacementService` holds one game's state, split into S *placement
+/// shards*. The bin set is partitioned into S contiguous, capacity-balanced
+/// ranges (`partition_bins` in core/bin_range.hpp); each shard owns its
+/// range as a `WeightedBinArray` sub-array, the `BinSampler` built from the
+/// configured policy over its own capacities, a `PlacementKernel`
 /// specialised at construction (stream, tie-break, memory config all
-/// honored), and the single RNG whose draw order defines the served
-/// sequence. Sessions from any number of channels funnel into it; a
-/// coarse state lock serialises commits (BatchPlace amortises it over
-/// `count` balls), which is exactly what makes the served process
-/// well-defined: the state seen by request k + 1 is the state left by
-/// request k, as in the offline sequential game.
+/// honored), an independently seeded RNG stream (`seed + shard`), and its
+/// own state lock. Sessions from any number of channels funnel into the
+/// shard table; requests touching different shards commit concurrently
+/// instead of serialising on one coarse lock.
 ///
-/// Determinism: placements draw from one RNG in commit order, so a served
-/// request log and an offline `play_game` replay of the same ball
-/// sequence produce bit-identical state (stream v1: any request split;
-/// stream v2: splits at the kernel's block boundaries — see
-/// docs/serving.md). Ticketed requests let N concurrent clients replay a
-/// fixed global order; see net/protocol.hpp.
+/// Composition rule (docs/serving.md "Sharded state"): arriving balls are
+/// routed round robin — request k goes to shard k mod S, where k is the
+/// request's ticket when it carries one and a global arrival counter
+/// otherwise. Within a shard the per-shard lock serialises commits, so the
+/// shard's process is the well-defined sequential game over its own range:
+/// the state seen by its request j + 1 is the state left by its request j.
+///
+/// Determinism: each shard draws from its own RNG in its own commit order,
+/// so for a fixed S a ticketed request log reproduces bit-identical state
+/// no matter how many sessions replay it or how they interleave (shard s
+/// serves tickets s, s + S, s + 2S, ... in order; different shards are
+/// independent). With S = 1 the service is exactly the pre-shard coarse-lock
+/// service: one bin array, one RNG seeded with `seed`, tickets globally
+/// ordered — byte-identical responses, fingerprints and wire layout. With
+/// S >= 2 the served process differs from the offline single-array game (by
+/// design — candidates are drawn within the routed shard) but is itself
+/// reproducible and test-locked. Stream v1 permits any request split;
+/// stream v2 splits at the kernel's block boundaries — see docs/serving.md.
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
-#include "core/bin_array.hpp"
+#include "core/bin_range.hpp"
 #include "core/game.hpp"
-#include "core/placement_kernel.hpp"
 #include "core/probability.hpp"
-#include "core/sampler.hpp"
 #include "net/protocol.hpp"
 #include "util/histogram.hpp"
-#include "util/rng.hpp"
 
 namespace nubb {
 
@@ -44,10 +55,21 @@ struct ServiceConfig {
   SelectionPolicy policy = SelectionPolicy::proportional_to_capacity();
   GameConfig game;          ///< choices / tie-break / stream / memory; balls
                             ///< and batch are ignored (the clients decide)
-  std::uint64_t seed = 1;   ///< seed of the single serving RNG
+  std::uint64_t seed = 1;   ///< base RNG seed; shard s draws from seed + s
   std::uint64_t max_balls = 0;  ///< placement horizon; 0 = total capacity.
                                 ///< Bounds the kernel's comparison width;
                                 ///< requests beyond it are refused.
+  std::size_t service_shards = 1;  ///< placement shards S (clamped to the
+                                   ///< bin count; 0 means 1). S = 1
+                                   ///< reproduces the coarse-lock service
+                                   ///< bit for bit.
+  std::uint64_t max_weight = 1;    ///< largest ball weight accepted on the
+                                   ///< wire; 1 keeps the unit-ball contract
+                                   ///< (the PR-8 wire v1 behaviour). Also
+                                   ///< bounds the kernels' comparison width.
+  std::uint32_t session_threads = 0;  ///< daemon session pool size, echoed
+                                      ///< in Stats for load clients (0 =
+                                      ///< unknown / not a daemon)
 };
 
 /// Outcome of one session loop (serve()).
@@ -59,10 +81,14 @@ struct SessionResult {
 class PlacementService {
  public:
   explicit PlacementService(const ServiceConfig& cfg);
+  ~PlacementService();
 
-  // Typed handlers, one per wire op. Thread-safe; each takes the state
-  // lock at most once. Semantic rejections throw ServeError (sessions
-  // turn it into an ErrorResponse and keep the connection alive).
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  // Typed handlers, one per wire op. Thread-safe; placements take exactly
+  // one shard lock. Semantic rejections throw ServeError (sessions turn it
+  // into an ErrorResponse and keep the connection alive).
   PlaceResponse place(const PlaceRequest& req);
   BatchPlaceResponse batch_place(const BatchPlaceRequest& req);
   LookupResponse lookup(const LookupRequest& req) const;
@@ -79,35 +105,68 @@ class PlacementService {
   /// Set once a Shutdown request was served; the accept loop polls it.
   bool shutdown_requested() const noexcept;
 
-  /// Balls committed so far (telemetry; also in Stats).
+  /// Balls committed so far across all shards (telemetry; also in Stats).
   std::uint64_t balls_placed() const;
 
-  std::size_t bins() const noexcept { return bins_.size(); }
+  std::size_t bins() const noexcept { return total_bins_; }
   std::uint64_t max_balls() const noexcept { return max_balls_; }
 
+  /// Placement shards actually running (after clamping to the bin count).
+  std::size_t service_shards() const noexcept { return shards_.size(); }
+
+  /// Largest ball weight the wire accepts (>= 1).
+  std::uint64_t max_weight() const noexcept { return max_weight_; }
+
  private:
-  std::uint64_t reserve_balls_locked(std::uint64_t count);
-  void wait_for_ticket_locked(std::unique_lock<std::mutex>& lock, std::uint64_t ticket);
-  void finish_ticket_locked(std::uint64_t ticket);
-  void record_op(MessageType op, std::chrono::nanoseconds elapsed, bool is_place) const;
+  struct Shard;  // defined in service.cpp: sub-array + kernel + RNG + locks
 
-  mutable std::mutex mu_;  // guards everything below it
-  BinArray bins_;
-  BinSampler sampler_;
-  PlacementKernel kernel_;
-  Xoshiro256StarStar rng_;
+  Shard& shard_for_request(std::uint64_t ticket);
+  const Shard& shard_for_bin(std::uint64_t bin) const;
+  void check_weight(std::uint64_t weight) const;
+  std::uint64_t reserve_balls(std::uint64_t count);
+  void wait_for_ticket_locked(Shard& sh, std::unique_lock<std::mutex>& lock,
+                              std::uint64_t ticket);
+  void finish_ticket_locked(Shard& sh, std::uint64_t ticket);
+  void fold_summary_locked(const Shard& sh);
+  void record_op(MessageType op, std::chrono::nanoseconds elapsed) const;
+  void record_place(Shard& sh, bool is_batch, std::chrono::nanoseconds elapsed);
+
+  // The shard table is immutable after construction (the unique_ptrs pin
+  // shard addresses; Shard itself holds mutexes). Routing and lookups read
+  // it lock-free.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t total_bins_ = 0;
   std::uint64_t max_balls_ = 0;
-  std::uint64_t next_ticket_ = 0;  ///< the ticket allowed to commit next
-  std::condition_variable ticket_cv_;
-  bool shutdown_ = false;
+  std::uint64_t max_weight_ = 1;
 
-  // Telemetry behind its own lock (mutable: const state queries record
-  // their own op counters too — Stats promises one entry per op seen).
+  // Global counters shared by all shards. `reserved_balls_` is the horizon
+  // reservation: a placement reserves its ball count here (CAS) before
+  // committing, so the horizon check never needs more than one shard lock.
+  // Commits cannot fail after a successful reservation, so the counter
+  // equals the committed ball count whenever no placement is in flight.
+  std::atomic<std::uint64_t> arrivals_{0};        ///< unticketed round-robin
+  std::atomic<std::uint64_t> reserved_balls_{0};
+  std::atomic<std::uint64_t> committed_weight_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Running global maximum load, folded from the shard maxima after every
+  // commit (lock order: shard lock, then summary_mu_). Mirrors BinArray's
+  // online maximum: strictly increasing updates only, argmax is the most
+  // recent bin to raise it — at S = 1 it tracks the single shard's own
+  // running maximum exactly.
+  mutable std::mutex summary_mu_;
+  Load summary_max_{0, 1};
+  std::uint64_t summary_argmax_ = 0;
+
+  // Session/op telemetry behind its own lock (mutable: const state queries
+  // record their own op counters too — Stats promises one entry per op
+  // seen). Place/BatchPlace latency lives on the shards and is folded by
+  // stats().
   mutable std::mutex stats_mu_;
   mutable std::vector<OpStat> ops_;
-  mutable Histogram place_latency_us_;
   std::uint64_t sessions_ = 0;
   std::chrono::steady_clock::time_point started_;
+  std::uint32_t session_threads_ = 0;
 };
 
 }  // namespace nubb

@@ -7,7 +7,7 @@
 
 namespace nubb {
 
-AliasTable::AliasTable(const std::vector<double>& weights) {
+AliasTable::AliasTable(const std::vector<double>& weights, const MemoryConfig& mem) {
   const std::size_t n = weights.size();
   NUBB_REQUIRE_MSG(n > 0, "alias table needs at least one outcome");
   NUBB_REQUIRE_MSG(n <= std::numeric_limits<std::uint32_t>::max(),
@@ -29,7 +29,9 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   for (std::size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * static_cast<double>(n);
 
   prob_.assign(n, 1.0);
-  alias_.resize(n);
+  // The hot slot arrays start uninitialised (AlignedBuffer's owner-writes
+  // contract); the identity fill below is the first touch.
+  alias_ = AlignedBuffer<std::uint32_t>(n, mem);
   for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
 
   std::vector<std::uint32_t> small;
@@ -61,7 +63,7 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   // p * 2^53 is exact (exponent shift), so k < ceil(p * 2^53) decides
   // identically for non-integral p * 2^53 and k < p * 2^53 for integral —
   // both covered by comparing against ceil.
-  threshold_.resize(n);
+  threshold_ = AlignedBuffer<std::uint64_t>(n, mem);
   for (std::size_t i = 0; i < n; ++i) {
     threshold_[i] = static_cast<std::uint64_t>(std::ceil(prob_[i] * 0x1.0p53));
   }

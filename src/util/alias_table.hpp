@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/memory.hpp"
 #include "util/rng.hpp"
 
 namespace nubb {
@@ -19,9 +20,14 @@ namespace nubb {
 /// Immutable alias table over outcomes {0, ..., n-1}.
 class AliasTable {
  public:
-  /// Build from non-negative weights (not necessarily normalised).
+  /// Build from non-negative weights (not necessarily normalised). The hot
+  /// slot arrays (`threshold_data`/`alias_data`, the ones the placement
+  /// kernel's draw loop probes at random) are placed on AlignedBuffer
+  /// storage honoring `mem` — cache-line aligned always, huge-page-advised
+  /// when the MemoryConfig asks for it, exactly like the bin slots they are
+  /// probed alongside. Placement only; sampling results never depend on it.
   /// \pre weights non-empty; all weights >= 0; sum of weights > 0.
-  explicit AliasTable(const std::vector<double>& weights);
+  explicit AliasTable(const std::vector<double>& weights, const MemoryConfig& mem = {});
 
   /// Draw one outcome in O(1): one bounded integer + one double compare.
   std::size_t sample(Xoshiro256StarStar& rng) const noexcept {
@@ -58,10 +64,14 @@ class AliasTable {
   /// without the integer-to-double conversion in the loop.
   const std::uint64_t* threshold_data() const noexcept { return threshold_.data(); }
 
+  /// Whether the hot slot arrays were huge-page-advised (telemetry, like
+  /// BinArray::huge_page_advised).
+  bool huge_page_advised() const noexcept { return threshold_.huge_page_advised(); }
+
  private:
-  std::vector<double> prob_;          // acceptance threshold per slot
-  std::vector<std::uint32_t> alias_;  // fallback outcome per slot
-  std::vector<std::uint64_t> threshold_;  // ceil(prob * 2^53), integer form
+  std::vector<double> prob_;                 // acceptance threshold per slot
+  AlignedBuffer<std::uint32_t> alias_;       // fallback outcome per slot
+  AlignedBuffer<std::uint64_t> threshold_;   // ceil(prob * 2^53), integer form
   std::vector<double> normalized_;    // normalised input weights (diagnostics)
   std::vector<double> reconstructed_; // per-outcome probability implied by the slots
   std::size_t support_ = 0;           // outcomes with positive probability

@@ -1,0 +1,144 @@
+#include "core/bin_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_array.hpp"
+#include "core/game.hpp"
+#include "core/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace nubb {
+namespace {
+
+std::uint64_t total_of(const std::vector<std::uint64_t>& caps) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : caps) total += c;
+  return total;
+}
+
+/// Every partition, whatever the inputs, must tile [0, n) with non-empty
+/// ranges in order — the shard table and shard_for_bin both rely on it.
+void expect_tiles(const std::vector<BinRange>& ranges, std::size_t n) {
+  ASSERT_FALSE(ranges.empty());
+  std::size_t next = 0;
+  for (const BinRange& r : ranges) {
+    EXPECT_EQ(r.first, next);
+    EXPECT_GT(r.count, 0u);
+    next = r.end();
+  }
+  EXPECT_EQ(next, n);
+}
+
+TEST(PartitionBins, SingleShardIsTheWholeRange) {
+  const std::vector<BinRange> ranges = partition_bins({1, 2, 3, 4}, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (BinRange{0, 4}));
+}
+
+TEST(PartitionBins, UniformCapacitiesSplitEvenly) {
+  const std::vector<std::uint64_t> caps(12, 5);
+  const std::vector<BinRange> ranges = partition_bins(caps, 4);
+  expect_tiles(ranges, caps.size());
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const BinRange& r : ranges) EXPECT_EQ(r.count, 3u);
+}
+
+TEST(PartitionBins, ShardCountClampsToBinCount) {
+  const std::vector<BinRange> ranges = partition_bins({1, 1, 1}, 16);
+  expect_tiles(ranges, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (const BinRange& r : ranges) EXPECT_EQ(r.count, 1u);
+}
+
+TEST(PartitionBins, CutsBalanceCapacityNotBinCount) {
+  // 50 unit bins then 50 cap-10 bins: a bin-count split would give shard 0
+  // a tenth of the capacity of shard 3. The capacity-weighted cuts must
+  // land every shard within one boundary bin of the ideal C/S.
+  std::vector<std::uint64_t> caps(50, 1);
+  caps.insert(caps.end(), 50, 10);
+  const std::uint64_t max_cap = 10;
+  const std::uint64_t ideal = total_of(caps) / 4;
+
+  const std::vector<BinRange> ranges = partition_bins(caps, 4);
+  expect_tiles(ranges, caps.size());
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const BinRange& r : ranges) {
+    std::uint64_t shard_cap = 0;
+    for (std::size_t i = r.first; i < r.end(); ++i) shard_cap += caps[i];
+    EXPECT_NEAR(static_cast<double>(shard_cap), static_cast<double>(ideal),
+                static_cast<double>(max_cap))
+        << "shard [" << r.first << ", " << r.end() << ")";
+  }
+}
+
+TEST(PartitionBins, DeterministicInItsInputs) {
+  std::vector<std::uint64_t> caps;
+  for (std::size_t i = 0; i < 97; ++i) caps.push_back(1 + i % 7);
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u, 97u}) {
+    const std::vector<BinRange> a = partition_bins(caps, shards);
+    const std::vector<BinRange> b = partition_bins(caps, shards);
+    expect_tiles(a, caps.size());
+    EXPECT_EQ(a, b) << "S = " << shards;
+  }
+}
+
+// --- BinArrayView -----------------------------------------------------------
+
+/// A populated array to view: 40 mixed-capacity bins after a 120-ball game.
+BinArray played_array(const std::vector<std::uint64_t>& caps) {
+  BinArray bins(caps);
+  const BinSampler sampler =
+      BinSampler::from_policy(SelectionPolicy::proportional_to_capacity(), caps);
+  GameConfig cfg;
+  cfg.balls = 120;
+  Xoshiro256StarStar rng(5);
+  play_game(bins, sampler, cfg, rng, /*checkpoint_interval=*/0);
+  return bins;
+}
+
+TEST(BinArrayView, MirrorsTheViewedSlots) {
+  std::vector<std::uint64_t> caps(20, 1);
+  caps.insert(caps.end(), 20, 4);
+  const BinArray bins = played_array(caps);
+
+  const BinArrayView whole(bins.slot_data(), bins.size());
+  EXPECT_EQ(whole.size(), bins.size());
+  EXPECT_EQ(whole.total_num(), bins.total_balls());
+  EXPECT_EQ(whole.total_capacity(), bins.total_capacity());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    EXPECT_EQ(whole.num(i), bins.balls(i));
+    EXPECT_EQ(whole.capacity(i), bins.capacity(i));
+    EXPECT_EQ(whole.load(i).balls, bins.balls(i));
+  }
+  EXPECT_EQ(whole.fingerprint(), bins.fingerprint());
+}
+
+TEST(BinArrayView, FoldingRangesInOrderReproducesTheWholeFingerprint) {
+  // The cross-shard merge rule: for ANY split into consecutive ranges, the
+  // chain fold equals the unsharded fingerprint, while each range's own
+  // fingerprint() stands alone (fresh basis, so it differs from the fold).
+  std::vector<std::uint64_t> caps(20, 1);
+  caps.insert(caps.end(), 20, 4);
+  const BinArray bins = played_array(caps);
+
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    const std::vector<BinRange> ranges = partition_bins(caps, shards);
+    std::uint64_t fold = detail::kFingerprintBasis;
+    for (const BinRange& r : ranges) {
+      const BinArrayView view(bins.slot_data() + r.first, r.count);
+      if (r.first != 0) {
+        // Later ranges fold from a running hash, not the fresh basis, so
+        // their standalone fingerprints differ from the chain value.
+        EXPECT_NE(view.fingerprint(), view.fingerprint_fold(fold));
+      }
+      fold = view.fingerprint_fold(fold);
+    }
+    EXPECT_EQ(fold, bins.fingerprint()) << "S = " << shards;
+  }
+}
+
+}  // namespace
+}  // namespace nubb

@@ -139,6 +139,31 @@ TEST(ChannelRoundTrip, EveryProtocolMessage) {
   EXPECT_EQ(frame_round_trip(err), err);
 }
 
+TEST(ChannelRoundTrip, ShardProvenanceBlocksSurviveTheWire) {
+  // The sharded daemon's optional trailing blocks (versioning rule 3):
+  // present only with 2+ shards, and every field must round-trip.
+  SnapshotResponse sresp;
+  sresp.total_balls = 100;
+  sresp.total_capacity = 220;
+  sresp.max_load_num = 5;
+  sresp.max_load_cap = 10;
+  sresp.fingerprint = 0xFEEDFACEull;
+  sresp.counts = {1, 2, 3, 94};
+  sresp.shards = {{0, 2, 3, 0xAAAAull}, {2, 2, 97, 0xBBBBull}};
+  EXPECT_EQ(frame_round_trip(sresp), sresp);
+
+  StatsResponse stats;
+  stats.uptime_ns = 99;
+  stats.sessions = 2;
+  stats.balls_placed = 100;
+  stats.ops = {{1, 100, 5000}};
+  stats.place_latency_us.counts = {100};
+  stats.service_shards = 2;  // the decoder recomputes this from the block
+  stats.session_threads = 8;
+  stats.shards = {{0, 2, 60}, {2, 2, 40}};
+  EXPECT_EQ(frame_round_trip(stats), stats);
+}
+
 TEST(ChannelRoundTrip, DecodeRequestDispatchesEveryRequestType) {
   std::stringstream wire;
   StreamChannel channel(wire, wire);
@@ -256,6 +281,71 @@ TEST(ChannelMalformed, OverlongPayloadForMessageThrows) {
   Frame frame;
   ASSERT_TRUE(channel.receive_frame(frame));
   EXPECT_THROW((void)decode_message<LookupRequest>(frame), WireError);
+}
+
+/// Deliver raw payload bytes as a frame of the given type and decode them.
+template <typename Msg>
+Msg decode_payload(const std::vector<std::uint8_t>& payload) {
+  std::stringstream wire;
+  StreamChannel channel(wire, wire);
+  channel.send_frame(Msg::kType, payload);
+  Frame frame;
+  EXPECT_TRUE(channel.receive_frame(frame));
+  return decode_message<Msg>(frame);
+}
+
+TEST(ChannelMalformed, ShardBlockWithFewerThanTwoShardsThrows) {
+  // A trailing block is only legal when it describes a sharded daemon;
+  // counts 0 and 1 are the encodings a correct peer can never produce.
+  SnapshotResponse snap;
+  snap.counts = {1, 2};
+  for (const std::uint32_t bogus_count : {0u, 1u}) {
+    WireWriter w;
+    snap.encode(w);
+    w.u32(bogus_count);
+    for (std::uint32_t i = 0; i < bogus_count; ++i) {
+      w.u64(0);
+      w.u64(2);
+      w.u64(3);
+      w.u64(0xAA);
+    }
+    EXPECT_THROW((void)decode_payload<SnapshotResponse>(w.bytes()), WireError);
+  }
+
+  StatsResponse stats;
+  stats.place_latency_us.counts = {1};
+  WireWriter w;
+  stats.encode(w);
+  w.u32(1);  // shard count
+  w.u32(4);  // session threads
+  w.u64(0);
+  w.u64(2);
+  w.u64(3);
+  EXPECT_THROW((void)decode_payload<StatsResponse>(w.bytes()), WireError);
+}
+
+TEST(ChannelMalformed, TruncatedShardBlockThrows) {
+  // The count must be validated against the bytes actually present before
+  // any allocation (same discipline as u64_vec).
+  SnapshotResponse snap;
+  snap.counts = {1, 2, 3, 4};
+  snap.shards = {{0, 2, 3, 0xAAull}, {2, 2, 7, 0xBBull}};
+  WireWriter w;
+  snap.encode(w);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() - 8);  // drop the last shard field
+  EXPECT_THROW((void)decode_payload<SnapshotResponse>(bytes), WireError);
+
+  StatsResponse stats;
+  stats.place_latency_us.counts = {1};
+  stats.service_shards = 2;
+  stats.session_threads = 4;
+  stats.shards = {{0, 2, 3}, {2, 2, 7}};
+  WireWriter ws;
+  stats.encode(ws);
+  std::vector<std::uint8_t> stat_bytes = ws.bytes();
+  stat_bytes.resize(stat_bytes.size() - 8);
+  EXPECT_THROW((void)decode_payload<StatsResponse>(stat_bytes), WireError);
 }
 
 // --- channel bookkeeping -----------------------------------------------------

@@ -149,6 +149,156 @@ TEST(ServiceOps, StatsCountOpsAndLatency) {
   EXPECT_GT(stats.uptime_ns, 0u);
 }
 
+// --- sharded state ----------------------------------------------------------
+
+ServiceConfig make_sharded_config(std::size_t shards) {
+  std::vector<std::uint64_t> caps(16, 1);
+  caps.insert(caps.end(), 16, 4);
+  ServiceConfig cfg = make_config(std::move(caps));
+  cfg.service_shards = shards;
+  return cfg;
+}
+
+TEST(ShardedService, SingleShardResponsesCarryNoShardBlocks) {
+  // S = 1 is the compatibility mode: the PR-8 wire layout exactly, which
+  // means no provenance blocks anywhere.
+  PlacementService service(make_sharded_config(1));
+  EXPECT_EQ(service.service_shards(), 1u);
+  service.batch_place(BatchPlaceRequest{kNoTicket, 20, 1});
+  EXPECT_TRUE(service.snapshot().shards.empty());
+  const StatsResponse stats = service.stats();
+  EXPECT_EQ(stats.service_shards, 1u);
+  EXPECT_EQ(stats.session_threads, 0u);
+  EXPECT_TRUE(stats.shards.empty());
+}
+
+TEST(ShardedService, SnapshotShardProvenanceIsSelfConsistent) {
+  const ServiceConfig cfg = make_sharded_config(4);
+  PlacementService service(cfg);
+  EXPECT_EQ(service.service_shards(), 4u);
+  service.batch_place(BatchPlaceRequest{kNoTicket, 40, 1});
+  for (int i = 0; i < 9; ++i) service.place(PlaceRequest{});
+
+  const SnapshotResponse snap = service.snapshot();
+  ASSERT_EQ(snap.shards.size(), 4u);
+  ASSERT_EQ(snap.counts.size(), cfg.capacities.size());
+
+  // The shard ranges tile the bin set, their ball totals sum to the global
+  // total, and each fingerprint is recomputable from the shipped counts —
+  // per shard with a fresh basis, globally by folding the ranges in order.
+  std::uint64_t next_bin = 0;
+  std::uint64_t balls = 0;
+  std::uint64_t fold = detail::kFingerprintBasis;
+  for (const ShardSnapshot& sh : snap.shards) {
+    EXPECT_EQ(sh.first_bin, next_bin);
+    ASSERT_GT(sh.bins, 0u);
+    std::vector<BinSlot> slots(sh.bins);
+    std::uint64_t range_balls = 0;
+    for (std::uint64_t i = 0; i < sh.bins; ++i) {
+      slots[i].num = snap.counts[sh.first_bin + i];
+      slots[i].cap = cfg.capacities[sh.first_bin + i];
+      range_balls += slots[i].num;
+    }
+    EXPECT_EQ(sh.balls, range_balls);
+    EXPECT_EQ(sh.fingerprint, detail::slots_fingerprint(slots.data(), slots.size()));
+    fold = detail::slots_fingerprint_fold(fold, slots.data(), slots.size());
+    next_bin = sh.first_bin + sh.bins;
+    balls += sh.balls;
+  }
+  EXPECT_EQ(next_bin, cfg.capacities.size());
+  EXPECT_EQ(balls, snap.total_balls);
+  EXPECT_EQ(fold, snap.fingerprint);
+  EXPECT_EQ(snap.total_balls, 49u);
+}
+
+TEST(ShardedService, StatsShardProvenanceSumsToTheGlobalCount) {
+  ServiceConfig cfg = make_sharded_config(4);
+  cfg.session_threads = 6;
+  PlacementService service(cfg);
+  for (int i = 0; i < 10; ++i) service.place(PlaceRequest{});
+  service.batch_place(BatchPlaceRequest{kNoTicket, 15, 1});
+
+  const StatsResponse stats = service.stats();
+  EXPECT_EQ(stats.service_shards, 4u);
+  EXPECT_EQ(stats.session_threads, 6u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::uint64_t placed = 0;
+  std::uint64_t next_bin = 0;
+  for (const ShardStat& sh : stats.shards) {
+    EXPECT_EQ(sh.first_bin, next_bin);
+    next_bin = sh.first_bin + sh.bins;
+    placed += sh.balls_placed;
+  }
+  EXPECT_EQ(next_bin, cfg.capacities.size());
+  EXPECT_EQ(placed, stats.balls_placed);
+  EXPECT_EQ(placed, 25u);
+}
+
+TEST(ShardedService, LookupReachesEveryBinAcrossShards) {
+  const ServiceConfig cfg = make_sharded_config(3);
+  PlacementService service(cfg);
+  service.batch_place(BatchPlaceRequest{kNoTicket, 30, 1});
+  const SnapshotResponse snap = service.snapshot();
+  for (std::uint64_t bin = 0; bin < cfg.capacities.size(); ++bin) {
+    const LookupResponse seen = service.lookup(LookupRequest{bin});
+    EXPECT_EQ(seen.bin, bin);
+    EXPECT_EQ(seen.balls, snap.counts[bin]);
+    EXPECT_EQ(seen.capacity, cfg.capacities[bin]);
+  }
+  EXPECT_THROW(service.lookup(LookupRequest{cfg.capacities.size()}), ServeError);
+}
+
+TEST(ShardedService, TicketsOrderPerResidueClassAcrossShards) {
+  // At S = 2 the even tickets belong to shard 0 and the odd ones to shard
+  // 1; within a class replay is rejected, across classes they progress
+  // independently.
+  ServiceConfig cfg = make_sharded_config(2);
+  PlacementService service(cfg);
+  service.place(PlaceRequest{0, 1});
+  service.place(PlaceRequest{1, 1});
+  EXPECT_THROW(service.place(PlaceRequest{0, 1}), ServeError);
+  EXPECT_THROW(service.place(PlaceRequest{1, 1}), ServeError);
+  service.place(PlaceRequest{3, 1});  // shard 1 is at ticket 3 already
+  service.place(PlaceRequest{2, 1});
+  EXPECT_EQ(service.balls_placed(), 4u);
+}
+
+// --- weighted placements (--max-weight daemons) ------------------------------
+
+TEST(ServiceWeights, EnforcesTheConfiguredWeightRange) {
+  ServiceConfig cfg = make_config({4, 4, 4, 4});
+  cfg.max_weight = 4;
+  PlacementService service(cfg);
+  EXPECT_EQ(service.max_weight(), 4u);
+
+  PlaceRequest too_heavy;
+  too_heavy.weight = 5;
+  EXPECT_THROW(service.place(too_heavy), ServeError);
+  BatchPlaceRequest zero;
+  zero.weight = 0;
+  EXPECT_THROW(service.batch_place(zero), ServeError);
+  EXPECT_EQ(service.balls_placed(), 0u);
+
+  PlaceRequest ok;
+  ok.weight = 3;
+  const PlaceResponse resp = service.place(ok);
+  EXPECT_EQ(resp.balls, 3u);  // the bin absorbed the full weight
+  EXPECT_EQ(service.balls_placed(), 1u);
+  EXPECT_EQ(service.snapshot().total_balls, 3u);
+}
+
+TEST(ServiceWeights, WeightedBatchCommitsCountTimesWeight) {
+  ServiceConfig cfg = make_config({8, 8, 8, 8});
+  cfg.max_weight = 2;
+  cfg.max_balls = 100;
+  PlacementService service(cfg);
+  const BatchPlaceResponse resp = service.batch_place(BatchPlaceRequest{kNoTicket, 5, 2});
+  EXPECT_EQ(resp.placed, 5u);
+  EXPECT_EQ(resp.total_balls, 10u);  // accumulated weight, not ball count
+  EXPECT_EQ(service.balls_placed(), 5u);
+  EXPECT_EQ(service.snapshot().total_balls, 10u);
+}
+
 TEST(WireHistogramTest, QuantileUpperIsConservative) {
   WireHistogram h;
   h.lo = 0.0;

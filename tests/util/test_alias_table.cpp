@@ -149,6 +149,34 @@ TEST(AliasTableTest, ManyOutcomesBuildAndProbabilitySumIsOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(AliasTableTest, MemoryConfigReachesTheTableBuffers) {
+  // The alias/threshold arrays live on AlignedBuffers and obey the same
+  // huge-page policy as the slot arrays. Sampling is identical under every
+  // policy — the config moves the storage, never the distribution.
+  std::vector<double> weights;
+  for (int i = 1; i <= 300; ++i) weights.push_back(static_cast<double>(i % 11 + 1));
+
+  MemoryConfig off;
+  off.huge_pages = HugePages::kOff;
+  const AliasTable plain(weights, off);
+  // A few hundred entries sit far below the 2 MiB auto threshold.
+  EXPECT_FALSE(plain.huge_page_advised());
+  EXPECT_FALSE(AliasTable(weights).huge_page_advised());
+
+  MemoryConfig on;
+  on.huge_pages = HugePages::kOn;
+  const AliasTable hugepaged(weights, on);
+
+  Xoshiro256StarStar rng_a(21);
+  Xoshiro256StarStar rng_b(21);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(plain.sample(rng_a), hugepaged.sample(rng_b));
+  }
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.threshold_data()[i], hugepaged.threshold_data()[i]);
+  }
+}
+
 TEST(AliasTableTest, RejectsInvalidWeights) {
   EXPECT_THROW(AliasTable({}), PreconditionError);
   EXPECT_THROW(AliasTable({0.0}), PreconditionError);

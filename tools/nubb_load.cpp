@@ -12,10 +12,14 @@
 /// game, so the reported `speedup_vs_reference` row
 /// (`serve_dD/loopback` = placements/sec/core ÷ kernel balls/sec) is a
 /// same-machine ratio that bench_compare.py can gate. Cores are counted as
-/// 2 x connections (one session thread in the daemon plus one client
-/// thread per connection), the serving stack's whole footprint — see
-/// docs/serving.md for the SLO methodology.
+/// connections (one client thread each) plus the daemon's busy session
+/// threads — `--server-cores` when given, otherwise probed from the
+/// daemon's Stats extension (min(session pool, connections)), falling back
+/// to one per connection against daemons that predate the extension, which
+/// reproduces the historic 2 x connections divisor — see docs/serving.md
+/// for the SLO methodology.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
   cli.add_int("connections", 4, "concurrent client connections");
   cli.add_int("requests", 100000, "total balls to place across all connections");
   cli.add_int("batch", 1000, "balls per BatchPlace request");
+  cli.add_int("server-cores", 0,
+              "daemon cores to charge in the per-core metric (0 = probe the "
+              "daemon's Stats, falling back to one per connection)");
   cli.add_flag("shutdown", "send Shutdown after the burst (stops the daemon)");
   cli.add_string("json", "", "write the results as JSON to this file");
   cli.add_flag("version", "print the library version and exit");
@@ -108,7 +115,28 @@ int main(int argc, char** argv) {
     const std::uint64_t requests = static_cast<std::uint64_t>(cli.get_int("requests"));
     const std::uint64_t batch = static_cast<std::uint64_t>(cli.get_int("batch"));
 
+    if (cli.get_int("server-cores") < 0) {
+      throw std::runtime_error("--server-cores must be >= 0");
+    }
     const ServiceConfig service_cfg = tool::service_config_from(cli);
+
+    // Daemon cores for the per-core divisor. Historically hard-coded as one
+    // per connection; now the daemon reports its session pool in the Stats
+    // shard extension, so count its busy threads instead (idle pool slots
+    // burn no core). Single-shard daemons emit no extension and keep the
+    // historic divisor exactly.
+    std::uint64_t server_cores = static_cast<std::uint64_t>(cli.get_int("server-cores"));
+    std::uint64_t service_shards = 0;  // 0 = unknown (pre-extension daemon)
+    {
+      SocketChannel channel = SocketChannel::connect(host, port);
+      const StatsResponse st = round_trip<StatsResponse>(channel, StatsRequest{});
+      service_shards = st.service_shards;
+      if (server_cores == 0) {
+        server_cores = st.session_threads != 0
+                           ? std::min<std::uint64_t>(st.session_threads, connections)
+                           : connections;
+      }
+    }
 
     // --- the burst: `connections` threads, each its share of the balls ----
     std::vector<WorkerResult> results(connections);
@@ -134,9 +162,10 @@ int main(int argc, char** argv) {
 
     const std::vector<double> q = quantiles(latency_us, {0.5, 0.99, 0.999});
     const double throughput = static_cast<double>(placed) / elapsed;
-    // The serving stack burns one daemon session thread plus one client
-    // thread per connection; charge both so the per-core number is honest.
-    const double cores = 2.0 * static_cast<double>(connections);
+    // The serving stack burns one client thread per connection plus the
+    // daemon's busy session threads; charge both so the per-core number is
+    // honest.
+    const double cores = static_cast<double>(connections + server_cores);
     const double per_core = throughput / cores;
 
     const double kernel_ref = kernel_balls_per_sec(service_cfg, requests);
@@ -151,7 +180,10 @@ int main(int argc, char** argv) {
     std::cout << "placed " << placed << " balls over " << connections << " connections in "
               << elapsed << "s\n"
               << "throughput: " << throughput << " balls/s (" << per_core
-              << " per core across " << cores << " cores)\n"
+              << " per core across " << cores << " cores: " << connections
+              << " client + " << server_cores << " server";
+    if (service_shards != 0) std::cout << ", " << service_shards << " shard(s)";
+    std::cout << ")\n"
               << "latency (per " << batch << "-ball request): p50 " << q[0] << "us, p99 "
               << q[1] << "us, p999 " << q[2] << "us\n"
               << "in-process kernel reference: " << kernel_ref << " balls/s\n"
@@ -168,6 +200,8 @@ int main(int argc, char** argv) {
       j.kv("connections", connections);
       j.kv("requests", requests);
       j.kv("batch", batch);
+      j.kv("server_cores", server_cores);
+      j.kv("service_shards", service_shards);
       j.kv("placed", placed);
       j.kv("elapsed_seconds", elapsed);
       j.kv("throughput_balls_per_sec", throughput);

@@ -1,19 +1,25 @@
 /// nubb_serve — the placement daemon: one live balls-into-bins game served
 /// over the frame protocol (docs/serving.md).
 ///
-/// Holds a BinArray behind the placement kernel (stream v2 by default,
+/// Holds the bin state behind the placement kernel (stream v2 by default,
 /// huge-page/prefetch memory config honored) and answers Place /
 /// BatchPlace / Lookup / Snapshot / Stats / Shutdown requests from any
-/// number of TCP clients, one session thread per connection. A coarse
-/// state lock serialises commits, so the served sequence is exactly the
-/// offline sequential game (see docs/serving.md for the determinism
-/// contract and nubb_load for the matching load generator).
+/// number of TCP clients, one session thread per connection. The state is
+/// split into `--service-shards` capacity-balanced placement shards, each
+/// with its own lock, kernel, and RNG stream (requests route round robin),
+/// so concurrent clients stop serialising on one lock; with the default of
+/// one shard the served sequence is exactly the offline sequential game
+/// (see docs/serving.md for the sharded composition rule, the determinism
+/// contract, and nubb_load for the matching load generator).
 ///
 ///   # serve the paper's mixed shape on an ephemeral loopback port
 ///   nubb_serve --caps 500x1,500x10 --port 0 --port-file /tmp/port
 ///
 ///   # pin the port, widen the session pool, cap the horizon
 ///   nubb_serve --caps 1000x4 --port 7070 --threads 16 --max-balls 1000000
+///
+///   # 4 placement shards for concurrent clients, weighted balls enabled
+///   nubb_serve --caps 500x1,500x10 --service-shards 4 --max-weight 8
 ///
 /// Prints `listening on HOST:PORT` once ready (scripts wait for the
 /// --port-file instead of parsing stdout), serves until a client sends
@@ -40,6 +46,11 @@ int main(int argc, char** argv) {
                  "write the bound port to this file once listening (how scripts "
                  "discover an ephemeral port)");
   cli.add_int("threads", 8, "session worker threads (concurrent clients served)");
+  cli.add_int("service-shards", 1,
+              "placement shards: independent lock/kernel/RNG state partitions "
+              "(1 = the bit-exact single-lock service; clamped to the bin count)");
+  cli.add_int("max-weight", 1,
+              "largest ball weight accepted on the wire (1 = unit balls only)");
   cli.add_flag("version", "print the library version and exit");
 
   try {
@@ -52,6 +63,12 @@ int main(int argc, char** argv) {
     ServiceConfig service_cfg = tool::service_config_from(cli);
     if (cli.get_int("max-balls") < 0) throw std::runtime_error("--max-balls must be >= 0");
     service_cfg.max_balls = static_cast<std::uint64_t>(cli.get_int("max-balls"));
+    if (cli.get_int("service-shards") < 1) {
+      throw std::runtime_error("--service-shards must be >= 1");
+    }
+    service_cfg.service_shards = static_cast<std::size_t>(cli.get_int("service-shards"));
+    if (cli.get_int("max-weight") < 1) throw std::runtime_error("--max-weight must be >= 1");
+    service_cfg.max_weight = static_cast<std::uint64_t>(cli.get_int("max-weight"));
 
     ServerConfig server_cfg;
     server_cfg.host = cli.get_string("host");
@@ -61,6 +78,9 @@ int main(int argc, char** argv) {
     server_cfg.port = static_cast<std::uint16_t>(cli.get_int("port"));
     if (cli.get_int("threads") < 1) throw std::runtime_error("--threads must be >= 1");
     server_cfg.session_threads = static_cast<std::size_t>(cli.get_int("threads"));
+    // Echoed in Stats so load clients can count the daemon's core footprint
+    // honestly (nubb_load --server-cores auto-detection).
+    service_cfg.session_threads = static_cast<std::uint32_t>(server_cfg.session_threads);
 
     PlacementService service(service_cfg);
     PlacementServer server(service, server_cfg);
@@ -74,7 +94,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "listening on " << server_cfg.host << ":" << server.port() << " ("
               << service.bins() << " bins, horizon " << service.max_balls() << " balls, d="
-              << cli.get_int("d") << ", stream " << cli.get_string("stream") << ")"
+              << cli.get_int("d") << ", stream " << cli.get_string("stream") << ", "
+              << service.service_shards() << " shard"
+              << (service.service_shards() == 1 ? "" : "s") << ")"
               << std::endl;  // flush: scripts may be watching the pipe
 
     const std::uint64_t sessions = server.run();

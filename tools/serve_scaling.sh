@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Multi-connection scaling sweep: measure serving throughput at CONNECTIONS
+# concurrent clients against a single-shard daemon (the coarse-lock
+# configuration) and against a SHARDS-shard daemon, and emit the ratio as a
+# bench row bench_compare.py can gate:
+#
+#   speedup_vs_reference["serve_dD/loopback_cC"] = sharded / single-shard
+#
+# The ratio is two runs on the same machine moments apart, so host speed
+# cancels; what remains is exactly what the sharded state layer is for —
+# how much of the concurrent offered load stops serialising on one lock.
+#
+# Usage: serve_scaling.sh NUBB_SERVE NUBB_LOAD WORK_DIR \
+#          [SHARDS] [CONNECTIONS] [REQUESTS] [BATCH]
+set -euo pipefail
+
+SERVE=$1
+LOAD=$2
+WORK_DIR=$3
+SHARDS="${4:-4}"
+CONNECTIONS="${5:-8}"
+REQUESTS="${6:-2000000}"
+BATCH="${7:-500}"
+
+CAPS="500x1,500x10"
+D=2
+OUT="$WORK_DIR/BENCH_serve_scaling.json"
+PORT_FILE="$WORK_DIR/serve_scaling_port.$$"
+
+# one_run SHARD_COUNT JSON_PATH — boot, burst, clean Shutdown.
+one_run() {
+  local shard_count=$1
+  local json=$2
+  rm -f "$PORT_FILE" "$json"
+
+  "$SERVE" --caps "$CAPS" --d "$D" --stream v2 --max-balls $((REQUESTS * 2)) \
+    --service-shards "$shard_count" --threads "$CONNECTIONS" \
+    --port 0 --port-file "$PORT_FILE" &
+  local server_pid=$!
+  trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    echo "serve_scaling: daemon never wrote $PORT_FILE" >&2
+    exit 1
+  fi
+
+  "$LOAD" --caps "$CAPS" --d "$D" --stream v2 --port "$(cat "$PORT_FILE")" \
+    --connections "$CONNECTIONS" --requests "$REQUESTS" --batch "$BATCH" \
+    --shutdown --json "$json" > /dev/null
+
+  wait "$server_pid"
+  trap - EXIT
+  rm -f "$PORT_FILE"
+}
+
+echo "serve_scaling: c$CONNECTIONS burst vs 1 shard..."
+one_run 1 "$WORK_DIR/serve_scaling_s1.json"
+echo "serve_scaling: c$CONNECTIONS burst vs $SHARDS shards..."
+one_run "$SHARDS" "$WORK_DIR/serve_scaling_sN.json"
+
+python3 - "$WORK_DIR/serve_scaling_s1.json" "$WORK_DIR/serve_scaling_sN.json" \
+  "$OUT" "$SHARDS" "$CONNECTIONS" "$D" <<'PY'
+import json, sys
+
+s1_path, sn_path, out_path, shards, connections, d = sys.argv[1:7]
+with open(s1_path, encoding="utf-8") as f:
+    s1 = json.load(f)
+with open(sn_path, encoding="utf-8") as f:
+    sn = json.load(f)
+assert s1["placed"] == s1["requests"], s1
+assert sn["placed"] == sn["requests"], sn
+
+ratio = sn["throughput_balls_per_sec"] / s1["throughput_balls_per_sec"]
+row = f"serve_d{d}/loopback_c{connections}"
+result = {
+    "schema": "nubb.serve_scaling.v1",
+    "shards": int(shards),
+    "connections": int(connections),
+    "requests": s1["requests"],
+    "batch": s1["batch"],
+    "single_shard_balls_per_sec": s1["throughput_balls_per_sec"],
+    "sharded_balls_per_sec": sn["throughput_balls_per_sec"],
+    "speedup_vs_reference": {row: ratio},
+}
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"serve_scaling: {row} = {ratio:.2f}x "
+      f"({s1['throughput_balls_per_sec']:.0f} -> "
+      f"{sn['throughput_balls_per_sec']:.0f} balls/s)")
+PY

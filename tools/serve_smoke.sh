@@ -3,19 +3,28 @@
 # nubb_load burst, require nonzero throughput, a clean Shutdown, and exit
 # 0 from both binaries. Wired as a ctest (and run by the CI serve leg).
 #
-# Usage: serve_smoke.sh NUBB_SERVE NUBB_LOAD WORK_DIR
+# Usage: serve_smoke.sh NUBB_SERVE NUBB_LOAD WORK_DIR [SHARDS]
+#
+# SHARDS (default 1) boots the daemon with --service-shards SHARDS; the
+# sharded smoke rides the sanitizer legs to scan the per-shard locking.
 set -euo pipefail
 
 SERVE=$1
 LOAD=$2
 WORK_DIR=$3
+SHARDS="${4:-1}"
 
 CAPS="200x1,200x10"
 PORT_FILE="$WORK_DIR/serve_smoke_port.$$"
-JSON="$WORK_DIR/BENCH_serve_smoke.json"
+if [ "$SHARDS" = "1" ]; then
+  JSON="$WORK_DIR/BENCH_serve_smoke.json"
+else
+  JSON="$WORK_DIR/BENCH_serve_smoke_s$SHARDS.json"
+fi
 rm -f "$PORT_FILE" "$JSON"
 
 "$SERVE" --caps "$CAPS" --stream v2 --max-balls 2000000 \
+  --service-shards "$SHARDS" \
   --port 0 --port-file "$PORT_FILE" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
