@@ -289,7 +289,7 @@ struct BenchResult {
   std::string name;       // unique id, e.g. "game/greedy_d2/mixed_1_10/kernel"
   std::string algorithm;  // e.g. "greedy_d2"
   std::string profile;    // e.g. "mixed_1_10"
-  std::string impl;       // "kernel" | "reference" | "primitive"
+  std::string impl;       // one of the tags bench/README.md documents, e.g. "kernel_v2"
   std::uint64_t items_per_call = 0;
   std::uint64_t calls = 0;
   double seconds = 0.0;       // elapsed of the best repetition
@@ -333,11 +333,14 @@ BenchResult measure(std::string name, std::string algorithm, std::string profile
 
 /// Which placement implementation a full-game benchmark exercises: the
 /// frozen pre-kernel reference, the fused kernel on the locked v1 stream,
-/// the kernel on the batch-drawn v2 stream (docs/stream-v2.md), or the v2
+/// the kernel on the batch-drawn v2 stream (docs/stream-v2.md), the v2
 /// kernel with the memory layer dialled down (no cross-ball prefetch, no
 /// huge pages) — the "nopf" rows pair with plain v2 rows so the bins sweep
-/// gates the memory-layer win in isolation (docs/memory-layout.md).
-enum class BenchImpl { kReference, kKernel, kKernelV2, kKernelV2NoPf };
+/// gates the memory-layer win in isolation (docs/memory-layout.md) — or the
+/// v2 kernel with the AVX2 resolve kernels on. The plain v2 rows pin SIMD
+/// *off* so the "simd" rows gate the vector win against a true scalar
+/// baseline regardless of the host's NUBB_SIMD.
+enum class BenchImpl { kReference, kKernel, kKernelV2, kKernelV2NoPf, kKernelV2Simd };
 
 const char* impl_tag(BenchImpl impl) {
   switch (impl) {
@@ -349,6 +352,8 @@ const char* impl_tag(BenchImpl impl) {
       return "kernel_v2";
     case BenchImpl::kKernelV2NoPf:
       return "kernel_v2_nopf";
+    case BenchImpl::kKernelV2Simd:
+      return "kernel_v2_simd";
   }
   return "kernel";
 }
@@ -371,11 +376,19 @@ BenchResult bench_game(const std::string& algorithm, const std::string& profile,
   const char* impl = impl_tag(Impl);
   const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
   GameConfig game = cfg;
-  if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
+  if constexpr (Impl == BenchImpl::kKernelV2) {
+    game.stream = RngStream::kV2;
+    game.simd = SimdMode::kOff;
+  }
   if constexpr (Impl == BenchImpl::kKernelV2NoPf) {
     game.stream = RngStream::kV2;
+    game.simd = SimdMode::kOff;
     game.memory.prefetch = false;
     game.memory.huge_pages = HugePages::kOff;
+  }
+  if constexpr (Impl == BenchImpl::kKernelV2Simd) {
+    game.stream = RngStream::kV2;
+    game.simd = SimdMode::kOn;
   }
   if constexpr (Impl != BenchImpl::kReference) {
     BinArray bins(caps, game.memory);
@@ -407,7 +420,14 @@ BenchResult bench_weighted(const std::string& algorithm, const std::string& prof
   const std::string name = "game/" + algorithm + "/" + profile + "/" + impl;
   GameConfig game = cfg;
   game.balls = balls;
-  if constexpr (Impl == BenchImpl::kKernelV2) game.stream = RngStream::kV2;
+  if constexpr (Impl == BenchImpl::kKernelV2) {
+    game.stream = RngStream::kV2;
+    game.simd = SimdMode::kOff;
+  }
+  if constexpr (Impl == BenchImpl::kKernelV2Simd) {
+    game.stream = RngStream::kV2;
+    game.simd = SimdMode::kOn;
+  }
   if constexpr (Impl != BenchImpl::kReference) {
     WeightedBinArray bins(caps, game.memory);
     return measure(name, algorithm, profile, impl, balls, reps,
@@ -456,6 +476,16 @@ int main(int argc, char** argv) {
   Timer total;
   std::vector<BenchResult> results;
 
+  // Whether this binary + CPU can run the AVX2 resolve kernels at all. The
+  // "*_simd" rows are emitted only when they can (bench_compare.py passes
+  // --expect-absent for them on non-AVX2 runners), and never read NUBB_SIMD:
+  // resolve_simd(kOn) is env-independent, so a host with NUBB_SIMD=off still
+  // measures the vector rows.
+  const bool simd_avail = resolve_simd(SimdMode::kOn) == SimdImpl::kAvx2;
+  if (!opt.quiet && !simd_avail) {
+    std::cout << "[microbench] AVX2 kernels unavailable; skipping *_simd rows\n";
+  }
+
   // --- RNG and sampling primitives ---
   {
     Xoshiro256StarStar rng(opt.seed + 1);
@@ -485,6 +515,46 @@ int main(int argc, char** argv) {
     if (sink == 42) std::cout << "";
   }
 
+  // --- Bulk-draw primitives: the batch fills the v2 kernels consume, scalar
+  // vs AVX2 on the same draw streams (the pairs are bit-identical; only the
+  // throughput differs, which is exactly what the /simd speedup rows gate).
+  {
+    std::vector<std::uint32_t> buf(1 << 16);  // 256 KiB of outputs, L2-resident
+    Xoshiro256StarStar rng(opt.seed + 11);
+    results.push_back(measure("rng/bounded_fill", "rng_bounded_fill", "none", "primitive",
+                              buf.size(), reps, [&rng, &buf] {
+                                rng.bounded_fill(10'000, buf.data(), buf.size());
+                              }));
+    if (simd_avail) {
+      results.push_back(measure("rng/bounded_fill/simd", "rng_bounded_fill", "none",
+                                "primitive_simd", buf.size(), reps, [&rng, &buf] {
+                                  detail::bounded_fill_avx2(rng, 10'000, buf.data(),
+                                                            buf.size());
+                                }));
+    }
+  }
+  {
+    std::vector<double> weights(100'000);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = static_cast<double>(1 + i % 8);
+    }
+    const AliasTable table(weights);
+    std::vector<std::uint32_t> buf(1 << 16);
+    Xoshiro256StarStar rng(opt.seed + 12);
+    results.push_back(measure("alias/sample_fill_100k", "alias_sample_fill", "mod8_100k",
+                              "primitive", buf.size(), reps, [&table, &rng, &buf] {
+                                table.sample_fill(buf.data(), buf.size(), rng, SimdMode::kOff);
+                              }));
+    if (simd_avail) {
+      results.push_back(measure("alias/sample_fill_100k/simd", "alias_sample_fill",
+                                "mod8_100k", "primitive_simd", buf.size(), reps,
+                                [&table, &rng, &buf] {
+                                  table.sample_fill(buf.data(), buf.size(), rng,
+                                                    SimdMode::kOn);
+                                }));
+    }
+  }
+
   // --- Full games: kernel vs frozen reference on the paper's profiles ---
   const auto mixed_small = two_class_capacities(500, 1, 500, 10);    // Figure 6 shape
   const auto mixed_large = two_class_capacities(50'000, 1, 50'000, 10);
@@ -503,24 +573,40 @@ int main(int argc, char** argv) {
                                                    reps, opt.seed + 3));
   results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "mixed_1_10", mixed_small,
                                                      d2, reps, opt.seed + 3));
+  if (simd_avail) {
+    results.push_back(bench_game<BenchImpl::kKernelV2Simd>("greedy_d2", "mixed_1_10",
+                                                           mixed_small, d2, reps, opt.seed + 3));
+  }
   results.push_back(bench_game<BenchImpl::kReference>("greedy_d2", "mixed_1_10_100k",
                                                       mixed_large, d2, reps, opt.seed + 4));
   results.push_back(bench_game<BenchImpl::kKernel>("greedy_d2", "mixed_1_10_100k", mixed_large,
                                                    d2, reps, opt.seed + 4));
   results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "mixed_1_10_100k",
                                                      mixed_large, d2, reps, opt.seed + 4));
+  if (simd_avail) {
+    results.push_back(bench_game<BenchImpl::kKernelV2Simd>("greedy_d2", "mixed_1_10_100k",
+                                                           mixed_large, d2, reps, opt.seed + 4));
+  }
   results.push_back(bench_game<BenchImpl::kReference>("greedy_d2", "uniform_c2_4096",
                                                       uniform_c2, d2, reps, opt.seed + 5));
   results.push_back(bench_game<BenchImpl::kKernel>("greedy_d2", "uniform_c2_4096", uniform_c2,
                                                    d2, reps, opt.seed + 5));
   results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", "uniform_c2_4096",
                                                      uniform_c2, d2, reps, opt.seed + 5));
+  if (simd_avail) {
+    results.push_back(bench_game<BenchImpl::kKernelV2Simd>("greedy_d2", "uniform_c2_4096",
+                                                           uniform_c2, d2, reps, opt.seed + 5));
+  }
   results.push_back(bench_game<BenchImpl::kReference>("greedy_d3", "mixed_1_10", mixed_small,
                                                       d3, reps, opt.seed + 6));
   results.push_back(bench_game<BenchImpl::kKernel>("greedy_d3", "mixed_1_10", mixed_small, d3,
                                                    reps, opt.seed + 6));
   results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d3", "mixed_1_10", mixed_small,
                                                      d3, reps, opt.seed + 6));
+  if (simd_avail) {
+    results.push_back(bench_game<BenchImpl::kKernelV2Simd>("greedy_d3", "mixed_1_10",
+                                                           mixed_small, d3, reps, opt.seed + 6));
+  }
 
   // --- ops/sec-vs-bins sweep: the memory layer at >= 1M bins ---
   // At these sizes the slot array (16 B/bin) is far past every cache level,
@@ -543,6 +629,8 @@ int main(int argc, char** argv) {
       cfg_d2.balls = pt.bins;
       GameConfig cfg_d3 = cfg_d2;
       cfg_d3.choices = 3;
+      GameConfig cfg_d4 = cfg_d2;
+      cfg_d4.choices = 4;
       results.push_back(bench_game<BenchImpl::kKernelV2NoPf>("greedy_d2", pt.profile, caps,
                                                              cfg_d2, bins_reps, opt.seed + 9));
       results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d2", pt.profile, caps, cfg_d2,
@@ -551,6 +639,13 @@ int main(int argc, char** argv) {
                                                              cfg_d3, bins_reps, opt.seed + 10));
       results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d3", pt.profile, caps, cfg_d3,
                                                          bins_reps, opt.seed + 10));
+      // d >= 4 runs the generic candidate loop, which gained the same
+      // cross-ball prefetch as the specialised d = 2/3 kernels — the pair
+      // gates that win the same way.
+      results.push_back(bench_game<BenchImpl::kKernelV2NoPf>("greedy_d4", pt.profile, caps,
+                                                             cfg_d4, bins_reps, opt.seed + 13));
+      results.push_back(bench_game<BenchImpl::kKernelV2>("greedy_d4", pt.profile, caps, cfg_d4,
+                                                         bins_reps, opt.seed + 13));
     }
   }
 
@@ -590,6 +685,11 @@ int main(int argc, char** argv) {
     results.push_back(bench_weighted<BenchImpl::kKernelV2>("weighted_u1_4", "mixed_1_10",
                                                            mixed_small, sizes, cfg,
                                                            balls_per_game, reps, opt.seed + 8));
+    if (simd_avail) {
+      results.push_back(bench_weighted<BenchImpl::kKernelV2Simd>(
+          "weighted_u1_4", "mixed_1_10", mixed_small, sizes, cfg, balls_per_game, reps,
+          opt.seed + 8));
+    }
   }
 
   if (!opt.quiet) {
@@ -623,6 +723,30 @@ int main(int argc, char** argv) {
           ref.profile == r.profile && ref.ops_per_sec > 0.0) {
         speedups.push_back(
             {r.algorithm + "/" + r.profile + "/v2_nopf", r.ops_per_sec / ref.ops_per_sec});
+      }
+    }
+  }
+  // SIMD rows gate the AVX2 resolve kernels against the scalar v2 kernel on
+  // the same game: "/v2_simd" reads "v2_simd over v2". Absent entirely when
+  // the host cannot run AVX2 (bench_compare.py --expect-absent).
+  for (const auto& r : results) {
+    if (r.impl != "kernel_v2_simd") continue;
+    for (const auto& ref : results) {
+      if (ref.impl == "kernel_v2" && ref.algorithm == r.algorithm &&
+          ref.profile == r.profile && ref.ops_per_sec > 0.0) {
+        speedups.push_back(
+            {r.algorithm + "/" + r.profile + "/v2_simd", r.ops_per_sec / ref.ops_per_sec});
+      }
+    }
+  }
+  // Primitive pairs (bulk RNG / alias fills): the simd row's own name is the
+  // speedup key, reading "primitive_simd over primitive".
+  for (const auto& r : results) {
+    if (r.impl != "primitive_simd") continue;
+    for (const auto& ref : results) {
+      if (ref.impl == "primitive" && ref.algorithm == r.algorithm &&
+          ref.profile == r.profile && ref.ops_per_sec > 0.0) {
+        speedups.push_back({r.name, r.ops_per_sec / ref.ops_per_sec});
       }
     }
   }

@@ -11,6 +11,7 @@
 #include "core/protocol.hpp"
 #include "core/sampler.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace nubb {
 
@@ -51,6 +52,13 @@ struct GameConfig {
   /// fixed-seed outcomes are bit-identical across every setting (the RNG
   /// draw order does not depend on memory layout); only throughput moves.
   MemoryConfig memory;
+
+  /// Resolve-stage SIMD selection for bulk stream-v2 runs (`nubb_run --simd`,
+  /// env NUBB_SIMD under kAuto; see util/simd.hpp). Never observable in
+  /// results: the AVX2 kernels consume the identical draw stream and are
+  /// bit-identical to the scalar resolve on every fixed seed — like `memory`,
+  /// only throughput moves. Ignored (scalar) under stream v1.
+  SimdMode simd = SimdMode::kAuto;
 };
 
 /// Snapshot handed to checkpoint callbacks during a game.

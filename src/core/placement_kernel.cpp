@@ -4,8 +4,10 @@
 #include <limits>
 #include <type_traits>
 
+#include "core/placement_resolve.hpp"
 #include "core/weighted.hpp"
 #include "util/inline.hpp"
+#include "util/simd.hpp"
 
 namespace nubb {
 
@@ -49,12 +51,14 @@ PlacementKernel::PlacementKernel(BinArray& bins, const BinSampler& sampler,
   // appear — every ball in one bin, plus the speculative +1 of the decide
   // stage — times the largest denominator cannot wrap.
   const std::uint64_t cmax = bins.max_capacity();
+  caps_u32_ = cmax <= 0xFFFFFFFFull;
   constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
   if (planned_ <= kU64Max - 1 && bins.total_balls() <= kU64Max - 1 - planned_) {
     const std::uint64_t horizon = bins.total_balls() + planned_ + 1;
     fast64_ = horizon <= kU64Max / cmax;
   }
 
+  simd_ = resolve_simd(cfg.simd);
   select_impl(cfg.tie_break);
 }
 
@@ -82,6 +86,7 @@ PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampl
   // stage) times the largest capacity cannot wrap; every step of the horizon
   // computation is itself overflow-checked.
   const std::uint64_t cmax = bins.max_capacity();
+  caps_u32_ = cmax <= 0xFFFFFFFFull;
   constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
   if (planned_ <= (kU64Max - max_ball_weight) / max_ball_weight &&
       bins.total_weight() <= kU64Max - planned_ * max_ball_weight - max_ball_weight) {
@@ -94,53 +99,32 @@ PlacementKernel::PlacementKernel(WeightedBinArray& bins, const BinSampler& sampl
     fast64_ = horizon <= (kU64Max - 1) / cmax;
   }
 
+  simd_ = resolve_simd(cfg.simd);
   select_impl(cfg.tie_break);
 }
 
 namespace {
 
-/// Branchless `c ? a : b` on unsigned integers. The ternary spelling is NOT
-/// equivalent in practice: gcc if-converts it only sometimes (it kept the
-/// kFirstChoice fold branchless but compiled the kPreferLargerCapacity pick
-/// as a jump around the selects), and a ~50/50 data-dependent jump in the
-/// resolve loop costs ~15 cycles per ball in mispredicts. The xor-mask form
-/// cannot be turned back into a branch.
-template <class T>
-NUBB_ALWAYS_INLINE inline T csel(bool c, T a, T b) {
-  static_assert(std::is_unsigned_v<T>);
-  const T mask = static_cast<T>(0) - static_cast<T>(c);
-  return static_cast<T>(b ^ ((b ^ a) & mask));
-}
-
-/// One stream-v2 candidate draw under an alias table: a single 64-bit word
-/// serves as both the slot draw and the acceptance mantissa. The word is
-/// drawn through the same 128-bit product and low-half rejection as
-/// Xoshiro256StarStar::bounded (`reject` is the hoisted `2^64 mod n`), so
-/// the slot is exactly uniform; the acceptance mantissa is bits 11..63 of
-/// the accepted low half, whose residual non-uniformity (a grid of spacing
-/// n over [reject, 2^64)) is below the 2^-53 threshold quantisation shared
-/// with stream v1. Part of the docs/stream-v2.md contract.
-NUBB_ALWAYS_INLINE inline std::size_t draw_candidate_v2(const std::uint64_t* const threshold,
-                                                        const std::uint32_t* const alias,
-                                                        const std::uint64_t n,
-                                                        const std::uint64_t reject,
-                                                        Xoshiro256StarStar& rng) {
-  std::uint64_t lo;
-  std::uint64_t hi;
-  for (;;) {
-    const uint128 m = static_cast<uint128>(rng.next()) * n;
-    lo = static_cast<std::uint64_t>(m);
-    hi = static_cast<std::uint64_t>(m >> 64);
-    if (lo >= reject) [[likely]] break;
-  }
-  const auto slot = static_cast<std::uint32_t>(hi);
-  const std::uint32_t al = alias[slot];
-  // Unconditional alias load + forced conditional move: the accept test on
-  // real profiles is a coin flip (mixed 1:10 rejects ~40% of slots), which
-  // as a branch costs more in mispredicts than the extra L1 load — and the
-  // ternary spelling did compile to a jump around an out-of-line alias path.
-  return static_cast<std::size_t>(csel((lo >> 11) < threshold[slot], slot, al));
-}
+// The resolve-stage building blocks (csel, draw_candidate_v2, RunTotals,
+// the load comparisons, the commit helpers, the branchless per-ball
+// resolvers, the fill phases and the prefetch policy) live in
+// core/placement_resolve.hpp so the AVX2 TU shares the exact scalar bodies;
+// pull them in unqualified so the loop shapes below read as before.
+using detail::commit_amount;
+using detail::commit_known;
+using detail::csel;
+using detail::draw_candidate_v2;
+using detail::fill_candidates_v2;
+using detail::fill_ties_v2;
+using detail::kPrefetchAhead;
+using detail::key_beats_tied;
+using detail::load_less_equal;
+using detail::ModelSizes;
+using detail::prefetch_end;
+using detail::resolve_ball_d2_w;
+using detail::resolve_ball_d3_w;
+using detail::RunTotals;
+using detail::UnitSizes;
 
 }  // namespace
 
@@ -243,18 +227,6 @@ std::size_t PlacementKernel::place_impl(PlacementKernel& k, const std::uint64_t*
 
 namespace {
 
-/// Mutable bookkeeping a fused loop keeps in registers for its whole run and
-/// flushes back to the bin array once at the end: the total committed
-/// amount and the running maximum load (add_ball/add_weight semantics).
-/// Passed and returned by value so every loop body below optimises as a
-/// small self-contained function.
-struct RunTotals {
-  std::uint64_t total;
-  std::uint64_t max_num;
-  std::uint64_t max_cap;
-  std::size_t argmax;
-};
-
 /// One candidate draw, byte-identical to BinSampler::sample /
 /// AliasTable::sample (the integer threshold decides exactly like the
 /// `next_double() < prob` form and consumes the same one next() draw).
@@ -305,87 +277,6 @@ NUBB_ALWAYS_INLINE inline void draw_candidates(const std::uint64_t* threshold,
   for (std::uint32_t i = 0; i < D; ++i) {
     out[i] = static_cast<std::size_t>(rng.bounded(n));
   }
-}
-
-/// Exact post-allocation load comparison of num_a/cap_a vs num_b/cap_b by
-/// cross multiplication at the width the kernel selected at construction.
-template <bool Fast64>
-NUBB_ALWAYS_INLINE inline void load_less_equal(std::uint64_t num_a, std::uint64_t cap_a,
-                                               std::uint64_t num_b, std::uint64_t cap_b,
-                                               bool& less, bool& equal) {
-  if constexpr (Fast64) {
-    const std::uint64_t lhs = num_a * cap_b;
-    const std::uint64_t rhs = num_b * cap_a;
-    less = lhs < rhs;
-    equal = lhs == rhs;
-  } else {
-    const uint128 lhs = static_cast<uint128>(num_a) * cap_b;
-    const uint128 rhs = static_cast<uint128>(num_b) * cap_a;
-    less = lhs < rhs;
-    equal = lhs == rhs;
-  }
-}
-
-/// Fused composite-key comparison for kPreferLargerCapacity: `beats` is
-/// "key_a strictly precedes key_b" under (load ascending, capacity
-/// descending), `tied` is full key equality. Exact on integers:
-/// lhs < rhs gives beats regardless of the bump; lhs == rhs promotes to
-/// beats exactly when cap_a > cap_b; lhs > rhs implies lhs >= rhs + 1 so
-/// the bump cannot flip it. The +1 cannot wrap — the Fast64 gate caps
-/// every cross product at 2^64 - 2, and 128-bit products are below
-/// 2^128 - 1 by construction. Three operations cheaper per pair than
-/// assembling the same bits from load_less_equal plus capacity tests,
-/// which is what the Greedy[3] resolve budget needed.
-template <bool Fast64>
-NUBB_ALWAYS_INLINE inline void key_beats_tied(std::uint64_t num_a, std::uint64_t cap_a,
-                                              std::uint64_t num_b, std::uint64_t cap_b,
-                                              bool& beats, bool& tied) {
-  if constexpr (Fast64) {
-    const std::uint64_t lhs = num_a * cap_b;
-    const std::uint64_t rhs = num_b * cap_a;
-    beats = lhs < rhs + static_cast<std::uint64_t>(cap_a > cap_b);
-    tied = (lhs == rhs) & (cap_a == cap_b);
-  } else {
-    const uint128 lhs = static_cast<uint128>(num_a) * cap_b;
-    const uint128 rhs = static_cast<uint128>(num_b) * cap_a;
-    beats = lhs < rhs + static_cast<uint128>(cap_a > cap_b);
-    tied = (lhs == rhs) & (cap_a == cap_b);
-  }
-}
-
-/// Commit `amount` into `dest` whose post-allocation numerator and capacity
-/// the decide stage already holds in registers; update the running maximum.
-template <bool Fast64>
-NUBB_ALWAYS_INLINE inline void commit_known(BinSlot* slots, std::size_t dest,
-                                            std::uint64_t num, std::uint64_t cap,
-                                            std::uint64_t amount, RunTotals& t) {
-  slots[dest].num = num;
-  t.total += amount;
-  bool greater;
-  if constexpr (Fast64) {
-    greater = num * t.max_cap > t.max_num * cap;
-  } else {
-    greater = Load{t.max_num, t.max_cap} < Load{num, cap};
-  }
-  // Deliberately a branch, not a conditional move: the maximum changes a
-  // vanishing fraction of balls once the run warms up, and an if-converted
-  // update (gcc spills argmax) threads a store-to-load-forwarding chain
-  // through every iteration of the resolve loops. [[unlikely]] alone does
-  // not stop gcc's if-conversion here; the barrier does.
-  if (greater) [[unlikely]] {
-    NUBB_FORCE_BRANCH();
-    t.max_num = num;
-    t.max_cap = cap;
-    t.argmax = dest;
-  }
-}
-
-/// Commit into a destination whose slot has not been read yet.
-template <bool Fast64>
-NUBB_ALWAYS_INLINE inline void commit_amount(BinSlot* slots, std::size_t dest,
-                                             std::uint64_t amount, RunTotals& t) {
-  const BinSlot s = slots[dest];
-  commit_known<Fast64>(slots, dest, s.num + amount, s.cap, amount, t);
 }
 
 /// Decide-and-commit for one Greedy[2] ball whose candidates are already
@@ -645,204 +536,6 @@ NUBB_NOINLINE RunTotals run_generic(BinSlot* const slots,
 // the cross-ball prefetch.
 // ---------------------------------------------------------------------------
 
-/// Candidate phase for one block: `count` candidate draws in draw order —
-/// fused single-word draws under an alias table, one bulk bounded_fill for
-/// uniform samplers (both consume one accepted 64-bit word per candidate,
-/// with the identical low-half rejection rule).
-NUBB_ALWAYS_INLINE inline void fill_candidates_v2(const std::uint64_t* const threshold,
-                                                  const std::uint32_t* const alias,
-                                                  const std::uint64_t n,
-                                                  std::uint32_t* const cand,
-                                                  const std::size_t count,
-                                                  Xoshiro256StarStar& rng) {
-  if (threshold == nullptr) {
-    rng.bounded_fill(n, cand, count);
-    return;
-  }
-  const std::uint64_t reject = (0 - n) % n;
-  // Draw on a local copy of the generator: the caller's lives behind a
-  // reference, and the threshold loads are uint64_t loads that could alias
-  // its state words, so gcc otherwise writes all four state words back to
-  // memory on every draw. The copy's address never escapes, which keeps the
-  // whole state in registers across the block; one write-back at the end.
-  Xoshiro256StarStar local = rng;
-  for (std::size_t i = 0; i < count; ++i) {
-    cand[i] = static_cast<std::uint32_t>(draw_candidate_v2(threshold, alias, n, reject, local));
-  }
-  rng = local;
-}
-
-/// Tie phase for one block: one raw word per packing unit, packed so the
-/// phase stays a negligible share of the per-ball budget. Ball b's tie
-/// material is: d = 2 — bit (b mod 64) of word b/64; d = 3 — the 32-bit
-/// half (b even: low, odd: high) of word b/2; d >= 4 — all of word b.
-NUBB_ALWAYS_INLINE inline void fill_ties_v2(std::uint64_t* const tie, const std::size_t words,
-                                            Xoshiro256StarStar& rng) {
-  // Local copy for the same aliasing reason as the candidate phase: `tie` is
-  // a uint64_t* and would otherwise force a state write-back per word.
-  Xoshiro256StarStar local = rng;
-  for (std::size_t i = 0; i < words; ++i) tie[i] = local.next();
-  rng = local;
-}
-
-/// Branchless decide-and-commit for one stream-v2 Greedy[2] ball: both
-/// candidates and the ball's tie bit are pre-drawn, so apart from the rare
-/// duplicate pair and the rarely-taken running-max update every decision is
-/// a conditional move (the ~50/50 winner-pick branch alone cost the first
-/// v2 cut a third of its per-ball budget in mispredicts).
-template <bool Fast64, TieBreak TB>
-NUBB_ALWAYS_INLINE inline void resolve_ball_d2_w(BinSlot* const slots, const std::size_t c0,
-                                                 const std::size_t c1, const std::uint64_t w,
-                                                 const bool tie_bit, RunTotals& t) {
-  if (c0 == c1) [[unlikely]] {
-    commit_amount<Fast64>(slots, c0, w, t);  // a duplicate pair is the set {c0}
-    return;
-  }
-  const BinSlot s0 = slots[c0];
-  const BinSlot s1 = slots[c1];
-  const std::uint64_t n0 = s0.num + w;
-  const std::uint64_t n1 = s1.num + w;
-  bool c1_less;
-  bool equal;
-  load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, c1_less, equal);
-  bool pick1;
-  if constexpr (TB == TieBreak::kFirstChoice) {
-    pick1 = c1_less;
-  } else if constexpr (TB == TieBreak::kUniform) {
-    pick1 = c1_less | (equal & tie_bit);
-  } else {
-    // Prefer the larger capacity; the tie bit decides only between equals.
-    const bool cap_gt = s1.cap > s0.cap;
-    const bool cap_eq = s1.cap == s0.cap;
-    pick1 = c1_less | (equal & (cap_gt | (cap_eq & tie_bit)));
-  }
-  const std::size_t dest = csel(pick1, c1, c0);
-  const std::uint64_t num = csel(pick1, n1, n0);
-  const std::uint64_t cap = csel(pick1, s1.cap, s0.cap);
-  commit_known<Fast64>(slots, dest, num, cap, w, t);
-}
-
-/// Branchless decide-and-commit for one stream-v2 Greedy[3] ball with
-/// distinct candidates (duplicates — probability <= 3/n per ball — fall
-/// back to the generic pretied fold, which shares the tie contract). The
-/// tie pick is `field mod bc` over the co-minimal members in recorded
-/// order, exactly like decide_destination_pretied.
-template <bool Fast64, TieBreak TB>
-NUBB_ALWAYS_INLINE inline void resolve_ball_d3_w(BinSlot* const slots, const std::size_t c0,
-                                                 const std::size_t c1, const std::size_t c2,
-                                                 const std::uint64_t w,
-                                                 const std::uint32_t tie_field, RunTotals& t) {
-  if (c0 == c1 || c0 == c2 || c1 == c2) [[unlikely]] {
-    const std::size_t choices[3] = {c0, c1, c2};
-    const std::size_t dest = detail::decide_destination_pretied<Fast64, TB>(
-        detail::SlotLoadView{slots}, choices, 3, w, tie_field);
-    commit_amount<Fast64>(slots, dest, w, t);
-    return;
-  }
-  const BinSlot s0 = slots[c0];
-  const BinSlot s1 = slots[c1];
-  const BinSlot s2 = slots[c2];
-  const std::uint64_t n0 = s0.num + w;
-  const std::uint64_t n1 = s1.num + w;
-  const std::uint64_t n2 = s2.num + w;
-  if constexpr (TB == TieBreak::kFirstChoice) {
-    // Strict-less fold: the first minimum wins, no tie material consumed.
-    std::size_t m = c0;
-    std::uint64_t mn = n0;
-    std::uint64_t mp = s0.cap;
-    bool less;
-    bool equal;
-    load_less_equal<Fast64>(n1, s1.cap, mn, mp, less, equal);
-    m = csel(less, c1, m);
-    mn = csel(less, n1, mn);
-    mp = csel(less, s1.cap, mp);
-    load_less_equal<Fast64>(n2, s2.cap, mn, mp, less, equal);
-    m = csel(less, c2, m);
-    mn = csel(less, n2, mn);
-    mp = csel(less, s2.cap, mp);
-    commit_known<Fast64>(slots, m, mn, mp, w, t);
-  } else {
-    // kPreferLargerCapacity orders candidates by the composite key (load
-    // ascending, capacity descending) — the co-minimal class is then
-    // exactly the capacity-filtered tie set of decide_destination; kUniform
-    // orders by load alone. All three pairwise comparisons are computed
-    // INDEPENDENTLY so their multiplies pipeline instead of chaining
-    // through a sequential fold (the fold's key-select feeds the next
-    // compare, ~10 serial cycles per step); class membership is then pure
-    // combinational logic on the six relation bits, and the rank-j member
-    // is picked by conditional moves. Branching to a tie-free fast path
-    // instead is NOT profitable: at the paper's m = C operating point
-    // loads are small integers, load-equal candidates are frequent, and
-    // the branch mispredicts its way to ~2x slower.
-    bool a;  // K1 < K0
-    bool b;  // K2 < K0
-    bool c;  // K2 < K1
-    bool e;  // K1 == K0
-    bool f;  // K2 == K0
-    bool g;  // K2 == K1
-    if constexpr (TB == TieBreak::kPreferLargerCapacity) {
-      key_beats_tied<Fast64>(n1, s1.cap, n0, s0.cap, a, e);
-      key_beats_tied<Fast64>(n2, s2.cap, n0, s0.cap, b, f);
-      key_beats_tied<Fast64>(n2, s2.cap, n1, s1.cap, c, g);
-    } else {
-      load_less_equal<Fast64>(n1, s1.cap, n0, s0.cap, a, e);
-      load_less_equal<Fast64>(n2, s2.cap, n0, s0.cap, b, f);
-      load_less_equal<Fast64>(n2, s2.cap, n1, s1.cap, c, g);
-    }
-    // In-class flags: a candidate is co-minimal iff nothing sorts strictly
-    // below it. Exact arithmetic makes the six bits mutually consistent.
-    const std::uint32_t in0 = static_cast<std::uint32_t>(!a & !b);
-    const std::uint32_t in1 = static_cast<std::uint32_t>((a | e) & !c);
-    const std::uint32_t in2 = static_cast<std::uint32_t>((b | f) & (c | g));
-    const std::uint32_t bc = in0 + in1 + in2;
-    // The winner is the class member at rank j in candidate order (rank =
-    // count of in-class candidates before it), selected arithmetically —
-    // staging members in a tiny stack array costs a store-to-load forward
-    // (~5 cycles) on the dest -> commit chain every ball.
-    const std::uint32_t j = csel(bc == 3, tie_field % 3, tie_field & (bc - 1));
-    const bool pick1 = (in1 != 0) & (j == in0);
-    const bool pick2 = (in2 != 0) & (j == in0 + in1);
-    const std::size_t dest = csel(pick2, c2, csel(pick1, c1, c0));
-    // Re-read the winner's slot rather than csel-chaining its (num, cap)
-    // through the whole body: the three slot loads are hot in L1, and
-    // dropping six selects takes enough values out of the live set that
-    // gcc stops spilling setcc results through the stack mid-compare.
-    const std::uint64_t kn = slots[dest].num + w;
-    const std::uint64_t kp = slots[dest].cap;
-    commit_known<Fast64>(slots, dest, kn, kp, w, t);
-  }
-}
-
-/// Size-phase policy for unit balls: no draws, weight 1 — constant-folds the
-/// whole phase out of the loop shapes below.
-struct UnitSizes {
-  NUBB_ALWAYS_INLINE void fill(Xoshiro256StarStar&, std::size_t) const noexcept {}
-  NUBB_ALWAYS_INLINE std::uint64_t get(std::size_t) const noexcept { return 1; }
-};
-
-/// Size-phase policy for the weighted game: one block-bulk model fill (the
-/// kind dispatch hoisted inside BallSizeModel::fill), sizes read back from
-/// the kernel's buffer.
-struct ModelSizes {
-  const BallSizeModel* model;
-  std::uint64_t* buf;
-  void fill(Xoshiro256StarStar& rng, std::size_t count) const { model->fill(buf, count, rng); }
-  NUBB_ALWAYS_INLINE std::uint64_t get(std::size_t i) const noexcept { return buf[i]; }
-};
-
-/// How many balls ahead the resolve loops prefetch their candidates' slots.
-/// Prefetching is possible at all because the block's candidates are
-/// resolved before any ball commits; it is gated at runtime by
-/// MemoryConfig::prefetch (`pf_end` is 0 when off, so the disabled path
-/// costs the same single compare per ball the bounds check always cost).
-/// Prefetch order never touches the RNG, so on-vs-off is bit-identical.
-constexpr std::size_t kPrefetchAhead = 8;
-
-NUBB_ALWAYS_INLINE inline std::size_t prefetch_end(const bool prefetch,
-                                                   const std::size_t nb) {
-  return prefetch && nb > kPrefetchAhead ? nb - kPrefetchAhead : 0;
-}
-
 template <bool Fast64, TieBreak TB, class Sizes>
 NUBB_NOINLINE RunTotals run_v2_d2(BinSlot* const slots, const std::uint64_t* const threshold,
                                   const std::uint32_t* const alias, const std::uint64_t n,
@@ -923,7 +616,10 @@ NUBB_NOINLINE RunTotals run_v2_d1(BinSlot* const slots, const std::uint64_t* con
 /// General d (independent choices): block-drawn candidates and one tie word
 /// per ball, per-ball decide through the generic pretied fold. Distinct mode
 /// never reaches here — it keeps the v1 per-ball rejection order (see
-/// run_v2_impl).
+/// run_v2_impl). Honors the cross-ball candidate prefetch like the d <= 3
+/// shapes: at d >= 4 each ball probes d random slots, so the lines of ball
+/// b + kPrefetchAhead are exactly the ones still missing when the d = 2/3
+/// heuristics were tuned — same gate, bit-identical on-vs-off.
 template <bool Fast64, TieBreak TB, class Sizes>
 NUBB_NOINLINE RunTotals run_v2_generic(BinSlot* const slots,
                                        const std::uint64_t* const threshold,
@@ -931,15 +627,20 @@ NUBB_NOINLINE RunTotals run_v2_generic(BinSlot* const slots,
                                        const std::uint64_t n, std::size_t* const choices,
                                        const std::uint32_t d, const std::uint64_t count,
                                        const Sizes sz, std::uint32_t* const cand,
-                                       std::uint64_t* const tie, RunTotals t,
-                                       Xoshiro256StarStar& rng) {
+                                       std::uint64_t* const tie, const bool prefetch,
+                                       RunTotals t, Xoshiro256StarStar& rng) {
   for (std::uint64_t done = 0; done < count;) {
     const auto nb = static_cast<std::size_t>(std::min<std::uint64_t>(
         PlacementKernel::kStreamBlock, count - done));
     sz.fill(rng, nb);
     fill_candidates_v2(threshold, alias, n, cand, d * nb, rng);
     fill_ties_v2(tie, nb, rng);
+    const std::size_t pf_end = prefetch_end(prefetch, nb);
     for (std::size_t b = 0; b < nb; ++b) {
+      if (b < pf_end) {
+        const std::uint32_t* const ahead = cand + d * (b + kPrefetchAhead);
+        for (std::uint32_t i = 0; i < d; ++i) prefetch_read(&slots[ahead[i]]);
+      }
       const std::uint64_t w = sz.get(b);
       for (std::uint32_t i = 0; i < d; ++i) {
         choices[i] = static_cast<std::size_t>(cand[d * b + i]);
@@ -1034,7 +735,7 @@ void PlacementKernel::run_loop_v2(PlacementKernel& k, std::uint64_t count, Sizes
     t = run_v2_d1<Fast64>(slots, threshold, alias, n, count, sz, cand, pf, t, rng);
   } else {
     t = run_v2_generic<Fast64, TB>(slots, threshold, alias, n, k.choices_, k.d_, count, sz,
-                                   cand, tie, t, rng);
+                                   cand, tie, pf, t, rng);
   }
 
   *k.total_ = t.total;
@@ -1072,11 +773,23 @@ void PlacementKernel::select_for_tie_break() {
   if (stream_ == RngStream::kV2) {
     place_fn_ = f ? &place_impl<true, TB, RngStream::kV2>
                   : &place_impl<false, TB, RngStream::kV2>;
+    // The AVX2 bulk loops cover the Fast64 non-distinct v2 shapes (the 128-bit
+    // comparison width has no vector form, and distinct mode runs the v1
+    // rejection order). The per-ball place_fn_ stays scalar under SIMD — one
+    // ball cannot amortise a vector setup, and the draws are identical either
+    // way. simd_ is demoted so simd_impl() reports what bulk runs execute.
+    if (simd_ == SimdImpl::kAvx2 && f && !distinct_) {
+      run_fn_ = &run_v2_avx2_impl<TB>;
+      run_weighted_fn_ = &run_weighted_v2_avx2_impl<TB>;
+      return;
+    }
+    simd_ = SimdImpl::kScalar;
     run_fn_ = f ? &run_v2_impl<true, TB> : &run_v2_impl<false, TB>;
     run_weighted_fn_ =
         f ? &run_weighted_v2_impl<true, TB> : &run_weighted_v2_impl<false, TB>;
     return;
   }
+  simd_ = SimdImpl::kScalar;  // stream v1 has no vector form
   place_fn_ =
       f ? &place_impl<true, TB, RngStream::kV1> : &place_impl<false, TB, RngStream::kV1>;
   run_fn_ = f ? &run_impl<true, TB> : &run_impl<false, TB>;

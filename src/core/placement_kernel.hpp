@@ -52,6 +52,7 @@
 #include "util/assert.hpp"
 #include "util/int128.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace nubb {
 
@@ -227,6 +228,13 @@ class PlacementKernel {
   /// for tests and diagnostics).
   bool uses_fast64_path() const noexcept { return fast64_; }
 
+  /// The resolve implementation the bulk stream-v2 runs actually execute
+  /// (never just what was requested): kAvx2 only when GameConfig::simd
+  /// resolved to it AND the game shape has a vector form (stream v2,
+  /// 64-bit comparison width, independent choices). Scalar and AVX2 runs
+  /// are bit-identical — this is telemetry, not a result knob.
+  SimdImpl simd_impl() const noexcept { return simd_; }
+
   /// Place one unit ball on the live loads; returns the destination bin.
   /// \pre the caller keeps the net ball count within the planned horizon
   ///      (run() checks this; the single-ball form trusts the caller so
@@ -288,6 +296,22 @@ class PlacementKernel {
   static void run_loop_v2(PlacementKernel& k, std::uint64_t count, Sizes sz,
                           Xoshiro256StarStar& rng);
 
+  // AVX2 counterparts of the stream-v2 bulk entry points, defined and
+  // explicitly instantiated in placement_kernel_avx2.cpp (the only core TU
+  // compiled with -mavx2; it builds aborting stubs when the flag is
+  // unavailable, so these always link). Installed by select_for_tie_break
+  // only when simd_ resolved to kAvx2 on a Fast64 non-distinct v2 kernel;
+  // bit-identical to run_v2_impl / run_weighted_v2_impl.
+  template <TieBreak TB>
+  static void run_v2_avx2_impl(PlacementKernel& k, std::uint64_t count,
+                               Xoshiro256StarStar& rng);
+  template <TieBreak TB>
+  static void run_weighted_v2_avx2_impl(PlacementKernel& k, std::uint64_t count,
+                                        const BallSizeModel& sizes, Xoshiro256StarStar& rng);
+  template <TieBreak TB, class Sizes>
+  static void run_loop_v2_avx2(PlacementKernel& k, std::uint64_t count, Sizes sz,
+                               Xoshiro256StarStar& rng);
+
   void validate(const BinSampler& sampler, std::size_t bins, const GameConfig& cfg) const;
   void select_impl(TieBreak tie_break);
   template <TieBreak TB>
@@ -306,6 +330,10 @@ class PlacementKernel {
   bool distinct_ = false;
   bool fast64_ = false;
   bool prefetch_ = true;  // cross-ball candidate prefetch in bulk v2 runs
+  // Every bin capacity fits 32 bits: lets the AVX2 resolve kernels use the
+  // halved-multiply cross products (the capacity is always the multiplier).
+  bool caps_u32_ = false;
+  SimdImpl simd_ = SimdImpl::kScalar;  // what bulk v2 runs execute (see simd_impl)
   RngStream stream_ = RngStream::kV1;
   std::uint64_t planned_ = 0;
   std::uint64_t placed_ = 0;

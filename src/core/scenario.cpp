@@ -31,6 +31,7 @@ void RunMeta::to_json(JsonWriter& w) const {
   w.kv("profile", profile);
   w.kv("classes", classes);
   w.kv("huge_pages", huge_pages);
+  w.kv("simd", simd);
   w.end_object();
 }
 
@@ -60,6 +61,10 @@ RunMeta RunMeta::from_json(const JsonValue& v) {
   // anyway — memory layout never affects results).
   const JsonValue* hp = v.find("huge_pages");
   m.huge_pages = hp != nullptr ? hp->as_string() : "auto";
+  // Same deal for the resolve-stage SIMD provenance: scalar and AVX2 runs
+  // are bit-identical, so absent reads as "scalar" and merge_key resets it.
+  const JsonValue* sd = v.find("simd");
+  m.simd = sd != nullptr ? sd->as_string() : "scalar";
   return m;
 }
 

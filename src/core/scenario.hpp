@@ -76,6 +76,12 @@ struct RunMeta {
                                     ///< merge_key(), which resets it — shard
                                     ///< sets may mix settings freely. Absent
                                     ///< in older state files, read as "auto".
+  std::string simd = "scalar";  ///< Resolved resolve-stage implementation
+                                ///< ("scalar" | "avx2"). Provenance only,
+                                ///< like huge_pages: scalar and AVX2 runs
+                                ///< are bit-identical, so merge_key() resets
+                                ///< it and shard sets may mix freely. Absent
+                                ///< in older state files, read as "scalar".
 
   void to_json(JsonWriter& w) const;
   static RunMeta from_json(const JsonValue& v);
@@ -83,11 +89,12 @@ struct RunMeta {
 
   /// The fields that decide whether two shards belong to the same
   /// experiment: this meta with the result-irrelevant provenance fields
-  /// (huge_pages) reset to their defaults. Two shard files are mergeable
-  /// iff their merge_key()s compare equal.
+  /// (huge_pages, simd) reset to their defaults. Two shard files are
+  /// mergeable iff their merge_key()s compare equal.
   RunMeta merge_key() const {
     RunMeta key = *this;
     key.huge_pages = "auto";
+    key.simd = "scalar";
     return key;
   }
 };

@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file cpuid.hpp
+/// Runtime CPU feature detection for the SIMD kernel dispatch. Kept apart
+/// from simd.hpp so low-level callers can probe the CPU without pulling in
+/// the mode/impl policy types.
+
+namespace nubb {
+
+/// True when the running CPU executes AVX2 instructions. Cached after the
+/// first call; always false on non-x86 targets. This is a *hardware* probe —
+/// whether the build actually contains AVX2 kernels is a separate question
+/// (simd_kernels_compiled() in simd.hpp), and the dispatch requires both.
+bool cpu_supports_avx2() noexcept;
+
+}  // namespace nubb

@@ -1,0 +1,109 @@
+/// \file rng_avx2.cpp
+/// AVX2 body of Xoshiro256StarStar::bounded_fill for u32 outputs. This TU is
+/// compiled with -mavx2 (src/CMakeLists.txt); when the toolchain lacks the
+/// flag the same TU builds the aborting stub at the bottom, so the symbol
+/// always links and the runtime dispatch (util/simd.hpp) is the only gate.
+
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+#if defined(__AVX2__)
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/avx2_math.hpp"
+#include "util/int128.hpp"
+
+namespace nubb::detail {
+
+namespace {
+
+using namespace nubb::detail::avx2;
+
+/// The scalar bulk loop of bounded_fill, verbatim: used for short tails and
+/// to replay a chunk whose vector pass saw a Lemire rejection.
+void scalar_refill(Xoshiro256StarStar& rng, const std::uint64_t bound,
+                   const std::uint64_t threshold, std::uint32_t* const out,
+                   const std::size_t count) noexcept {
+  Xoshiro256StarStar local = rng;
+  for (std::size_t i = 0; i < count; ++i) {
+    uint128 m = static_cast<uint128>(local.next()) * bound;
+    while (static_cast<std::uint64_t>(m) < threshold) [[unlikely]] {
+      m = static_cast<uint128>(local.next()) * bound;
+    }
+    out[i] = static_cast<std::uint32_t>(static_cast<std::uint64_t>(m >> 64));
+  }
+  rng = local;
+}
+
+}  // namespace
+
+void bounded_fill_avx2(Xoshiro256StarStar& rng, const std::uint64_t bound,
+                       std::uint32_t* const out, const std::size_t count) noexcept {
+  if (count < 8 || bound > 0xFFFFFFFFull) {
+    // Short fills skip the threshold division (same cutoff as the scalar
+    // template); bound = 2^32 exactly would not fit the 32-bit multiplier
+    // lanes below. Both take the identical-draws scalar path.
+    rng.bounded_fill(bound, out, count);
+    return;
+  }
+  const std::uint64_t threshold = (0 - bound) % bound;
+  constexpr std::size_t kChunk = 32;
+  std::uint64_t raw[kChunk];
+  const __m256i vbound = _mm256_set1_epi64x(static_cast<long long>(bound));
+  const __m256i vthr = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t c = std::min(kChunk, count - done) & ~std::size_t{3};
+    if (c == 0) break;  // fewer than 4 draws left: scalar tail below
+    // One accepted word per draw is the overwhelmingly common case
+    // (rejection probability < bound / 2^64 <= 2^-32 per draw), so the chunk
+    // optimistically assumes zero rejections: generate c raw words (the
+    // state recurrence is serial), run the Lemire product four lanes at a
+    // time, and only if some lane's low half fell under the threshold roll
+    // the state back and replay the chunk through the scalar redraw loop —
+    // which consumes extra words exactly where the scalar path would.
+    const std::array<std::uint64_t, 4> saved = rng.state();
+    {
+      Xoshiro256StarStar local = rng;  // keep the state in registers (TBAA)
+      for (std::size_t j = 0; j < c; ++j) raw[j] = local.next();
+      rng = local;
+    }
+    __m256i any_reject = _mm256_setzero_si256();
+    for (std::size_t j = 0; j < c; j += 4) {
+      const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + j));
+      __m256i hi;
+      __m256i lo;
+      mul64_hilo_b32(x, vbound, hi, lo);
+      any_reject = _mm256_or_si256(any_reject, cmplt_u64(lo, vthr));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + done + j), pack_lo32(hi));
+    }
+    if (!_mm256_testz_si256(any_reject, any_reject)) [[unlikely]] {
+      rng = Xoshiro256StarStar(saved);
+      scalar_refill(rng, bound, threshold, out + done, c);
+    }
+    done += c;
+  }
+  if (done < count) scalar_refill(rng, bound, threshold, out + done, count - done);
+}
+
+}  // namespace nubb::detail
+
+#else  // !__AVX2__
+
+namespace nubb::detail {
+
+void bounded_fill_avx2(Xoshiro256StarStar&, std::uint64_t, std::uint32_t*,
+                       std::size_t) noexcept {
+  // resolve_simd never reports kAvx2 when the kernels were not compiled
+  // (simd_kernels_compiled() is false), so reaching this stub is a dispatch
+  // bug, not a user error.
+  NUBB_REQUIRE_MSG(false, "bounded_fill_avx2 called but AVX2 kernels were not compiled");
+}
+
+}  // namespace nubb::detail
+
+#endif  // __AVX2__

@@ -1,0 +1,208 @@
+/// SIMD dispatch policy suite (util/simd.hpp) plus the bulk-primitive
+/// equality contracts: `bounded_fill_avx2` and the AVX2 body of
+/// `AliasTable::sample_fill` must be draw-for-draw and bit-for-bit identical
+/// to their scalar forms, including the number of RNG words consumed. The
+/// vector cases run only where `resolve_simd(kOn)` lands on kAvx2; the
+/// policy cases run everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/alias_table.hpp"
+#include "util/cpuid.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace nubb {
+namespace {
+
+bool avx2_available() { return resolve_simd(SimdMode::kOn) == SimdImpl::kAvx2; }
+
+/// Scoped NUBB_SIMD override so env-sensitive cases cannot leak into each
+/// other (or inherit the harness environment).
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* old = std::getenv("NUBB_SIMD");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("NUBB_SIMD");
+    } else {
+      ::setenv("NUBB_SIMD", value, 1);
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_old_) {
+      ::setenv("NUBB_SIMD", old_.c_str(), 1);
+    } else {
+      ::unsetenv("NUBB_SIMD");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// --- mode parsing / naming -------------------------------------------------
+
+TEST(SimdModeTest, ParseRoundTripsTheThreeModes) {
+  EXPECT_EQ(parse_simd_mode("auto"), SimdMode::kAuto);
+  EXPECT_EQ(parse_simd_mode("on"), SimdMode::kOn);
+  EXPECT_EQ(parse_simd_mode("off"), SimdMode::kOff);
+  for (const SimdMode mode : {SimdMode::kAuto, SimdMode::kOn, SimdMode::kOff}) {
+    EXPECT_EQ(parse_simd_mode(to_string(mode)), mode);
+  }
+}
+
+TEST(SimdModeTest, ParseRejectsUnknownNames) {
+  EXPECT_THROW(parse_simd_mode(""), std::runtime_error);
+  EXPECT_THROW(parse_simd_mode("avx2"), std::runtime_error);
+  EXPECT_THROW(parse_simd_mode("ON"), std::runtime_error);
+  EXPECT_THROW(parse_simd_mode("yes"), std::runtime_error);
+}
+
+TEST(SimdImplTest, NamesMatchRunMetaProvenanceTags) {
+  // These strings are recorded in nubb.shard.v2 state files (RunMeta::simd);
+  // changing them is a state-file format change.
+  EXPECT_STREQ(to_string(SimdImpl::kScalar), "scalar");
+  EXPECT_STREQ(to_string(SimdImpl::kAvx2), "avx2");
+}
+
+// --- resolution ------------------------------------------------------------
+
+TEST(ResolveSimdTest, OffAlwaysResolvesScalar) {
+  ScopedSimdEnv env("on");  // an explicit mode beats the environment
+  EXPECT_EQ(resolve_simd(SimdMode::kOff), SimdImpl::kScalar);
+}
+
+TEST(ResolveSimdTest, OnRequiresBothBuildAndCpu) {
+  ScopedSimdEnv env("off");  // ...in either direction
+  const SimdImpl impl = resolve_simd(SimdMode::kOn);
+  if (simd_kernels_compiled() && cpu_supports_avx2()) {
+    EXPECT_EQ(impl, SimdImpl::kAvx2);
+  } else {
+    EXPECT_EQ(impl, SimdImpl::kScalar);
+  }
+}
+
+TEST(ResolveSimdTest, AutoFollowsTheEnvironment) {
+  {
+    ScopedSimdEnv env("off");
+    EXPECT_EQ(resolve_simd(SimdMode::kAuto), SimdImpl::kScalar);
+  }
+  {
+    ScopedSimdEnv env("on");
+    EXPECT_EQ(resolve_simd(SimdMode::kAuto), resolve_simd(SimdMode::kOn));
+  }
+  {
+    // "auto" and unset mean the same thing: defer to the probe.
+    ScopedSimdEnv env("auto");
+    EXPECT_EQ(resolve_simd(SimdMode::kAuto), resolve_simd(SimdMode::kOn));
+  }
+  {
+    ScopedSimdEnv env(nullptr);
+    EXPECT_EQ(resolve_simd(SimdMode::kAuto), resolve_simd(SimdMode::kOn));
+  }
+}
+
+TEST(ResolveSimdTest, EmptyEnvironmentCountsAsUnset) {
+  ScopedSimdEnv env("");
+  EXPECT_EQ(resolve_simd(SimdMode::kAuto), resolve_simd(SimdMode::kOn));
+}
+
+TEST(ResolveSimdTest, InvalidEnvironmentValueThrows) {
+  ScopedSimdEnv env("avx512");
+  EXPECT_THROW(resolve_simd(SimdMode::kAuto), std::runtime_error);
+  // Explicit modes never read the environment, so they stay usable even
+  // with a broken NUBB_SIMD.
+  EXPECT_NO_THROW(resolve_simd(SimdMode::kOff));
+  EXPECT_NO_THROW(resolve_simd(SimdMode::kOn));
+}
+
+// --- bounded_fill_avx2 -----------------------------------------------------
+
+void expect_bounded_fill_matches(std::uint64_t bound, std::size_t count,
+                                 std::uint64_t seed) {
+  Xoshiro256StarStar scalar_rng(seed);
+  Xoshiro256StarStar simd_rng(seed);
+  std::vector<std::uint32_t> scalar_out(count, 0xA5A5A5A5u);
+  std::vector<std::uint32_t> simd_out(count, 0x5A5A5A5Au);
+  scalar_rng.bounded_fill(bound, scalar_out.data(), count);
+  detail::bounded_fill_avx2(simd_rng, bound, simd_out.data(), count);
+  EXPECT_EQ(scalar_out, simd_out) << "bound=" << bound << " count=" << count;
+  // Equal RNG consumption, not just equal outputs.
+  EXPECT_EQ(scalar_rng.next(), simd_rng.next()) << "bound=" << bound;
+}
+
+TEST(BoundedFillAvx2Test, MatchesScalarAcrossBoundsAndCounts) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  // Non-power-of-two bounds exercise the Lemire rejection threshold; counts
+  // straddle the 4-lane chunking (remainder lanes 0..3).
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 1000ull, 4096ull, 999983ull}) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                    std::size_t{64}, std::size_t{1023}}) {
+      expect_bounded_fill_matches(bound, count, 0xB0B0 + bound + count);
+    }
+  }
+}
+
+TEST(BoundedFillAvx2Test, MatchesScalarAtTheU32Ceiling) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  // bound = 2^32 is the staging limit (results are u32): rejection
+  // probability 0, every lane accepted, full 32-bit values.
+  expect_bounded_fill_matches(std::uint64_t{1} << 32, 777, 123);
+  // Just below the ceiling the rejection threshold is tiny but non-zero.
+  expect_bounded_fill_matches((std::uint64_t{1} << 32) - 1, 777, 321);
+}
+
+TEST(BoundedFillAvx2Test, ForcesTheScalarRedrawOnRejection) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  // A bound just above a power of two maximises (0 - bound) % bound, making
+  // per-draw rejection as likely as bounds get; a long fill then almost
+  // surely replays at least one chunk through the saved-state scalar loop.
+  expect_bounded_fill_matches((std::uint64_t{1} << 31) + 1, 1 << 16, 31337);
+}
+
+// --- AliasTable::sample_fill -----------------------------------------------
+
+TEST(AliasSampleFillSimdTest, OnMatchesOffDrawForDraw) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  // Heavily skewed weights so thresholds and aliases both fire.
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < 1000; ++i) weights.push_back(1.0 + double(i % 8) * 7.0);
+  const AliasTable table(weights);
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    Xoshiro256StarStar off_rng(99 + count);
+    Xoshiro256StarStar on_rng(99 + count);
+    std::vector<std::uint32_t> off_out(count, 0);
+    std::vector<std::uint32_t> on_out(count, 1);
+    table.sample_fill(off_out.data(), count, off_rng, SimdMode::kOff);
+    table.sample_fill(on_out.data(), count, on_rng, SimdMode::kOn);
+    EXPECT_EQ(off_out, on_out) << "count=" << count;
+    EXPECT_EQ(off_rng.next(), on_rng.next()) << "count=" << count;
+  }
+}
+
+TEST(AliasSampleFillSimdTest, SingleBinTableDegenerateCase) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernels unavailable";
+  const AliasTable table(std::vector<double>{1.0});
+  Xoshiro256StarStar off_rng(5);
+  Xoshiro256StarStar on_rng(5);
+  std::vector<std::uint32_t> off_out(257, 9);
+  std::vector<std::uint32_t> on_out(257, 8);
+  table.sample_fill(off_out.data(), off_out.size(), off_rng, SimdMode::kOff);
+  table.sample_fill(on_out.data(), on_out.size(), on_rng, SimdMode::kOn);
+  EXPECT_EQ(off_out, on_out);
+  EXPECT_EQ(off_rng.next(), on_rng.next());
+}
+
+}  // namespace
+}  // namespace nubb

@@ -29,10 +29,37 @@ import sys
 DEFAULT_MAX_REGRESSION = 0.25
 BASELINE_SCHEMA = "nubb.bench_baseline.v1"
 
+# Every impl tag microbench (and the serve harnesses) may emit; documented in
+# bench/README.md. An unknown tag means a new benchmark row was added without
+# teaching the gate (and the docs) about it — fail loudly rather than let the
+# row silently fall out of every speedup pairing.
+KNOWN_IMPLS = frozenset(
+    {
+        "reference",
+        "kernel",
+        "kernel_v2",
+        "kernel_v2_nopf",
+        "kernel_v2_simd",
+        "primitive",
+        "primitive_simd",
+    }
+)
+
 
 def load_speedups(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
+    unknown = {
+        str(b.get("impl"))
+        for b in data.get("benchmarks", [])
+        if b.get("impl") not in KNOWN_IMPLS
+    }
+    if unknown:
+        raise SystemExit(
+            f"{path}: unknown impl tag(s) {sorted(unknown)}; known tags are "
+            f"{sorted(KNOWN_IMPLS)} — add the new tag to KNOWN_IMPLS in "
+            "tools/bench_compare.py and document it in bench/README.md"
+        )
     rows = data.get("speedup_vs_reference")
     if not isinstance(rows, dict) or not rows:
         raise SystemExit(f"{path}: no speedup_vs_reference rows found")

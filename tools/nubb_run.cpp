@@ -233,6 +233,10 @@ int main(int argc, char** argv) {
                  "huge-page backing for the bin state: auto (advise when the slot array "
                  "spans >= 2 MiB) | on (always advise) | off; results are bit-identical "
                  "across settings (see docs/memory-layout.md)");
+  cli.add_string("simd", "auto",
+                 "vectorised stream-v2 resolve kernels: auto (cpuid + env NUBB_SIMD) | "
+                 "on | off; results are bit-identical across settings (see "
+                 "docs/stream-v2.md)");
   cli.add_string("experiment", "max-load",
                  "registered experiment to run (see --list for the registry)");
   cli.add_flag("list", "list the registered experiments and exit");
@@ -351,6 +355,7 @@ int main(int argc, char** argv) {
     spec.game.batch = static_cast<std::uint64_t>(cli.get_int("batch"));
     spec.game.stream = tool::parse_stream(cli.get_string("stream"));
     spec.game.memory.huge_pages = parse_huge_pages(cli.get_string("huge-pages"));
+    spec.game.simd = parse_simd_mode(cli.get_string("simd"));
     spec.exp.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
     spec.exp.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     if (cli.get_int("chunks") < 0) throw std::runtime_error("--chunks must be >= 0");
@@ -381,6 +386,11 @@ int main(int argc, char** argv) {
     meta.profile = spec.profile;
     meta.classes = spec.classes;
     meta.huge_pages = to_string(spec.game.memory.huge_pages);
+    // Record what the resolve stage actually runs (stream v1 has no vector
+    // form); provenance only — merge_key masks it like huge_pages.
+    meta.simd = spec.game.stream == RngStream::kV2
+                    ? std::string(to_string(resolve_simd(spec.game.simd)))
+                    : std::string("scalar");
     // Zero the fields this scenario never reads, so shard sets differing
     // only in irrelevant flags still merge / resume.
     scenario.normalize_meta(meta);

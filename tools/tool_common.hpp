@@ -76,6 +76,9 @@ inline void add_game_options(CliParser& cli, const std::string& default_caps) {
   cli.add_string("huge-pages", "auto",
                  "huge-page backing for the bin state: auto | on | off (see "
                  "docs/memory-layout.md)");
+  cli.add_string("simd", "auto",
+                 "vectorised stream-v2 resolve kernels: auto | on | off (see "
+                 "docs/stream-v2.md)");
   cli.add_int("seed", 1, "RNG seed of the served placement sequence");
 }
 
@@ -90,6 +93,7 @@ inline ServiceConfig service_config_from(const CliParser& cli) {
   cfg.game.tie_break = parse_tie_break(cli.get_string("tie-break"));
   cfg.game.stream = parse_stream(cli.get_string("stream"));
   cfg.game.memory.huge_pages = parse_huge_pages(cli.get_string("huge-pages"));
+  cfg.game.simd = parse_simd_mode(cli.get_string("simd"));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   return cfg;
 }
